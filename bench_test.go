@@ -1,0 +1,356 @@
+package ccer
+
+// Benchmark harness: one benchmark per table and figure of the paper,
+// plus per-algorithm matching kernels and the ablation benches called out
+// in DESIGN.md. The table/figure benches run their exp runner on a shared
+// corpus built once per process; BenchmarkCorpusBuild times the expensive
+// corpus construction itself.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-scale study (all ten datasets, larger scale, 10 timing
+// repeats) use cmd/erbench instead.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/exp"
+	"github.com/ccer-go/ccer/internal/graph"
+)
+
+var (
+	benchOnce   sync.Once
+	benchCorpus *exp.Corpus
+)
+
+// benchConfig keeps the bench corpus small: three datasets covering the
+// balanced, one-sided and scarce categories over all four weight
+// families.
+func benchConfig() exp.Config {
+	return exp.Config{
+		Seed:     42,
+		Scale:    0.02,
+		Datasets: []string{"D1", "D2", "D3"},
+		BAHSteps: 2000,
+		BAHTime:  5 * time.Second,
+	}
+}
+
+func corpus(b *testing.B) *exp.Corpus {
+	b.Helper()
+	benchOnce.Do(func() { benchCorpus = exp.BuildCorpus(benchConfig()) })
+	return benchCorpus
+}
+
+// BenchmarkCorpusBuild measures the full pipeline: dataset generation,
+// similarity graph corpus, threshold sweeps and cleaning for one dataset.
+func BenchmarkCorpusBuild(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"D1"}
+	for i := 0; i < b.N; i++ {
+		exp.BuildCorpus(cfg)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Table2()
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Table3()
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Table4()
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Table5()
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Table6()
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Table7()
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Table8()
+	}
+}
+
+func BenchmarkTable9(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Table9()
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Fig3()
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Fig4()
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Fig5()
+	}
+}
+
+func BenchmarkFig78(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := c.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Fig9()
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Fig10()
+	}
+}
+
+// benchGraph builds a random bipartite graph with roughly the requested
+// number of edges.
+func benchGraph(nodes, edges int) *graph.Bipartite {
+	rng := rand.New(rand.NewSource(7))
+	bld := graph.NewBuilder(nodes, nodes)
+	for i := 0; i < edges; i++ {
+		bld.Add(int32(rng.Intn(nodes)), int32(rng.Intn(nodes)), rng.Float64())
+	}
+	g, err := bld.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// BenchmarkMatcher exercises the raw matching kernels per algorithm and
+// graph size — the data behind the complexity discussion of QT(2).
+func BenchmarkMatcher(b *testing.B) {
+	sizes := []struct {
+		nodes, edges int
+	}{
+		{500, 5_000},
+		{2_000, 50_000},
+		{5_000, 200_000},
+	}
+	matchers := []core.Matcher{
+		core.CNC{}, core.RSR{}, core.RCA{},
+		core.BAH{Seed: 1, MaxSteps: 10000, MaxDuration: 5 * time.Second},
+		core.BMC{Basis: core.BasisAuto}, core.EXC{}, core.KRC{}, core.UMC{},
+	}
+	for _, sz := range sizes {
+		g := benchGraph(sz.nodes, sz.edges)
+		for _, m := range matchers {
+			b.Run(fmt.Sprintf("%s/e%d", m.Name(), sz.edges), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.Match(g, 0.5)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBaselines times the exact baselines for comparison with the
+// paper's complexity-based exclusion of the Hungarian algorithm.
+func BenchmarkBaselines(b *testing.B) {
+	g := benchGraph(500, 5_000)
+	for _, m := range []core.Matcher{core.Hungarian{}, core.Auction{}} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Match(g, 0.5)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBMCBasis compares BMC's basis-side options (DESIGN.md
+// ablation: the paper tunes this per dataset).
+func BenchmarkAblationBMCBasis(b *testing.B) {
+	g := benchGraph(2_000, 50_000)
+	for _, cfg := range []struct {
+		name  string
+		basis core.Basis
+	}{
+		{"V1", core.BasisV1}, {"V2", core.BasisV2}, {"Auto", core.BasisAuto},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			m := core.BMC{Basis: cfg.basis}
+			for i := 0; i < b.N; i++ {
+				m.Match(g, 0.3)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBAHSteps sweeps BAH's step cap (DESIGN.md ablation).
+func BenchmarkAblationBAHSteps(b *testing.B) {
+	g := benchGraph(1_000, 20_000)
+	for _, steps := range []int{1_000, 10_000, 50_000} {
+		b.Run(fmt.Sprintf("steps%d", steps), func(b *testing.B) {
+			m := core.BAH{Seed: 1, MaxSteps: steps, MaxDuration: time.Minute}
+			for i := 0; i < b.N; i++ {
+				m.Match(g, 0.3)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThresholdView measures the cost of materializing the
+// pruned graph view that CNC/RSR pay and the scan-based algorithms avoid
+// (DESIGN.md ablation on the edge-pruning strategy).
+func BenchmarkAblationThresholdView(b *testing.B) {
+	g := benchGraph(2_000, 50_000)
+	for _, t := range []float64{0.25, 0.5, 0.75} {
+		b.Run(fmt.Sprintf("t%.2f", t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.Threshold(t)
+			}
+		})
+	}
+}
+
+// BenchmarkSweep measures a full 20-point threshold sweep of UMC, the
+// unit of work behind every corpus entry.
+func BenchmarkSweep(b *testing.B) {
+	c := corpus(b)
+	task := c.Tasks["D2"]
+	var g *graph.Bipartite
+	for _, gr := range c.Graphs {
+		if gr.Graph.Dataset == "D2" {
+			g = gr.Graph.G
+			break
+		}
+	}
+	if g == nil {
+		b.Fatal("no D2 graph in corpus")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SweepThreshold(g, task.GT, core.UMC{}, 1)
+	}
+}
+
+// BenchmarkAblationThresholdPolicy runs the threshold-selection ablation
+// (oracle vs unsupervised estimate vs fixed) on the shared corpus.
+func BenchmarkAblationThresholdPolicy(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.AblationThreshold()
+	}
+}
+
+// BenchmarkBlocking measures the blocking substrate on a generated
+// dataset: token blocking, purging, filtering, candidate extraction.
+func BenchmarkBlocking(b *testing.B) {
+	task, err := GenerateDataset("D8", 5, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blocks := TokenBlocking(task.V1, task.V2)
+		blocks = PurgeBlocks(blocks, task.Comparisons()/10)
+		blocks = FilterBlocks(blocks, 0.5)
+		BlockCandidates(blocks)
+	}
+}
+
+// BenchmarkEstimateThreshold measures the unsupervised threshold
+// estimator.
+func BenchmarkEstimateThreshold(b *testing.B) {
+	g := benchGraph(2_000, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EstimateThreshold(g)
+	}
+}
+
+// BenchmarkQLearningMatcher measures the future-work Q-learning matcher
+// against the same graph sizes as BenchmarkMatcher.
+func BenchmarkQLearningMatcher(b *testing.B) {
+	g := benchGraph(2_000, 50_000)
+	m := NewQLearningMatcher(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Match(g, 0.5)
+	}
+}

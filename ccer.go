@@ -1,0 +1,208 @@
+// Package ccer is the public API of a Go implementation of the bipartite
+// graph matching study of Papadakis, Efthymiou, Thanos and Hassanzadeh,
+// "Bipartite Graph Matching Algorithms for Clean-Clean Entity Resolution:
+// An Empirical Evaluation" (EDBT 2022).
+//
+// The package covers the full Clean-Clean ER matching step: build a
+// weighted bipartite similarity graph between two clean entity
+// collections, run one of the paper's eight matching algorithms (or the
+// exact Hungarian / auction baselines) at a similarity threshold, and
+// evaluate the resulting 1-1 matching against a ground truth. It also
+// exposes the paper's string/vector/graph/embedding similarity functions,
+// the synthetic analogs of its ten benchmark datasets, and the threshold
+// sweep used to tune every algorithm.
+//
+// Quick start:
+//
+//	b := ccer.NewGraphBuilder(len(src), len(dst))
+//	for i, s := range src {
+//		for j, d := range dst {
+//			if sim := ccer.JaroSimilarity(s, d); sim > 0 {
+//				b.Add(int32(i), int32(j), sim)
+//			}
+//		}
+//	}
+//	g, err := b.Build()
+//	// ...
+//	pairs, err := ccer.Match(g, "UMC", 0.5)
+//
+// The subpackages under internal/ contain the full machinery; this
+// package re-exports the pieces a downstream user needs.
+package ccer
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/datagen"
+	"github.com/ccer-go/ccer/internal/dataset"
+	"github.com/ccer-go/ccer/internal/eval"
+	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/simgraph"
+	"github.com/ccer-go/ccer/internal/strsim"
+)
+
+// Core graph and matching types, re-exported from the implementation
+// packages.
+type (
+	// Graph is a weighted bipartite similarity graph between two clean
+	// entity collections.
+	Graph = graph.Bipartite
+	// GraphBuilder accumulates edges for a Graph.
+	GraphBuilder = graph.Builder
+	// Edge is a weighted edge of a similarity graph.
+	Edge = graph.Edge
+	// NodeID indexes a node within one side of the graph.
+	NodeID = graph.NodeID
+	// Pair is one matched entity pair.
+	Pair = core.Pair
+	// Matcher is a bipartite graph matching algorithm.
+	Matcher = core.Matcher
+	// Metrics holds precision, recall and F-measure.
+	Metrics = eval.Metrics
+	// SweepResult is the outcome of tuning a matcher's threshold.
+	SweepResult = eval.SweepResult
+	// Profile is an entity profile (attribute-value pairs).
+	Profile = dataset.Profile
+	// Collection is a clean, duplicate-free entity collection.
+	Collection = dataset.Collection
+	// GroundTruth is the set of true matches between two collections.
+	GroundTruth = dataset.GroundTruth
+	// Task bundles two collections with their ground truth.
+	Task = dataset.Task
+)
+
+// NewGraphBuilder returns a builder for a bipartite graph with n1 and n2
+// nodes on the two sides.
+func NewGraphBuilder(n1, n2 int) *GraphBuilder { return graph.NewBuilder(n1, n2) }
+
+// NewGroundTruth builds a ground truth from (i, j) index pairs.
+func NewGroundTruth(pairs [][2]int32) *GroundTruth { return dataset.NewGroundTruth(pairs) }
+
+// Algorithms lists the paper's eight algorithm names in presentation
+// order: CNC, RSR, RCA, BAH, BMC, EXC, KRC, UMC.
+func Algorithms() []string { return core.Names() }
+
+// NewMatcher returns the named matching algorithm with its default
+// configuration. Besides the paper's eight, "HUN" (Hungarian) and "AUC"
+// (auction) exact baselines are available. seed configures the stochastic
+// BAH algorithm and is ignored by the others.
+func NewMatcher(name string, seed int64) (Matcher, error) {
+	m := core.ByName(name, seed)
+	if m == nil {
+		return nil, fmt.Errorf("ccer: unknown algorithm %q (have %v, HUN, AUC)",
+			name, core.Names())
+	}
+	return m, nil
+}
+
+// Match runs the named algorithm on the graph with similarity threshold
+// t, returning a 1-1 matching that only uses edges with weight above t.
+func Match(g *Graph, algorithm string, t float64) ([]Pair, error) {
+	m, err := NewMatcher(algorithm, 1)
+	if err != nil {
+		return nil, err
+	}
+	return m.Match(g, t), nil
+}
+
+// Evaluate scores a matching against the ground truth.
+func Evaluate(pairs []Pair, gt *GroundTruth) Metrics { return eval.Evaluate(pairs, gt) }
+
+// SweepThreshold tunes the matcher over the paper's threshold grid
+// (0.05..1.00, step 0.05), selecting the largest threshold with the best
+// F-measure. repeats controls run-time averaging (use 1 unless timing).
+func SweepThreshold(g *Graph, gt *GroundTruth, m Matcher, repeats int) SweepResult {
+	return eval.Sweep(g, gt, m, repeats)
+}
+
+// SimilarityFunc scores the similarity of two strings in [0,1].
+type SimilarityFunc = strsim.Func
+
+// StringSimilarities returns the paper's sixteen schema-based syntactic
+// similarity measures by name (seven character-level, nine token-level).
+func StringSimilarities() map[string]SimilarityFunc { return strsim.AllMeasures() }
+
+// JaroSimilarity is the Jaro similarity, a convenient default for short
+// names.
+func JaroSimilarity(a, b string) float64 { return strsim.Jaro(a, b) }
+
+// TokenJaccard is the Jaccard similarity over lower-cased word tokens, a
+// convenient default for titles and descriptions.
+func TokenJaccard(a, b string) float64 {
+	return strsim.Jaccard(strsim.Tokenize(a), strsim.Tokenize(b))
+}
+
+// BuildGraph constructs a similarity graph by applying sim to every
+// cross-pair of the two text slices and keeping scores above minSim.
+// For large collections prefer the representation-model pipelines (see
+// GenerateGraphs), which use inverted indexes instead of all pairs.
+func BuildGraph(texts1, texts2 []string, sim SimilarityFunc, minSim float64) (*Graph, error) {
+	b := graph.NewBuilder(len(texts1), len(texts2))
+	for i, s := range texts1 {
+		for j, d := range texts2 {
+			if w := sim(s, d); w > minSim {
+				b.Add(int32(i), int32(j), w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Dataset identifiers of the paper's ten benchmarks, reproduced as
+// synthetic analogs (see DESIGN.md for the substitution rationale).
+func Datasets() []string {
+	ids := make([]string, 0, 10)
+	for _, s := range datagen.Specs() {
+		ids = append(ids, s.ID)
+	}
+	return ids
+}
+
+// GenerateDataset builds the synthetic analog of the identified dataset
+// ("D1".."D10") at the given scale (1.0 = the paper's full Table 2
+// sizes). The same (seed, scale) always yields the same task.
+func GenerateDataset(id string, seed int64, scale float64) (*Task, error) {
+	spec, err := datagen.SpecByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(seed, scale), nil
+}
+
+// KeyAttributes returns the high-coverage, high-distinctiveness
+// attributes the paper uses for schema-based similarity on the dataset.
+func KeyAttributes(id string) ([]string, error) {
+	spec, err := datagen.SpecByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return spec.KeyAttrs, nil
+}
+
+// WeightFamily identifies one of the paper's four types of edge weights.
+type WeightFamily = simgraph.Family
+
+// WeightFamilies returns the four families: schema-based syntactic,
+// schema-agnostic syntactic, schema-based semantic, schema-agnostic
+// semantic.
+func WeightFamilies() []WeightFamily { return simgraph.Families() }
+
+// SimilarityGraph is one generated similarity graph with its provenance.
+type SimilarityGraph = simgraph.SimGraph
+
+// GenerateGraphs applies the paper's full similarity-function taxonomy to
+// a task, producing the min-max-normalized similarity graph corpus
+// (Section 4-5). keyAttrs selects the schema-based attributes; families
+// restricts the weight families (nil = all four).
+func GenerateGraphs(task *Task, keyAttrs []string, families []WeightFamily) []SimilarityGraph {
+	return simgraph.Generate(task, keyAttrs, simgraph.Options{Families: families})
+}
+
+// BAHConfig returns a Best Assignment Heuristic matcher with explicit
+// caps, for callers that need tighter bounds than the paper's defaults
+// of 10,000 steps and 2 minutes.
+func BAHConfig(seed int64, maxSteps int, maxDuration time.Duration) Matcher {
+	return core.BAH{Seed: seed, MaxSteps: maxSteps, MaxDuration: maxDuration}
+}

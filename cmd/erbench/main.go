@@ -1,0 +1,180 @@
+// Command erbench regenerates the paper's tables and figures on the
+// synthetic dataset analogs.
+//
+// Usage:
+//
+//	erbench [flags] <experiment>
+//
+// where <experiment> is one of: table2, table3, table4, table5, table6,
+// table7, table8, table9, fig2, fig3, fig4, fig5, fig7, fig8, fig9,
+// fig10, ablation-threshold, ablation-bmc, or "all".
+//
+// Flags:
+//
+//	-seed     int      dataset/BAH seed (default 42)
+//	-scale    float    dataset scale vs. the paper's Table 2 sizes (default 0.02)
+//	-repeats  int      timed executions per threshold (default 1; the paper uses 10)
+//	-datasets string   comma-separated dataset ids (default all of D1..D10)
+//	-families string   comma-separated weight families among SB-SYN,SA-SYN,SB-SEM,SA-SEM (default all)
+//	-bahsteps int      BAH search-step cap (default 10000)
+//	-bahtime  duration BAH run-time cap (default 2m)
+//
+// Examples:
+//
+//	erbench -datasets D1,D2,D3 table4
+//	erbench -scale 0.05 -repeats 10 table6
+//	erbench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/exp"
+	"github.com/ccer-go/ccer/internal/simgraph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "erbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 42, "dataset/BAH seed")
+	scale := flag.Float64("scale", 0.02, "dataset scale vs. the paper's sizes")
+	repeats := flag.Int("repeats", 1, "timed executions per threshold")
+	datasets := flag.String("datasets", "", "comma-separated dataset ids (default all)")
+	families := flag.String("families", "", "comma-separated weight families (default all)")
+	bahSteps := flag.Int("bahsteps", 10000, "BAH search-step cap")
+	bahTime := flag.Duration("bahtime", 2*time.Minute, "BAH run-time cap")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("need exactly one experiment id (or 'all'); see -h")
+	}
+	what := strings.ToLower(flag.Arg(0))
+	// Validate before the expensive corpus build.
+	if what != "all" && !knownExperiment(what) {
+		return fmt.Errorf("unknown experiment %q (have %v, all)", what, experimentOrder)
+	}
+
+	cfg := exp.Config{
+		Seed:     *seed,
+		Scale:    *scale,
+		Repeats:  *repeats,
+		BAHSteps: *bahSteps,
+		BAHTime:  *bahTime,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if *families != "" {
+		for _, f := range strings.Split(*families, ",") {
+			fam := simgraph.Family(strings.ToUpper(strings.TrimSpace(f)))
+			switch fam {
+			case simgraph.SBSyn, simgraph.SASyn, simgraph.SBSem, simgraph.SASem:
+				cfg.Families = append(cfg.Families, fam)
+			default:
+				return fmt.Errorf("unknown family %q", f)
+			}
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "erbench: building corpus (seed=%d scale=%g datasets=%v)...\n",
+		cfg.Seed, *scale, cfg.Datasets)
+	start := time.Now()
+	corpus := exp.BuildCorpus(cfg)
+	fmt.Fprintf(os.Stderr, "erbench: %d graphs (%d noisy + %d duplicates dropped) in %v\n",
+		len(corpus.Graphs), corpus.DroppedNoisy, corpus.DroppedDupes,
+		time.Since(start).Round(time.Millisecond))
+
+	runners := experimentRunners(corpus)
+	if what == "all" {
+		for _, id := range experimentOrder {
+			if err := runners[id](); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return runners[what]()
+}
+
+func knownExperiment(id string) bool {
+	for _, want := range experimentOrder {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+var experimentOrder = []string{
+	"table2", "table3", "table4", "fig2", "fig3", "table5", "table6",
+	"fig4", "fig5", "table7", "fig7", "fig8", "table8", "table9",
+	"fig9", "fig10", "ablation-threshold", "ablation-bmc",
+}
+
+func experimentRunners(c *exp.Corpus) map[string]func() error {
+	printTables := func(tables []exp.Table) error {
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		return nil
+	}
+	return map[string]func() error{
+		"table2": func() error { fmt.Println(c.Table2().Render()); return nil },
+		"table3": func() error { _, t := c.Table3(); fmt.Println(t.Render()); return nil },
+		"table4": func() error { _, t := c.Table4(); fmt.Println(t.Render()); return nil },
+		"table5": func() error { _, ts := c.Table5(); return printTables(ts) },
+		"table6": func() error { _, ts := c.Table6(); return printTables(ts) },
+		"table7": func() error { _, t := c.Table7(); fmt.Println(t.Render()); return nil },
+		"table8": func() error { _, ts := c.Table8(); return printTables(ts) },
+		"table9": func() error { _, ts := c.Table9(); return printTables(ts) },
+		"fig2": func() error {
+			_, t, err := c.Fig2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+			return nil
+		},
+		"fig3": func() error { _, ts := c.Fig3(); return printTables(ts) },
+		"fig4": func() error { _, ts := c.Fig4(); return printTables(ts) },
+		"fig5": func() error { _, t := c.Fig5(); fmt.Println(t.Render()); return nil },
+		"fig7": func() error {
+			_, t, err := c.Fig7()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+			return nil
+		},
+		"fig8": func() error {
+			_, t, err := c.Fig8()
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+			return nil
+		},
+		"fig9":  func() error { _, ts := c.Fig9(); return printTables(ts) },
+		"fig10": func() error { _, ts := c.Fig10(); return printTables(ts) },
+		"ablation-threshold": func() error {
+			_, t := c.AblationThreshold()
+			fmt.Println(t.Render())
+			return nil
+		},
+		"ablation-bmc": func() error {
+			_, t := c.AblationBMCBasis()
+			fmt.Println(t.Render())
+			return nil
+		},
+	}
+}

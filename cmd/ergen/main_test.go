@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/dataset"
+)
+
+// runWithArgs invokes run() with a fresh flag set and the given argv.
+func runWithArgs(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs := os.Args
+	oldFlags := flag.CommandLine
+	defer func() {
+		os.Args = oldArgs
+		flag.CommandLine = oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("ergen", flag.ContinueOnError)
+	os.Args = append([]string{"ergen"}, args...)
+	return run()
+}
+
+func TestErgenWritesTask(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d1.json")
+	if err := runWithArgs(t, "-seed", "3", "-scale", "0.02", "-out", out, "D1"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	task, err := dataset.ReadTaskJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.V1.Len() == 0 || task.GT.Len() == 0 {
+		t.Fatal("generated task is empty")
+	}
+}
+
+func TestErgenErrors(t *testing.T) {
+	if err := runWithArgs(t); err == nil {
+		t.Fatal("missing dataset id accepted")
+	}
+	if err := runWithArgs(t, "D99"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := runWithArgs(t, "-out", "/nonexistent-dir/x.json", "D1"); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/datagen"
+)
+
+func writeTask(t *testing.T) string {
+	t.Helper()
+	spec, err := datagen.SpecByID("D1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := spec.Generate(3, 0.02)
+	path := filepath.Join(t.TempDir(), "task.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := task.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runWithArgs(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs := os.Args
+	oldFlags := flag.CommandLine
+	defer func() {
+		os.Args = oldArgs
+		flag.CommandLine = oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("ermatch", flag.ContinueOnError)
+	os.Args = append([]string{"ermatch"}, args...)
+	return run()
+}
+
+func TestErmatchSweep(t *testing.T) {
+	path := writeTask(t)
+	if err := runWithArgs(t, "-alg", "UMC", "-measure", "Jaccard", "-sweep", path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErmatchFixedThreshold(t *testing.T) {
+	path := writeTask(t)
+	if err := runWithArgs(t, "-alg", "EXC", "-measure", "Jaro", "-attr", "name", "-t", "0.6", path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErmatchErrors(t *testing.T) {
+	path := writeTask(t)
+	if err := runWithArgs(t); err == nil {
+		t.Fatal("missing task file accepted")
+	}
+	if err := runWithArgs(t, "-alg", "XXX", path); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if err := runWithArgs(t, "-measure", "XXX", path); err == nil {
+		t.Fatal("unknown measure accepted")
+	}
+	if err := runWithArgs(t, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

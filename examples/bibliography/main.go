@@ -1,0 +1,84 @@
+// Bibliographic matching: resolve the DBLP-ACM analog (D4) with
+// schema-agnostic weights, the setting where the paper finds they shine —
+// the bibliographic datasets carry "misplaced value" noise (authors
+// spilling into titles) that schema-based similarity cannot see past.
+//
+// The example also contrasts the greedy 1/2-approximation (UMC) with the
+// exact maximum weight matching (Hungarian baseline) to show how little
+// matching weight the greedy heuristic loses in practice.
+//
+// Run with:
+//
+//	go run ./examples/bibliography
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ccer-go/ccer"
+)
+
+func main() {
+	task, err := ccer.GenerateDataset("D4", 11, 0.04)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("D4 analog: |V1|=%d |V2|=%d true matches=%d\n\n",
+		task.V1.Len(), task.V2.Len(), task.GT.Len())
+
+	// Schema-based on title vs schema-agnostic over the whole profile.
+	schemaBased, err := ccer.BuildGraph(
+		task.V1.AttrTexts("title"), task.V2.AttrTexts("title"),
+		ccer.TokenJaccard, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schemaAgnostic, err := ccer.BuildGraph(
+		task.V1.Texts(), task.V2.Texts(), ccer.TokenJaccard, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, cfg := range []struct {
+		name string
+		g    *ccer.Graph
+	}{
+		{"schema-based (title)", schemaBased.NormalizeMinMax()},
+		{"schema-agnostic (all values)", schemaAgnostic.NormalizeMinMax()},
+	} {
+		fmt.Println(cfg.name)
+		for _, alg := range []string{"UMC", "KRC", "EXC", "CNC"} {
+			m, err := ccer.NewMatcher(alg, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := ccer.SweepThreshold(cfg.g, task.GT, m, 1)
+			fmt.Printf("  %-4s t=%.2f  P=%.3f R=%.3f F1=%.3f\n",
+				alg, res.BestT, res.Best.Precision, res.Best.Recall, res.Best.F1)
+		}
+		fmt.Println()
+	}
+
+	// Greedy vs exact maximum weight matching on the schema-agnostic
+	// graph: UMC guarantees at least half the optimal weight and in
+	// practice comes much closer.
+	g := schemaAgnostic.NormalizeMinMax()
+	umc, err := ccer.Match(g, "UMC", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hun, err := ccer.Match(g, "HUN", 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wUMC, wHUN float64
+	for _, p := range umc {
+		wUMC += p.W
+	}
+	for _, p := range hun {
+		wHUN += p.W
+	}
+	fmt.Printf("matching weight: UMC=%.2f, exact (Hungarian)=%.2f (ratio %.3f)\n",
+		wUMC, wHUN, wUMC/wHUN)
+}

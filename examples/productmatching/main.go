@@ -1,0 +1,54 @@
+// Product matching: resolve the Abt-Buy analog (D2) the way the paper's
+// evaluation does — generate the dataset, build a schema-based similarity
+// graph on the product name, and compare all eight algorithms with tuned
+// thresholds. Products are the paper's noisiest domain: titles carry
+// typos, dropped tokens and reordered words.
+//
+// Run with:
+//
+//	go run ./examples/productmatching
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ccer-go/ccer"
+)
+
+func main() {
+	// The D2 analog at 5% of the paper's scale: two product feeds with
+	// every entity matched across sides (a "balanced" collection).
+	task, err := ccer.GenerateDataset("D2", 7, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("D2 analog: |V1|=%d |V2|=%d true matches=%d\n",
+		task.V1.Len(), task.V2.Len(), task.GT.Len())
+
+	// Schema-based graph on the product name with Jaro similarity.
+	names1 := task.V1.AttrTexts("name")
+	names2 := task.V2.AttrTexts("name")
+	g, err := ccer.BuildGraph(names1, names2, ccer.JaroSimilarity, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g = g.NormalizeMinMax()
+	fmt.Printf("similarity graph: %d edges (density %.1f%%)\n\n",
+		g.NumEdges(), 100*g.Density())
+
+	// Tune every algorithm on the paper's threshold grid and report the
+	// optimal configuration, as in the paper's Table 4/Table 9.
+	fmt.Printf("%-5s %6s %10s %8s %8s %12s\n",
+		"alg", "best t", "precision", "recall", "F1", "runtime")
+	for _, name := range ccer.Algorithms() {
+		m, err := ccer.NewMatcher(name, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := ccer.SweepThreshold(g, task.GT, m, 3)
+		fmt.Printf("%-5s %6.2f %10.3f %8.3f %8.3f %12v\n",
+			name, res.BestT, res.Best.Precision, res.Best.Recall,
+			res.Best.F1, res.Runtime)
+	}
+}

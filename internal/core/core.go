@@ -1,0 +1,148 @@
+// Package core implements the eight bipartite graph matching algorithms
+// evaluated by Papadakis et al., "Bipartite Graph Matching Algorithms for
+// Clean-Clean Entity Resolution: An Empirical Evaluation" (EDBT 2022),
+// plus two exact/near-exact maximum-weight baselines (Hungarian and the
+// Bertsekas auction algorithm) that the paper excludes by its complexity
+// criterion but that are useful as optimality references.
+//
+// Every algorithm receives a weighted bipartite similarity graph
+// (internal/graph) and a similarity threshold t, and returns a 1-1
+// matching: a set of (u,v) pairs such that no node appears twice.
+// Entities not present in any pair are implicitly singletons, which is how
+// the paper's clustering output (partitions of size one or two) maps onto
+// a pair list.
+//
+// All algorithms are deterministic given their configuration; BAH is
+// stochastic by design and takes an explicit seed.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ccer-go/ccer/internal/graph"
+)
+
+// Pair is a matched entity pair: node U of V1 with node V of V2, connected
+// by an edge of weight W in the input graph.
+type Pair struct {
+	U graph.NodeID
+	V graph.NodeID
+	W float64
+}
+
+// Matcher is a bipartite graph matching algorithm. Match must return a 1-1
+// matching of the input graph, only using edges with weight strictly
+// greater than t (the paper's pruning rule "e.sim > t").
+type Matcher interface {
+	// Name returns the short algorithm identifier used throughout the
+	// paper, e.g. "UMC".
+	Name() string
+	// Match computes the matching.
+	Match(g *graph.Bipartite, t float64) []Pair
+}
+
+// SortPairs orders pairs by (U, V), giving a canonical form for
+// comparisons and deterministic output.
+func SortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].U != pairs[j].U {
+			return pairs[i].U < pairs[j].U
+		}
+		return pairs[i].V < pairs[j].V
+	})
+}
+
+// TotalWeight sums the edge weights of a matching.
+func TotalWeight(pairs []Pair) float64 {
+	s := 0.0
+	for _, p := range pairs {
+		s += p.W
+	}
+	return s
+}
+
+// ValidateMatching checks that pairs form a valid 1-1 matching of g with
+// every pair weight strictly above t: no node is used twice, every pair is
+// an existing edge, and recorded weights agree with the graph.
+func ValidateMatching(g *graph.Bipartite, pairs []Pair, t float64) error {
+	used1 := make(map[graph.NodeID]bool, len(pairs))
+	used2 := make(map[graph.NodeID]bool, len(pairs))
+	for _, p := range pairs {
+		if p.U < 0 || int(p.U) >= g.N1() || p.V < 0 || int(p.V) >= g.N2() {
+			return fmt.Errorf("core: pair (%d,%d) out of range", p.U, p.V)
+		}
+		if used1[p.U] {
+			return fmt.Errorf("core: node %d of V1 matched twice", p.U)
+		}
+		if used2[p.V] {
+			return fmt.Errorf("core: node %d of V2 matched twice", p.V)
+		}
+		used1[p.U], used2[p.V] = true, true
+		w, ok := g.Weight(p.U, p.V)
+		if !ok {
+			return fmt.Errorf("core: pair (%d,%d) is not an edge", p.U, p.V)
+		}
+		if w != p.W {
+			return fmt.Errorf("core: pair (%d,%d) weight %v, graph has %v", p.U, p.V, p.W, w)
+		}
+		if w <= t {
+			return fmt.Errorf("core: pair (%d,%d) weight %v not above threshold %v", p.U, p.V, w, t)
+		}
+	}
+	return nil
+}
+
+// All returns one instance of each of the paper's eight algorithms with
+// their default configurations, in the paper's presentation order
+// (Table 1): CNC, RSR, RCA, BAH, BMC, EXC, KRC, UMC.
+//
+// BAH uses the given seed and its default step cap; BMC uses BasisAuto,
+// which tries both sides and keeps the heavier matching, mirroring the
+// paper's "examine both options and retain the best one".
+func All(bahSeed int64) []Matcher {
+	return []Matcher{
+		CNC{},
+		RSR{},
+		RCA{},
+		NewBAH(bahSeed),
+		BMC{Basis: BasisAuto},
+		EXC{},
+		KRC{},
+		UMC{},
+	}
+}
+
+// ByName returns the matcher with the given paper identifier, or nil.
+// Recognized names: CNC, RSR, RCA, BAH, BMC, EXC, KRC, UMC, HUN, AUC.
+func ByName(name string, bahSeed int64) Matcher {
+	switch name {
+	case "CNC":
+		return CNC{}
+	case "RSR":
+		return RSR{}
+	case "RCA":
+		return RCA{}
+	case "BAH":
+		return NewBAH(bahSeed)
+	case "BMC":
+		return BMC{Basis: BasisAuto}
+	case "EXC":
+		return EXC{}
+	case "KRC":
+		return KRC{}
+	case "UMC":
+		return UMC{}
+	case "HUN":
+		return Hungarian{}
+	case "AUC":
+		return Auction{}
+	}
+	return nil
+}
+
+// Names lists the paper's eight algorithm identifiers in presentation
+// order.
+func Names() []string {
+	return []string{"CNC", "RSR", "RCA", "BAH", "BMC", "EXC", "KRC", "UMC"}
+}

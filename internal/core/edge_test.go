@@ -1,0 +1,226 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/graph"
+)
+
+func build(t *testing.T, n1, n2 int, edges [][3]float64) *graph.Bipartite {
+	t.Helper()
+	b := graph.NewBuilder(n1, n2)
+	for _, e := range edges {
+		b.Add(graph.NodeID(e[0]), graph.NodeID(e[1]), e[2])
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// KRC: A0 proposes to B0 first (his best), gets dumped when A1 arrives
+// with a better offer, and must continue down his list to B1.
+func TestKRCDumpAndContinue(t *testing.T) {
+	g := build(t, 2, 2, [][3]float64{
+		{0, 0, 0.8}, // A0-B0
+		{0, 1, 0.6}, // A0-B1 (fallback)
+		{1, 0, 0.9}, // A1-B0 (steals B0)
+	})
+	got := KRC{}.Match(g, 0.5)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 1}, {1, 0}})
+}
+
+// KRC second chance: when A0 exhausts his list while engaged men hold all
+// women, his lastChance pass lets him win a tie.
+func TestKRCSecondChanceTieBreak(t *testing.T) {
+	// A0 and A1 both value B0 at 0.8; A1 also has B1. Order: A0 proposes
+	// B0 (engaged), A1 proposes B0 -> tie, A1 not lastChance -> rejected,
+	// A1 proposes B1 -> engaged. Everyone matched.
+	g := build(t, 2, 2, [][3]float64{
+		{0, 0, 0.8},
+		{1, 0, 0.8},
+		{1, 1, 0.6},
+	})
+	got := KRC{}.Match(g, 0.5)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 0}, {1, 1}})
+}
+
+// KRC must terminate when a man's whole list is below the threshold.
+func TestKRCAllBelowThreshold(t *testing.T) {
+	g := build(t, 2, 2, [][3]float64{{0, 0, 0.3}, {1, 1, 0.9}})
+	got := KRC{}.Match(g, 0.5)
+	wantPairs(t, got, [][2]graph.NodeID{{1, 1}})
+}
+
+// RSR rippling: when a stronger seed steals a member, the orphaned center
+// re-joins its best available singleton.
+func TestRSRRipple(t *testing.T) {
+	// B0 is claimed by A0 (0.6) first? Seed order is by average weight:
+	// A1 (0.9) seeds first and takes B0; A0 (avg (0.6+0.5)/2=0.55) seeds
+	// next; B0 is taken by a center's partition but A0 can still claim
+	// B1 (0.5).
+	g := build(t, 2, 2, [][3]float64{
+		{0, 0, 0.6},
+		{0, 1, 0.5},
+		{1, 0, 0.9},
+	})
+	got := RSR{}.Match(g, 0.4)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 1}, {1, 0}})
+}
+
+// RSR with an isolated high-degree node regression: nodes without
+// above-threshold edges never join partitions.
+func TestRSRIsolatedNodes(t *testing.T) {
+	g := build(t, 3, 3, [][3]float64{
+		{0, 0, 0.9},
+		{1, 1, 0.2}, // below threshold
+	})
+	got := RSR{}.Match(g, 0.5)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 0}})
+}
+
+// RCA picks the pass with the larger total weight: here the V2 pass is
+// strictly better.
+func TestRCAPassSelection(t *testing.T) {
+	// V1 pass: A0 takes B0 (0.9), A1 left with B1 (0.1): total 1.0.
+	// V2 pass: B0 takes A1? B0's best is A0 (0.9)... construct so that
+	// scanning from V2 yields a higher sum: B0's best is A0 (0.9), B1's
+	// best unmatched is A1 (0.1). Same. Make asymmetric:
+	g := build(t, 2, 2, [][3]float64{
+		{0, 0, 0.9},
+		{0, 1, 0.8},
+		{1, 0, 0.7},
+	})
+	// V1 pass: A0->B0 (0.9), A1->nothing left but B0 taken; A1 has only
+	// B0 -> unmatched. Total 0.9.
+	// V2 pass: B0->A0 (0.9), B1->A0 taken, B1 has only A0 -> unmatched.
+	// Total 0.9. Tie -> keep pass 1.
+	got := RCA{}.Match(g, 0.5)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 0}})
+
+	// Now a graph where the V2 pass wins: A0's greedy choice in pass 1
+	// blocks a heavy edge; scanning from V2 avoids it.
+	g2 := build(t, 2, 2, [][3]float64{
+		{0, 0, 0.6}, // A0-B0
+		{1, 0, 0.9}, // A1-B0
+		{1, 1, 0.1}, // A1-B1 (sub-threshold filler)
+	})
+	// V1 pass: A0 takes B0 (0.6); A1 takes B1 (0.1): total 0.7, but the
+	// 0.1 pair is dropped by t. V2 pass: B0 takes A1 (0.9); B1 takes A0?
+	// no edge -> unmatched. Total 0.9 > 0.7, so pass 2 wins.
+	got2 := RCA{}.Match(g2, 0.5)
+	wantPairs(t, got2, [][2]graph.NodeID{{1, 0}})
+}
+
+// RCA assigns pairs below the threshold during the scan (the assignment
+// formulation) but discards them from the output.
+func TestRCADiscardsBelowThreshold(t *testing.T) {
+	g := build(t, 1, 1, [][3]float64{{0, 0, 0.2}})
+	if got := (RCA{}).Match(g, 0.5); len(got) != 0 {
+		t.Fatalf("sub-threshold pair emitted: %v", got)
+	}
+}
+
+// BAH orients correctly when V1 is smaller than V2 (the algorithm
+// permutes the larger side).
+func TestBAHSwappedOrientation(t *testing.T) {
+	g := build(t, 2, 4, [][3]float64{
+		{0, 2, 0.9},
+		{1, 3, 0.8},
+		{0, 0, 0.3},
+	})
+	got := BAH{Seed: 3, MaxSteps: 5000}.Match(g, 0.5)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 2}, {1, 3}})
+	if err := ValidateMatching(g, got, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BAH honors its wall-clock cap.
+func TestBAHTimeCap(t *testing.T) {
+	g := build(t, 50, 50, [][3]float64{{0, 0, 0.9}})
+	m := BAH{Seed: 1, MaxSteps: 1 << 30, MaxDuration: 10 * time.Millisecond}
+	start := time.Now()
+	m.Match(g, 0.5)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("BAH ran %v despite 10ms cap", elapsed)
+	}
+}
+
+// EXC ties: when a node's two best edges tie, the deterministic
+// tie-breaking (lower opposite id) decides the mutual best.
+func TestEXCTieBreaking(t *testing.T) {
+	g := build(t, 2, 2, [][3]float64{
+		{0, 0, 0.8},
+		{0, 1, 0.8},
+		{1, 1, 0.8},
+	})
+	// A0's best: tie B0/B1 -> B0 (lower id). B0's best: only A0. Mutual.
+	// B1's best: tie A0/A1 -> A0, but A0's best is B0, so A1-B1 is not
+	// mutual (A1's best is B1, B1's best is A0): no pair for A1.
+	got := EXC{}.Match(g, 0.5)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 0}})
+}
+
+// CNC drops components larger than two nodes even when they contain a
+// valid pair.
+func TestCNCDropsLargeComponents(t *testing.T) {
+	g := build(t, 2, 1, [][3]float64{
+		{0, 0, 0.9},
+		{1, 0, 0.8},
+	})
+	if got := (CNC{}).Match(g, 0.5); len(got) != 0 {
+		t.Fatalf("CNC kept a 3-node component: %v", got)
+	}
+}
+
+// UMC tie-breaking is deterministic: equal weights resolve by node ids.
+func TestUMCDeterministicTies(t *testing.T) {
+	g := build(t, 2, 2, [][3]float64{
+		{0, 0, 0.7},
+		{0, 1, 0.7},
+		{1, 0, 0.7},
+		{1, 1, 0.7},
+	})
+	got := UMC{}.Match(g, 0.5)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 0}, {1, 1}})
+}
+
+// BMC basis auto equals the better of the two fixed bases.
+func TestBMCAutoPicksBetter(t *testing.T) {
+	g := figure1(t)
+	auto := TotalWeight(BMC{Basis: BasisAuto}.Match(g, 0.5))
+	v1 := TotalWeight(BMC{Basis: BasisV1}.Match(g, 0.5))
+	v2 := TotalWeight(BMC{Basis: BasisV2}.Match(g, 0.5))
+	want := v1
+	if v2 > want {
+		want = v2
+	}
+	if auto != want {
+		t.Fatalf("auto = %v, want max(%v, %v)", auto, v1, v2)
+	}
+}
+
+// Hungarian handles rectangular graphs in both orientations.
+func TestHungarianRectangular(t *testing.T) {
+	tall := build(t, 1, 3, [][3]float64{{0, 0, 0.3}, {0, 1, 0.9}, {0, 2, 0.5}})
+	got := Hungarian{}.Match(tall, 0.1)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 1}})
+	wide := build(t, 3, 1, [][3]float64{{0, 0, 0.3}, {1, 0, 0.9}, {2, 0, 0.5}})
+	got = Hungarian{}.Match(wide, 0.1)
+	wantPairs(t, got, [][2]graph.NodeID{{1, 0}})
+}
+
+// Auction with duplicate top choices: contested objects go to the bidder
+// that values them most.
+func TestAuctionContention(t *testing.T) {
+	g := build(t, 2, 2, [][3]float64{
+		{0, 0, 0.9},
+		{1, 0, 0.8},
+		{1, 1, 0.5},
+	})
+	got := Auction{}.Match(g, 0.1)
+	wantPairs(t, got, [][2]graph.NodeID{{0, 0}, {1, 1}})
+}

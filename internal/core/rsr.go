@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/ccer-go/ccer/internal/graph"
+)
+
+// RSR is Ricochet Sequential Rippling clustering (Algorithm 1 of the
+// paper), the Clean-Clean adaptation of the homonymous Dirty-ER algorithm
+// of Wijaya & Bressan: partitions hold at most one entity from each
+// collection.
+//
+// After pruning edges not above the threshold, nodes of both sides are
+// sorted by descending average adjacent-edge weight and processed as
+// candidate seeds. A seed claims the first adjacent vertex that is
+// unassigned or closer to the seed than to its current partition's center;
+// a center whose partition is thereby reduced to a singleton is re-placed
+// into its nearest single-node cluster ("rippling").
+//
+// The pruning is implemented as a filtered view: adjacency lists are
+// sorted by descending weight, so the above-threshold edges of a node are
+// a prefix and no pruned graph copy is materialized.
+//
+// Two points the paper's pseudocode leaves implicit are resolved here the
+// way the accompanying text describes them: (i) stealing an unassigned
+// vertex does not schedule that vertex itself for re-assignment (only a
+// center that actually lost its single member ripples), and (ii) a rippled
+// center may join any adjacent node whose current cluster holds fewer than
+// two entities, forming a pair with it ("placed in its nearest single-node
+// cluster"). Time complexity O(nm).
+type RSR struct{}
+
+// Name implements Matcher.
+func (RSR) Name() string { return "RSR" }
+
+// rsrState tracks cluster membership over global node ids: V1 node u is
+// id u, V2 node v is id n1+v.
+type rsrState struct {
+	n1       int
+	isCenter []bool
+	centerOf []int32   // global id of the center a node is attached to, or -1
+	simWith  []float64 // similarity to the current center
+	member   []int32   // single member attached to a center, or -1
+}
+
+func (s *rsrState) clusterSize(x int32) int {
+	if s.isCenter[x] {
+		if s.member[x] >= 0 {
+			return 2
+		}
+		return 1
+	}
+	if s.centerOf[x] >= 0 {
+		return 2 // member of a center's cluster
+	}
+	return 1 // unassigned singleton
+}
+
+// Match implements Matcher.
+func (RSR) Match(g *graph.Bipartite, t float64) []Pair {
+	n1, n2 := g.N1(), g.N2()
+	n := n1 + n2
+
+	s := &rsrState{
+		n1:       n1,
+		isCenter: make([]bool, n),
+		centerOf: make([]int32, n),
+		simWith:  make([]float64, n),
+		member:   make([]int32, n),
+	}
+	for i := range s.centerOf {
+		s.centerOf[i] = -1
+		s.member[i] = -1
+	}
+
+	// avgAbove computes the mean weight of the above-threshold prefix of
+	// an adjacency list (lists are sorted by descending weight).
+	avgAbove := func(adj []int32) float64 {
+		sum, cnt := 0.0, 0
+		for _, ei := range adj {
+			w := g.Edge(ei).W
+			if w <= t {
+				break
+			}
+			sum += w
+			cnt++
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return sum / float64(cnt)
+	}
+
+	// Seed order: descending average adjacent weight, ties by id.
+	order := make([]int32, n)
+	avg := make([]float64, n)
+	for i := 0; i < n1; i++ {
+		order[i] = int32(i)
+		avg[i] = avgAbove(g.Adj1(graph.NodeID(i)))
+	}
+	for j := 0; j < n2; j++ {
+		order[n1+j] = int32(n1 + j)
+		avg[n1+j] = avgAbove(g.Adj2(graph.NodeID(j)))
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if avg[order[a]] != avg[order[b]] {
+			return avg[order[a]] > avg[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	adjOf := func(x int32) []int32 {
+		if int(x) < n1 {
+			return g.Adj1(x)
+		}
+		return g.Adj2(x - int32(n1))
+	}
+	otherEnd := func(x int32, e graph.Edge) (int32, float64) {
+		if int(x) < n1 {
+			return int32(n1) + e.V, e.W
+		}
+		return e.U, e.W
+	}
+
+	for _, vi := range order {
+		var toReassign []int32
+
+		// Claim the first eligible adjacent vertex (Lines 11-20).
+		claimed := int32(-1)
+		for _, ei := range adjOf(vi) {
+			vj, sim := otherEnd(vi, g.Edge(ei))
+			if sim <= t {
+				break // descending order: prefix exhausted
+			}
+			if s.isCenter[vj] {
+				continue
+			}
+			if sim > s.simWith[vj] {
+				if old := s.centerOf[vj]; old >= 0 && s.member[old] == vj {
+					s.member[old] = -1
+					toReassign = append(toReassign, old)
+				}
+				s.simWith[vj] = sim
+				s.centerOf[vj] = vi
+				claimed = vj
+				break
+			}
+		}
+
+		if claimed >= 0 {
+			// vi becomes a center (Lines 21-29); if it was a member
+			// elsewhere, its former center ripples.
+			if old := s.centerOf[vi]; old >= 0 && old != vi && s.member[old] == vi {
+				s.member[old] = -1
+				toReassign = append(toReassign, old)
+			}
+			s.isCenter[vi] = true
+			s.member[vi] = claimed
+			s.centerOf[vi] = vi
+			s.simWith[vi] = 1
+		}
+
+		// Ripple: re-place centers reduced to singletons (Lines 30-39).
+		for _, vk := range toReassign {
+			if s.clusterSize(vk) >= 2 {
+				continue // already re-filled by a later steal
+			}
+			maxSim := 0.0
+			cMax := int32(-1)
+			for _, ei := range adjOf(vk) {
+				vl, sim := otherEnd(vk, g.Edge(ei))
+				if sim <= t {
+					break
+				}
+				if sim > maxSim && s.clusterSize(vl) < 2 {
+					maxSim = sim
+					cMax = vl
+				}
+			}
+			if cMax < 0 {
+				continue
+			}
+			// vk joins vl's single-node cluster, forming the pair
+			// {vl, vk} with vl as its center.
+			s.isCenter[vk] = false
+			s.member[vk] = -1
+			s.isCenter[cMax] = true
+			s.centerOf[cMax] = cMax
+			s.member[cMax] = vk
+			s.centerOf[vk] = cMax
+			s.simWith[vk] = maxSim
+		}
+	}
+
+	var pairs []Pair
+	for x := int32(0); x < int32(n); x++ {
+		if !s.isCenter[x] || s.member[x] < 0 {
+			continue
+		}
+		m := s.member[x]
+		var u, v graph.NodeID
+		if int(x) < n1 {
+			u, v = x, m-int32(n1)
+		} else {
+			u, v = m, x-int32(n1)
+		}
+		if w, ok := g.Weight(u, v); ok && w > t {
+			pairs = append(pairs, Pair{U: u, V: v, W: w})
+		}
+	}
+	SortPairs(pairs)
+	return pairs
+}

@@ -1,0 +1,143 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Noise configures the perturbations applied to one side of a generated
+// dataset. Each field is a probability in [0,1]. The forms mirror the
+// noise the paper attributes to its real datasets: typos and token churn
+// in product titles, missing values in the movie datasets, and misplaced
+// attribute values ("the author of a publication is added in its title")
+// in the bibliographic ones.
+type Noise struct {
+	// Typo is the per-character probability of an edit (substitution,
+	// deletion, insertion or adjacent transposition).
+	Typo float64
+	// TokenDrop is the per-value probability of dropping one token.
+	TokenDrop float64
+	// TokenSwap is the per-value probability of swapping two adjacent
+	// tokens.
+	TokenSwap float64
+	// Abbrev is the per-value probability of abbreviating the first
+	// token to its initial.
+	Abbrev float64
+	// Missing is the per-attribute probability of clearing the value.
+	Missing float64
+	// Misplace is the per-profile probability of appending one
+	// attribute's value to another attribute and clearing the source.
+	Misplace float64
+}
+
+const typoAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+// typos applies per-character edits to s.
+func typos(rng *rand.Rand, s string, p float64) string {
+	if p <= 0 || s == "" {
+		return s
+	}
+	r := []rune(s)
+	out := make([]rune, 0, len(r)+2)
+	for i := 0; i < len(r); i++ {
+		if rng.Float64() >= p {
+			out = append(out, r[i])
+			continue
+		}
+		switch rng.Intn(4) {
+		case 0: // substitute
+			out = append(out, rune(typoAlphabet[rng.Intn(len(typoAlphabet))]))
+		case 1: // delete
+		case 2: // insert
+			out = append(out, rune(typoAlphabet[rng.Intn(len(typoAlphabet))]), r[i])
+		default: // transpose with next
+			if i+1 < len(r) {
+				out = append(out, r[i+1], r[i])
+				i++
+			} else {
+				out = append(out, r[i])
+			}
+		}
+	}
+	return string(out)
+}
+
+// dropToken removes one random token from a multi-token value.
+func dropToken(rng *rand.Rand, s string) string {
+	tokens := strings.Fields(s)
+	if len(tokens) < 2 {
+		return s
+	}
+	i := rng.Intn(len(tokens))
+	return strings.Join(append(tokens[:i], tokens[i+1:]...), " ")
+}
+
+// swapTokens exchanges two adjacent tokens.
+func swapTokens(rng *rand.Rand, s string) string {
+	tokens := strings.Fields(s)
+	if len(tokens) < 2 {
+		return s
+	}
+	i := rng.Intn(len(tokens) - 1)
+	tokens[i], tokens[i+1] = tokens[i+1], tokens[i]
+	return strings.Join(tokens, " ")
+}
+
+// abbreviate shortens the first token to its initial.
+func abbreviate(s string) string {
+	tokens := strings.Fields(s)
+	if len(tokens) < 2 || len(tokens[0]) < 2 {
+		return s
+	}
+	tokens[0] = tokens[0][:1] + "."
+	return strings.Join(tokens, " ")
+}
+
+// Apply perturbs a profile's attributes in place according to the noise
+// configuration. protected attributes are never cleared (used to keep the
+// uniqueness-bearing attribute of each domain intact).
+func (n Noise) Apply(rng *rand.Rand, attrs map[string]string, attrNames []string, protected map[string]bool) {
+	// Misplace first, so the moved text is subject to value noise too.
+	if n.Misplace > 0 && rng.Float64() < n.Misplace && len(attrNames) >= 2 {
+		from := attrNames[rng.Intn(len(attrNames))]
+		to := attrNames[rng.Intn(len(attrNames))]
+		if from != to && attrs[from] != "" && !protected[from] {
+			if attrs[to] == "" {
+				attrs[to] = attrs[from]
+			} else {
+				attrs[to] = attrs[to] + " " + attrs[from]
+			}
+			attrs[from] = ""
+		}
+	}
+	nonEmpty := 0
+	for _, a := range attrNames {
+		if attrs[a] != "" {
+			nonEmpty++
+		}
+	}
+	for _, a := range attrNames {
+		v := attrs[a]
+		if v == "" {
+			continue
+		}
+		// Never clear the last remaining value: every generated profile
+		// must keep at least one name-value pair.
+		if n.Missing > 0 && !protected[a] && nonEmpty > 1 && rng.Float64() < n.Missing {
+			attrs[a] = ""
+			nonEmpty--
+			continue
+		}
+		if n.TokenDrop > 0 && rng.Float64() < n.TokenDrop {
+			v = dropToken(rng, v)
+		}
+		if n.TokenSwap > 0 && rng.Float64() < n.TokenSwap {
+			v = swapTokens(rng, v)
+		}
+		if n.Abbrev > 0 && rng.Float64() < n.Abbrev {
+			v = abbreviate(v)
+		}
+		v = typos(rng, v, n.Typo)
+		attrs[a] = v
+	}
+}

@@ -1,0 +1,148 @@
+package datagen
+
+// Word pools for the synthetic domain generators. They are intentionally
+// large enough that combinatorial value generation rarely collides, and
+// themed per domain so that schema-agnostic similarity behaves like it
+// does on the paper's real datasets (shared vocabulary between matches,
+// sparse overlap between non-matches).
+
+var firstNames = []string{
+	"james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+	"linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+	"joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+	"lisa", "daniel", "nancy", "matthew", "betty", "anthony", "margaret",
+	"mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+	"emily", "andrew", "donna", "joshua", "michelle", "kenneth", "carol",
+	"kevin", "amanda", "brian", "dorothy", "george", "melissa", "timothy",
+	"deborah", "ronald", "stephanie", "edward", "rebecca", "jason", "sharon",
+	"jeffrey", "laura", "ryan", "cynthia",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+	"davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+	"wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+	"lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+	"ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+	"wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+	"adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+	"carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+	"parker", "cruz", "edwards", "collins", "reyes",
+}
+
+var cities = []string{
+	"new york", "los angeles", "chicago", "houston", "phoenix",
+	"philadelphia", "san antonio", "san diego", "dallas", "san jose",
+	"austin", "jacksonville", "fort worth", "columbus", "charlotte",
+	"san francisco", "indianapolis", "seattle", "denver", "boston",
+	"el paso", "nashville", "detroit", "portland", "memphis",
+	"oklahoma city", "las vegas", "louisville", "baltimore", "milwaukee",
+}
+
+var streets = []string{
+	"main st", "oak ave", "maple dr", "cedar ln", "park blvd", "elm st",
+	"washington ave", "lake rd", "hill st", "sunset blvd", "river rd",
+	"church st", "broadway", "market st", "highland ave", "union st",
+	"franklin ave", "spring st", "prospect ave", "grove st",
+}
+
+var cuisines = []string{
+	"italian", "french", "chinese", "mexican", "japanese", "thai",
+	"indian", "greek", "spanish", "korean", "vietnamese", "american",
+	"lebanese", "turkish", "ethiopian", "peruvian", "brazilian", "german",
+}
+
+var restaurantAdjectives = []string{
+	"golden", "silver", "royal", "grand", "little", "old", "blue",
+	"red", "green", "happy", "lucky", "cozy", "rustic", "urban",
+	"coastal", "sunny", "twin", "hidden", "wild", "gentle",
+}
+
+var restaurantNouns = []string{
+	"dragon", "garden", "palace", "kitchen", "table", "bistro", "grill",
+	"tavern", "house", "corner", "terrace", "harvest", "olive", "lantern",
+	"anchor", "spoon", "fork", "hearth", "orchard", "pepper",
+}
+
+var brands = []string{
+	"sony", "samsung", "panasonic", "canon", "nikon", "apple", "dell",
+	"lenovo", "asus", "acer", "philips", "bosch", "braun", "dyson",
+	"logitech", "garmin", "jbl", "epson", "brother", "toshiba",
+	"sharp", "whirlpool", "kenmore", "sandisk", "kingston", "netgear",
+	"linksys", "belkin", "olympus", "pioneer",
+}
+
+var productNouns = []string{
+	"camera", "laptop", "monitor", "printer", "router", "headphones",
+	"speaker", "keyboard", "mouse", "tablet", "phone", "television",
+	"microwave", "blender", "toaster", "vacuum", "drill", "charger",
+	"projector", "scanner", "refrigerator", "dishwasher", "smartwatch",
+	"drone", "webcam", "microphone", "amplifier", "turntable",
+}
+
+var productQualifiers = []string{
+	"wireless", "portable", "digital", "compact", "professional",
+	"ultra", "premium", "smart", "hd", "4k", "bluetooth", "rechargeable",
+	"stainless", "ergonomic", "gaming", "noise cancelling", "waterproof",
+	"dual band", "high speed", "energy efficient",
+}
+
+var colors = []string{
+	"black", "white", "silver", "gray", "blue", "red", "green", "gold",
+}
+
+var researchAdjectives = []string{
+	"efficient", "scalable", "adaptive", "distributed", "parallel",
+	"incremental", "robust", "approximate", "optimal", "unsupervised",
+	"probabilistic", "declarative", "interactive", "streaming", "secure",
+	"federated", "progressive", "holistic", "dynamic", "learned",
+}
+
+var researchNouns = []string{
+	"query processing", "entity resolution", "schema matching",
+	"data integration", "graph matching", "record linkage",
+	"index structures", "join algorithms", "data cleaning",
+	"similarity search", "transaction management", "view maintenance",
+	"query optimization", "data warehousing", "stream processing",
+	"knowledge graphs", "data provenance", "crowdsourcing",
+	"duplicate detection", "blocking techniques", "skyline queries",
+	"spatial indexing", "time series analysis", "text analytics",
+}
+
+var researchContexts = []string{
+	"relational databases", "large scale systems", "the web",
+	"sensor networks", "social networks", "cloud platforms",
+	"heterogeneous sources", "big data", "column stores",
+	"main memory systems", "distributed environments", "data lakes",
+	"graph databases", "key value stores", "mobile devices",
+}
+
+var venues = []string{
+	"sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "www", "pods",
+	"tods", "tkde", "pvldb", "icdt", "dasfaa", "ssdbm", "wsdm",
+}
+
+var movieAdjectives = []string{
+	"last", "dark", "silent", "broken", "eternal", "lost", "hidden",
+	"final", "distant", "burning", "frozen", "golden", "crimson",
+	"endless", "secret", "savage", "gentle", "midnight", "electric",
+	"forgotten",
+}
+
+var movieNouns = []string{
+	"kingdom", "horizon", "shadow", "river", "empire", "journey",
+	"promise", "storm", "garden", "echo", "harbor", "legacy", "summer",
+	"winter", "dream", "road", "island", "castle", "fire", "ocean",
+	"mountain", "city", "night", "dawn", "star",
+}
+
+var genres = []string{
+	"drama", "comedy", "thriller", "action", "romance", "documentary",
+	"horror", "science fiction", "animation", "crime", "adventure",
+	"fantasy", "mystery", "western", "musical",
+}
+
+var languages = []string{
+	"english", "french", "spanish", "german", "italian", "japanese",
+	"korean", "mandarin", "hindi", "portuguese",
+}

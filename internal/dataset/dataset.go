@@ -1,0 +1,227 @@
+// Package dataset defines the entity model of the Clean-Clean ER task: an
+// entity profile is a set of attribute-value pairs, a collection is a
+// duplicate-free list of profiles, and the ground truth lists the matching
+// profile pairs across two collections, exactly as in the paper's
+// preliminaries (Section 2).
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Profile is an entity profile: a description of a real-world object as
+// attribute-value pairs. Empty values are treated as missing attributes.
+type Profile struct {
+	// ID is an opaque identifier, unique within its collection.
+	ID string `json:"id"`
+	// Attrs maps attribute names to textual values.
+	Attrs map[string]string `json:"attrs"`
+}
+
+// Get returns the value of the attribute, or "" if missing.
+func (p Profile) Get(attr string) string { return p.Attrs[attr] }
+
+// AttrNames returns the profile's non-empty attribute names in sorted
+// order, for deterministic iteration.
+func (p Profile) AttrNames() []string {
+	names := make([]string, 0, len(p.Attrs))
+	for k, v := range p.Attrs {
+		if v != "" {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Values returns the profile's non-empty values ordered by attribute
+// name.
+func (p Profile) Values() []string {
+	names := p.AttrNames()
+	vals := make([]string, len(names))
+	for i, n := range names {
+		vals[i] = p.Attrs[n]
+	}
+	return vals
+}
+
+// Text returns the schema-agnostic representation of the profile: all
+// attribute values joined by spaces, in attribute-name order.
+func (p Profile) Text() string { return strings.Join(p.Values(), " ") }
+
+// NumPairs returns the number of name-value pairs (non-empty values),
+// the |NVP| statistic of the paper's Table 2.
+func (p Profile) NumPairs() int {
+	n := 0
+	for _, v := range p.Attrs {
+		if v != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Collection is a clean (duplicate-free) list of entity profiles.
+type Collection struct {
+	Name     string    `json:"name"`
+	Profiles []Profile `json:"profiles"`
+}
+
+// Len returns the number of profiles.
+func (c *Collection) Len() int { return len(c.Profiles) }
+
+// NumValuePairs returns the total number of name-value pairs, |NVP| of
+// Table 2.
+func (c *Collection) NumValuePairs() int {
+	n := 0
+	for _, p := range c.Profiles {
+		n += p.NumPairs()
+	}
+	return n
+}
+
+// AttrSet returns all attribute names that occur with a non-empty value.
+func (c *Collection) AttrSet() []string {
+	seen := map[string]bool{}
+	for _, p := range c.Profiles {
+		for k, v := range p.Attrs {
+			if v != "" {
+				seen[k] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for k := range seen {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AvgPairs returns the average number of name-value pairs per profile,
+// |p̄| of Table 2.
+func (c *Collection) AvgPairs() float64 {
+	if len(c.Profiles) == 0 {
+		return 0
+	}
+	return float64(c.NumValuePairs()) / float64(len(c.Profiles))
+}
+
+// Texts returns the schema-agnostic text of every profile.
+func (c *Collection) Texts() []string {
+	out := make([]string, len(c.Profiles))
+	for i, p := range c.Profiles {
+		out[i] = p.Text()
+	}
+	return out
+}
+
+// AttrTexts returns, for every profile, the concatenation of the given
+// attributes' values (the schema-based representation).
+func (c *Collection) AttrTexts(attrs ...string) []string {
+	out := make([]string, len(c.Profiles))
+	for i, p := range c.Profiles {
+		parts := make([]string, 0, len(attrs))
+		for _, a := range attrs {
+			if v := p.Get(a); v != "" {
+				parts = append(parts, v)
+			}
+		}
+		out[i] = strings.Join(parts, " ")
+	}
+	return out
+}
+
+// GroundTruth is the set of known matches between two collections, stored
+// as index pairs (i into collection 1, j into collection 2).
+type GroundTruth struct {
+	Pairs [][2]int32 `json:"pairs"`
+	set   map[int64]bool
+}
+
+// NewGroundTruth builds a ground truth from index pairs.
+func NewGroundTruth(pairs [][2]int32) *GroundTruth {
+	gt := &GroundTruth{Pairs: pairs}
+	gt.buildSet()
+	return gt
+}
+
+func (gt *GroundTruth) buildSet() {
+	gt.set = make(map[int64]bool, len(gt.Pairs))
+	for _, p := range gt.Pairs {
+		gt.set[int64(p[0])<<32|int64(uint32(p[1]))] = true
+	}
+}
+
+// Len returns the number of true matches, |D(V1∩V2)| of Table 2.
+func (gt *GroundTruth) Len() int { return len(gt.Pairs) }
+
+// IsMatch reports whether (i, j) is a true match.
+func (gt *GroundTruth) IsMatch(i, j int32) bool {
+	if gt.set == nil {
+		gt.buildSet()
+	}
+	return gt.set[int64(i)<<32|int64(uint32(j))]
+}
+
+// Validate checks the clean-clean property of the ground truth: each
+// entity participates in at most one match, and indexes are within range.
+func (gt *GroundTruth) Validate(n1, n2 int) error {
+	seen1 := make(map[int32]bool, len(gt.Pairs))
+	seen2 := make(map[int32]bool, len(gt.Pairs))
+	for _, p := range gt.Pairs {
+		if p[0] < 0 || int(p[0]) >= n1 || p[1] < 0 || int(p[1]) >= n2 {
+			return fmt.Errorf("dataset: ground truth pair %v out of range (%d,%d)", p, n1, n2)
+		}
+		if seen1[p[0]] {
+			return fmt.Errorf("dataset: entity %d of V1 matched twice in ground truth", p[0])
+		}
+		if seen2[p[1]] {
+			return fmt.Errorf("dataset: entity %d of V2 matched twice in ground truth", p[1])
+		}
+		seen1[p[0]], seen2[p[1]] = true, true
+	}
+	return nil
+}
+
+// Task bundles a full Clean-Clean ER input: two collections and the
+// ground truth between them.
+type Task struct {
+	Name string       `json:"name"`
+	V1   *Collection  `json:"v1"`
+	V2   *Collection  `json:"v2"`
+	GT   *GroundTruth `json:"gt"`
+}
+
+// Comparisons returns |V1|·|V2|, the brute-force comparison count of
+// Table 2.
+func (t *Task) Comparisons() int64 {
+	return int64(t.V1.Len()) * int64(t.V2.Len())
+}
+
+// WriteJSON serializes the task.
+func (t *Task) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// ReadTaskJSON deserializes a task written by WriteJSON.
+func ReadTaskJSON(r io.Reader) (*Task, error) {
+	var t Task
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("dataset: decoding task: %w", err)
+	}
+	if t.V1 == nil || t.V2 == nil || t.GT == nil {
+		return nil, fmt.Errorf("dataset: task is missing collections or ground truth")
+	}
+	t.GT.buildSet()
+	if err := t.GT.Validate(t.V1.Len(), t.V2.Len()); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

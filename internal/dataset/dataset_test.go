@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleProfile() Profile {
+	return Profile{
+		ID: "p1",
+		Attrs: map[string]string{
+			"title":   "efficient entity resolution",
+			"authors": "jane doe",
+			"year":    "2021",
+			"venue":   "", // missing
+		},
+	}
+}
+
+func TestProfileAccessors(t *testing.T) {
+	p := sampleProfile()
+	if p.Get("title") != "efficient entity resolution" {
+		t.Fatalf("Get(title) = %q", p.Get("title"))
+	}
+	if p.Get("nope") != "" {
+		t.Fatal("missing attribute should be empty")
+	}
+	names := p.AttrNames()
+	want := []string{"authors", "title", "year"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("AttrNames = %v, want %v", names, want)
+	}
+	if p.NumPairs() != 3 {
+		t.Fatalf("NumPairs = %d, want 3 (empty venue excluded)", p.NumPairs())
+	}
+	text := p.Text()
+	if !strings.Contains(text, "jane doe") || !strings.Contains(text, "2021") {
+		t.Fatalf("Text = %q", text)
+	}
+	// Values follow attribute-name order.
+	vals := p.Values()
+	if vals[0] != "jane doe" || vals[2] != "2021" {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func sampleCollection() *Collection {
+	return &Collection{
+		Name: "test",
+		Profiles: []Profile{
+			sampleProfile(),
+			{ID: "p2", Attrs: map[string]string{"title": "another paper"}},
+		},
+	}
+}
+
+func TestCollectionStats(t *testing.T) {
+	c := sampleCollection()
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.NumValuePairs() != 4 {
+		t.Fatalf("NumValuePairs = %d, want 4", c.NumValuePairs())
+	}
+	if got := c.AvgPairs(); got != 2 {
+		t.Fatalf("AvgPairs = %v, want 2", got)
+	}
+	attrs := c.AttrSet()
+	if !reflect.DeepEqual(attrs, []string{"authors", "title", "year"}) {
+		t.Fatalf("AttrSet = %v", attrs)
+	}
+	empty := &Collection{}
+	if empty.AvgPairs() != 0 {
+		t.Fatal("empty collection AvgPairs != 0")
+	}
+}
+
+func TestCollectionTexts(t *testing.T) {
+	c := sampleCollection()
+	texts := c.Texts()
+	if len(texts) != 2 || texts[1] != "another paper" {
+		t.Fatalf("Texts = %v", texts)
+	}
+	at := c.AttrTexts("title", "year")
+	if at[0] != "efficient entity resolution 2021" {
+		t.Fatalf("AttrTexts = %q", at[0])
+	}
+	if at[1] != "another paper" {
+		t.Fatalf("AttrTexts[1] = %q", at[1])
+	}
+}
+
+func TestGroundTruth(t *testing.T) {
+	gt := NewGroundTruth([][2]int32{{0, 1}, {2, 0}})
+	if gt.Len() != 2 {
+		t.Fatalf("Len = %d", gt.Len())
+	}
+	if !gt.IsMatch(0, 1) || !gt.IsMatch(2, 0) {
+		t.Fatal("IsMatch missed a pair")
+	}
+	if gt.IsMatch(1, 0) {
+		t.Fatal("IsMatch invented a pair")
+	}
+	if err := gt.Validate(3, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroundTruthValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		pairs  [][2]int32
+		n1, n2 int
+	}{
+		{"out of range i", [][2]int32{{5, 0}}, 3, 3},
+		{"out of range j", [][2]int32{{0, 5}}, 3, 3},
+		{"negative", [][2]int32{{-1, 0}}, 3, 3},
+		{"duplicate V1", [][2]int32{{0, 0}, {0, 1}}, 3, 3},
+		{"duplicate V2", [][2]int32{{0, 0}, {1, 0}}, 3, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := NewGroundTruth(tc.pairs).Validate(tc.n1, tc.n2); err == nil {
+				t.Fatal("invalid ground truth accepted")
+			}
+		})
+	}
+}
+
+func TestTaskJSONErrors(t *testing.T) {
+	if _, err := ReadTaskJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTaskJSON(strings.NewReader(`{"name":"x"}`)); err == nil {
+		t.Fatal("incomplete task accepted")
+	}
+	// Ground truth out of range must be rejected on read.
+	bad := `{"name":"x","v1":{"name":"a","profiles":[{"id":"1","attrs":{"a":"b"}}]},` +
+		`"v2":{"name":"b","profiles":[{"id":"2","attrs":{"a":"b"}}]},` +
+		`"gt":{"pairs":[[5,5]]}}`
+	if _, err := ReadTaskJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range ground truth accepted")
+	}
+}
+
+func TestTaskJSONRoundTripPreservesAttrs(t *testing.T) {
+	task := &Task{
+		Name: "t",
+		V1:   sampleCollection(),
+		V2:   sampleCollection(),
+		GT:   NewGroundTruth([][2]int32{{0, 0}}),
+	}
+	var buf bytes.Buffer
+	if err := task.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTaskJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.V1.Profiles[0].Get("authors") != "jane doe" {
+		t.Fatal("attribute lost in round trip")
+	}
+	if back.Comparisons() != 4 {
+		t.Fatalf("Comparisons = %d", back.Comparisons())
+	}
+	if !back.GT.IsMatch(0, 0) {
+		t.Fatal("ground truth set not rebuilt on read")
+	}
+}

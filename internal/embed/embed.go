@@ -1,0 +1,326 @@
+// Package embed provides deterministic synthetic stand-ins for the
+// pre-trained semantic representation models the paper uses — fastText
+// (character-level pre-trained embeddings) and ALBERT (transformer-based
+// contextual embeddings) — plus the three semantic similarity measures it
+// applies to them: cosine, Euclidean and (relaxed) Word Mover's
+// similarity.
+//
+// The substitution, recorded in DESIGN.md, keeps the code paths and the
+// behavioural properties that drive the paper's findings:
+//
+//   - FastTextLike composes a token vector as the sum of hashed character
+//     n-gram vectors (fastText's architecture with a random instead of a
+//     learned basis), so morphologically close tokens get close vectors
+//     and there are no out-of-vocabulary failures.
+//   - ContextualLike hashes (token, context-window) pairs, so the same
+//     token gets different vectors in different contexts, and adds a
+//     shared bias component that inflates all-pairs similarity — the
+//     property the paper identifies as the reason semantic weights
+//     degrade every matching algorithm, especially schema-agnostically.
+//
+// Everything is seeded and pure: the same text always embeds to the same
+// vector.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+
+	"github.com/ccer-go/ccer/internal/strsim"
+)
+
+// Model converts a text into a dense vector.
+type Model interface {
+	// Name identifies the model, e.g. "fasttext" or "albert".
+	Name() string
+	// Embed returns the dense vector of the text. Empty text yields a
+	// zero vector.
+	Embed(text string) []float64
+	// Dim returns the vector dimensionality.
+	Dim() int
+	// TokenVectors returns per-token vectors with TF weights, used by
+	// Word Mover's similarity.
+	TokenVectors(text string) ([][]float64, []float64)
+}
+
+// hashVec fills out with deterministic pseudo-random values in [-1,1]
+// derived from the seed string, using a splitmix64 stream.
+func hashVec(seed string, out []float64) {
+	h := fnv.New64a()
+	h.Write([]byte(seed))
+	x := h.Sum64()
+	for i := range out {
+		// splitmix64 step
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		out[i] = float64(z)/float64(math.MaxUint64)*2 - 1
+	}
+}
+
+func addScaled(dst, src []float64, s float64) {
+	for i := range dst {
+		dst[i] += src[i] * s
+	}
+}
+
+func normalize(v []float64) {
+	n := 0.0
+	for _, x := range v {
+		n += x * x
+	}
+	if n == 0 {
+		return
+	}
+	n = math.Sqrt(n)
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// FastTextLike is the fastText stand-in: token vector = normalized sum of
+// hashed character n-gram vectors (n = 3..5 plus the whole token), text
+// vector = normalized average of token vectors.
+type FastTextLike struct {
+	// Dimension of the vectors; if zero, 64 is used (the real model uses
+	// 300; lower dimensionality keeps experiments fast without changing
+	// relative behaviour).
+	Dimension int
+}
+
+// Name implements Model.
+func (FastTextLike) Name() string { return "fasttext" }
+
+// Dim implements Model.
+func (m FastTextLike) Dim() int {
+	if m.Dimension <= 0 {
+		return 64
+	}
+	return m.Dimension
+}
+
+func (m FastTextLike) tokenVec(token string, buf []float64) []float64 {
+	d := m.Dim()
+	v := make([]float64, d)
+	r := []rune("<" + token + ">")
+	count := 0
+	for n := 3; n <= 5; n++ {
+		for i := 0; i+n <= len(r); i++ {
+			hashVec(string(r[i:i+n]), buf)
+			addScaled(v, buf, 1)
+			count++
+		}
+	}
+	hashVec("<word>"+token, buf)
+	addScaled(v, buf, 1)
+	normalize(v)
+	return v
+}
+
+// TokenVectors implements Model.
+func (m FastTextLike) TokenVectors(text string) ([][]float64, []float64) {
+	tokens := strsim.Tokenize(text)
+	if len(tokens) == 0 {
+		return nil, nil
+	}
+	buf := make([]float64, m.Dim())
+	counts := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		counts[t]++
+	}
+	vecs := make([][]float64, 0, len(counts))
+	ws := make([]float64, 0, len(counts))
+	seen := make(map[string]bool, len(counts))
+	for _, t := range tokens {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		vecs = append(vecs, m.tokenVec(t, buf))
+		ws = append(ws, counts[t]/float64(len(tokens)))
+	}
+	return vecs, ws
+}
+
+// Embed implements Model.
+func (m FastTextLike) Embed(text string) []float64 {
+	vecs, ws := m.TokenVectors(text)
+	out := make([]float64, m.Dim())
+	for i, v := range vecs {
+		addScaled(out, v, ws[i])
+	}
+	normalize(out)
+	return out
+}
+
+// ContextualLike is the ALBERT stand-in: token vectors are hashed from
+// the token together with its neighbors (window 1), so homonyms in
+// different contexts receive different vectors; a shared bias vector is
+// mixed into every token, which raises the similarity of arbitrary pairs
+// the way the paper observes for transformer embeddings.
+type ContextualLike struct {
+	// Dimension of the vectors; if zero, 96 is used.
+	Dimension int
+	// Bias is the mixing weight of the shared component in [0,1); if
+	// zero, 0.55 is used.
+	Bias float64
+}
+
+// Name implements Model.
+func (ContextualLike) Name() string { return "albert" }
+
+// Dim implements Model.
+func (m ContextualLike) Dim() int {
+	if m.Dimension <= 0 {
+		return 96
+	}
+	return m.Dimension
+}
+
+func (m ContextualLike) bias() float64 {
+	if m.Bias <= 0 {
+		return 0.55
+	}
+	return m.Bias
+}
+
+// TokenVectors implements Model.
+func (m ContextualLike) TokenVectors(text string) ([][]float64, []float64) {
+	tokens := strsim.Tokenize(text)
+	if len(tokens) == 0 {
+		return nil, nil
+	}
+	d := m.Dim()
+	bias := make([]float64, d)
+	hashVec("<albert-shared-bias>", bias)
+	normalize(bias)
+	buf := make([]float64, d)
+	vecs := make([][]float64, len(tokens))
+	ws := make([]float64, len(tokens))
+	for i, t := range tokens {
+		prev, next := "<s>", "</s>"
+		if i > 0 {
+			prev = tokens[i-1]
+		}
+		if i < len(tokens)-1 {
+			next = tokens[i+1]
+		}
+		v := make([]float64, d)
+		hashVec(t, buf)
+		addScaled(v, buf, 1)
+		hashVec(prev+"|"+t+"|"+next, buf)
+		addScaled(v, buf, 0.5) // contextual component
+		normalize(v)
+		addScaled(v, bias, m.bias()/(1-m.bias()))
+		normalize(v)
+		vecs[i] = v
+		ws[i] = 1 / float64(len(tokens))
+	}
+	return vecs, ws
+}
+
+// Embed implements Model.
+func (m ContextualLike) Embed(text string) []float64 {
+	vecs, ws := m.TokenVectors(text)
+	out := make([]float64, m.Dim())
+	for i, v := range vecs {
+		addScaled(out, v, ws[i])
+	}
+	normalize(out)
+	return out
+}
+
+// CosineSim returns the cosine similarity of two embeddings mapped to
+// [0,1] via (1+cos)/2, so downstream graph weights satisfy the paper's
+// [0,1] assumption even before min-max normalization. Zero vectors yield
+// 0.
+func CosineSim(a, b []float64) float64 {
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return (1 + dot/math.Sqrt(na*nb)) / 2
+}
+
+// EuclideanSim returns 1/(1+d) for the Euclidean distance d, as defined
+// in the paper's Appendix.
+func EuclideanSim(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return 1 / (1 + math.Sqrt(s))
+}
+
+// WordMoversSim returns 1/(1+rwmd), where rwmd is the relaxed Word
+// Mover's distance: the maximum of the two directional greedy transport
+// costs (each token's mass moves to its nearest counterpart), a standard
+// lower bound of the exact WMD that preserves its ordering behaviour.
+func WordMoversSim(m Model, textA, textB string) float64 {
+	va, wa := m.TokenVectors(textA)
+	vb, wb := m.TokenVectors(textB)
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	d := math.Max(directionalWMD(va, wa, vb), directionalWMD(vb, wb, va))
+	return 1 / (1 + d)
+}
+
+func directionalWMD(from [][]float64, w []float64, to [][]float64) float64 {
+	total := 0.0
+	for i, v := range from {
+		best := math.Inf(1)
+		for _, u := range to {
+			s := 0.0
+			for k := range v {
+				dd := v[k] - u[k]
+				s += dd * dd
+			}
+			if s < best {
+				best = s
+			}
+		}
+		total += w[i] * math.Sqrt(best)
+	}
+	return total
+}
+
+// Measure names for the semantic similarities (Appendix B, category 4).
+const (
+	MeasureCosine     = "Cosine"
+	MeasureEuclidean  = "Euclidean"
+	MeasureWordMovers = "WordMovers"
+)
+
+// Measures returns the three semantic measure names in a stable order.
+func Measures() []string {
+	return []string{MeasureCosine, MeasureEuclidean, MeasureWordMovers}
+}
+
+// Models returns the two semantic representation models the paper uses.
+func Models() []Model {
+	return []Model{FastTextLike{}, ContextualLike{}}
+}
+
+// Sim computes the named semantic measure between two texts under the
+// model. It panics on an unknown measure name.
+func Sim(m Model, measure, textA, textB string) float64 {
+	switch measure {
+	case MeasureCosine:
+		return CosineSim(m.Embed(textA), m.Embed(textB))
+	case MeasureEuclidean:
+		return EuclideanSim(m.Embed(textA), m.Embed(textB))
+	case MeasureWordMovers:
+		return WordMoversSim(m, textA, textB)
+	default:
+		panic("embed: unknown measure " + measure)
+	}
+}

@@ -1,0 +1,180 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, m := range Models() {
+		a := m.Embed("entity resolution with graphs")
+		b := m.Embed("entity resolution with graphs")
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: embedding not deterministic at dim %d", m.Name(), i)
+			}
+		}
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	if d := (FastTextLike{}).Dim(); d != 64 {
+		t.Fatalf("fasttext default dim = %d, want 64", d)
+	}
+	if d := (ContextualLike{}).Dim(); d != 96 {
+		t.Fatalf("albert default dim = %d, want 96", d)
+	}
+	if d := (FastTextLike{Dimension: 32}).Dim(); d != 32 {
+		t.Fatalf("custom dim = %d, want 32", d)
+	}
+	for _, m := range Models() {
+		if got := len(m.Embed("hello world")); got != m.Dim() {
+			t.Fatalf("%s: vector len %d != Dim %d", m.Name(), got, m.Dim())
+		}
+	}
+}
+
+func TestEmptyText(t *testing.T) {
+	for _, m := range Models() {
+		v := m.Embed("")
+		for _, x := range v {
+			if x != 0 {
+				t.Fatalf("%s: empty text embedding is non-zero", m.Name())
+			}
+		}
+		vecs, ws := m.TokenVectors("")
+		if vecs != nil || ws != nil {
+			t.Fatalf("%s: empty text produced token vectors", m.Name())
+		}
+		for _, meas := range Measures() {
+			if s := Sim(m, meas, "", "something"); s != 0 && meas != MeasureEuclidean {
+				t.Fatalf("%s/%s with empty text = %v, want 0", m.Name(), meas, s)
+			}
+		}
+	}
+}
+
+func TestIdenticalTextsScoreHighest(t *testing.T) {
+	texts := []string{
+		"apple iphone 12 silver 128gb",
+		"samsung galaxy s21 black",
+		"introduction to database systems",
+	}
+	for _, m := range Models() {
+		for _, meas := range Measures() {
+			for _, a := range texts {
+				self := Sim(m, meas, a, a)
+				if math.Abs(self-1) > 1e-9 {
+					t.Fatalf("%s/%s self-sim(%q) = %v, want 1", m.Name(), meas, a, self)
+				}
+				for _, b := range texts {
+					if a == b {
+						continue
+					}
+					if s := Sim(m, meas, a, b); s >= self {
+						t.Fatalf("%s/%s: cross sim %v >= self sim %v", m.Name(), meas, s, self)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Morphologically close tokens must embed closer than unrelated tokens
+// under the char-n-gram model (fastText's core property).
+func TestFastTextMorphologicalCloseness(t *testing.T) {
+	m := FastTextLike{}
+	base := m.Embed("resolution")
+	typo := m.Embed("resoluton")
+	other := m.Embed("zebra")
+	if CosineSim(base, typo) <= CosineSim(base, other) {
+		t.Fatalf("typo sim %v <= unrelated sim %v",
+			CosineSim(base, typo), CosineSim(base, other))
+	}
+}
+
+// The ALBERT stand-in must assign different vectors to the same token in
+// different contexts.
+func TestContextualHomonyms(t *testing.T) {
+	m := ContextualLike{}
+	river := m.Embed("river bank water")
+	money := m.Embed("money bank account")
+	if CosineSim(river, money) >= 1-1e-9 {
+		t.Fatal("contextual model ignored context")
+	}
+}
+
+// The shared bias must inflate the average pairwise similarity of the
+// contextual model above the fastText-like model — the paper's stated
+// reason semantic weights hurt all matching algorithms.
+func TestContextualBiasInflatesSimilarity(t *testing.T) {
+	texts := []string{
+		"apple iphone silver", "garden hose reel", "graph matching paper",
+		"chocolate cake recipe", "linux kernel module",
+	}
+	avg := func(m Model) float64 {
+		s, n := 0.0, 0
+		for i := range texts {
+			for j := i + 1; j < len(texts); j++ {
+				s += CosineSim(m.Embed(texts[i]), m.Embed(texts[j]))
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	ft, al := avg(FastTextLike{}), avg(ContextualLike{})
+	if al <= ft {
+		t.Fatalf("contextual avg sim %v <= fasttext avg sim %v", al, ft)
+	}
+	if al < 0.6 {
+		t.Fatalf("contextual avg sim %v, want inflated (>= 0.6)", al)
+	}
+}
+
+func TestWordMoversOrdering(t *testing.T) {
+	m := FastTextLike{}
+	near := WordMoversSim(m, "green apple pie", "green apple tart")
+	far := WordMoversSim(m, "green apple pie", "quantum flux generator")
+	if near <= far {
+		t.Fatalf("WMS near %v <= far %v", near, far)
+	}
+	if self := WordMoversSim(m, "a b c", "a b c"); math.Abs(self-1) > 1e-9 {
+		t.Fatalf("WMS self = %v, want 1", self)
+	}
+}
+
+// All measures stay in [0,1] on arbitrary token soup.
+func TestPropertySemanticRange(t *testing.T) {
+	words := []string{"red", "apple", "pie", "york", "bank", "x9", "flux"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() string {
+			n := rng.Intn(5) + 1
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = words[rng.Intn(len(words))]
+			}
+			return strings.Join(parts, " ")
+		}
+		a, b := gen(), gen()
+		for _, m := range Models() {
+			for _, meas := range Measures() {
+				s := Sim(m, meas, a, b)
+				if s < 0 || s > 1+1e-9 || math.IsNaN(s) {
+					return false
+				}
+				// Symmetry.
+				if math.Abs(s-Sim(m, meas, b, a)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package eval implements the paper's evaluation methodology (Section 5):
+// precision, recall and F-measure of a bipartite matching against the
+// ground truth; the similarity-threshold sweep from 0.05 to 1.00 in steps
+// of 0.05, selecting the largest threshold that achieves the best
+// F-measure; and run-time measurement averaged over repeated executions.
+package eval
+
+import (
+	"time"
+
+	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/dataset"
+	"github.com/ccer-go/ccer/internal/graph"
+)
+
+// Metrics are the paper's three effectiveness measures. Precision is the
+// portion of output pairs that are true matches; recall the portion of
+// true matches that are output; F1 their harmonic mean.
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Evaluate scores a matching against the ground truth. An empty output
+// has zero precision by convention (the paper's clustering evaluation
+// counts two-entity partitions only).
+func Evaluate(pairs []core.Pair, gt *dataset.GroundTruth) Metrics {
+	if gt.Len() == 0 {
+		return Metrics{}
+	}
+	correct := 0
+	for _, p := range pairs {
+		if gt.IsMatch(p.U, p.V) {
+			correct++
+		}
+	}
+	var m Metrics
+	if len(pairs) > 0 {
+		m.Precision = float64(correct) / float64(len(pairs))
+	}
+	m.Recall = float64(correct) / float64(gt.Len())
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// Thresholds returns the paper's sweep grid: 0.05 to 1.00 in steps of
+// 0.05.
+func Thresholds() []float64 {
+	out := make([]float64, 0, 20)
+	for i := 1; i <= 20; i++ {
+		out = append(out, float64(i)*0.05)
+	}
+	return out
+}
+
+// ThresholdPoint is the outcome of one sweep step.
+type ThresholdPoint struct {
+	T       float64
+	Metrics Metrics
+	Runtime time.Duration
+}
+
+// SweepResult is the outcome of tuning one algorithm on one similarity
+// graph.
+type SweepResult struct {
+	Algorithm string
+	// BestT is the largest threshold achieving the maximum F1, the
+	// paper's optimal-threshold rule.
+	BestT float64
+	// Best holds the metrics at BestT.
+	Best Metrics
+	// Runtime is the mean run-time at BestT over the configured repeats.
+	Runtime time.Duration
+	// Points holds every sweep step in threshold order.
+	Points []ThresholdPoint
+}
+
+// Sweep runs the matcher across the threshold grid and applies the
+// paper's selection rule. repeats controls how many times the matching at
+// each threshold is timed (the paper uses 10 for its run-time tables);
+// values below 1 are treated as 1.
+func Sweep(g *graph.Bipartite, gt *dataset.GroundTruth, m core.Matcher, repeats int) SweepResult {
+	if repeats < 1 {
+		repeats = 1
+	}
+	res := SweepResult{Algorithm: m.Name(), BestT: -1}
+	for _, t := range Thresholds() {
+		var pairs []core.Pair
+		start := time.Now()
+		for r := 0; r < repeats; r++ {
+			pairs = m.Match(g, t)
+		}
+		elapsed := time.Since(start) / time.Duration(repeats)
+		pt := ThresholdPoint{T: t, Metrics: Evaluate(pairs, gt), Runtime: elapsed}
+		res.Points = append(res.Points, pt)
+		// Largest threshold with the highest F1: >= keeps later (larger)
+		// thresholds on ties.
+		if res.BestT < 0 || pt.Metrics.F1 >= res.Best.F1 {
+			res.BestT = pt.T
+			res.Best = pt.Metrics
+			res.Runtime = pt.Runtime
+		}
+	}
+	return res
+}
+
+// SweepAll tunes every matcher on the graph and returns results in
+// matcher order.
+func SweepAll(g *graph.Bipartite, gt *dataset.GroundTruth, matchers []core.Matcher, repeats int) []SweepResult {
+	out := make([]SweepResult, len(matchers))
+	for i, m := range matchers {
+		out[i] = Sweep(g, gt, m, repeats)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package eval
+
+// TopStats holds the paper's Table 5 effectiveness measures for one set
+// of similarity graphs: for each algorithm, how often it achieves the
+// highest F1 (#Top1), how often the second highest (#Top2), and the
+// average margin Δ (in percentage points of F1) over the runner-up when
+// it is the top performer. Ties increment the counters of every algorithm
+// involved, as in the paper.
+type TopStats struct {
+	Top1  []int
+	Top2  []int
+	Delta []float64 // mean (best - second) * 100 over the graphs where the algorithm is top
+}
+
+// TopCounts computes TopStats from an F1 matrix with one row per
+// similarity graph and one column per algorithm.
+func TopCounts(f1 [][]float64) TopStats {
+	if len(f1) == 0 {
+		return TopStats{}
+	}
+	k := len(f1[0])
+	ts := TopStats{
+		Top1:  make([]int, k),
+		Top2:  make([]int, k),
+		Delta: make([]float64, k),
+	}
+	topTimes := make([]int, k)
+	for _, row := range f1 {
+		best, second := bestTwoDistinct(row)
+		for j, v := range row {
+			switch v {
+			case best:
+				ts.Top1[j]++
+				topTimes[j]++
+				if second >= 0 {
+					ts.Delta[j] += (best - second) * 100
+				}
+			case second:
+				ts.Top2[j]++
+			}
+		}
+	}
+	for j := range ts.Delta {
+		if topTimes[j] > 0 {
+			ts.Delta[j] /= float64(topTimes[j])
+		}
+	}
+	return ts
+}
+
+// bestTwoDistinct returns the highest value and the highest strictly
+// smaller value of the row, or -1 if all values are equal.
+func bestTwoDistinct(row []float64) (best, second float64) {
+	best, second = row[0], -1
+	for _, v := range row[1:] {
+		if v > best {
+			second = best
+			best = v
+		} else if v < best && v > second {
+			second = v
+		}
+	}
+	return best, second
+}

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/datagen"
+	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/simgraph"
+)
+
+func TestEstimateThresholdBimodal(t *testing.T) {
+	// Matches near 0.85, noise near 0.25: the estimate must land in the
+	// valley between the two modes.
+	rng := rand.New(rand.NewSource(1))
+	b := graph.NewBuilder(50, 50)
+	for i := 0; i < 50; i++ {
+		b.Add(int32(i), int32(i), 0.8+0.1*rng.Float64())
+	}
+	for k := 0; k < 300; k++ {
+		b.Add(int32(rng.Intn(50)), int32(rng.Intn(50)), 0.2+0.1*rng.Float64())
+	}
+	g := b.MustBuild()
+	est := EstimateThreshold(g)
+	if est <= 0.30 || est > 0.80 {
+		t.Fatalf("estimate %v not in the valley (0.30, 0.80]", est)
+	}
+	// At the estimated threshold, UMC recovers the planted matching.
+	pairs := core.UMC{}.Match(g, est)
+	if len(pairs) != 50 {
+		t.Fatalf("UMC at estimated threshold found %d pairs, want 50", len(pairs))
+	}
+}
+
+func TestEstimateThresholdEdgeCases(t *testing.T) {
+	empty := graph.NewBuilder(3, 3).MustBuild()
+	if est := EstimateThreshold(empty); est != 0.5 {
+		t.Fatalf("empty graph estimate = %v", est)
+	}
+	// Uniform weights: falls back to the density rule, stays on grid.
+	rng := rand.New(rand.NewSource(2))
+	b := graph.NewBuilder(20, 20)
+	for i := 0; i < 200; i++ {
+		b.Add(int32(rng.Intn(20)), int32(rng.Intn(20)), rng.Float64())
+	}
+	est := EstimateThreshold(b.MustBuild())
+	if est < 0.05 || est > 0.95 {
+		t.Fatalf("estimate %v out of range", est)
+	}
+	if r := math.Mod(est/0.05, 1); r > 1e-9 && r < 1-1e-9 {
+		t.Fatalf("estimate %v not on the 0.05 grid", est)
+	}
+}
+
+// On generated similarity graphs, matching at the estimated threshold
+// must recover most of the F1 available at the swept optimum — the
+// practical use of the Table 8 analysis.
+func TestEstimateThresholdVsSweptOptimum(t *testing.T) {
+	spec, err := datagen.SpecByID("D2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := spec.Generate(9, 0.03)
+	graphs := simgraph.Generate(task, spec.KeyAttrs, simgraph.Options{
+		Families: []simgraph.Family{simgraph.SASyn},
+	})
+	if len(graphs) == 0 {
+		t.Fatal("no graphs")
+	}
+	total, recovered := 0.0, 0.0
+	for _, sg := range graphs {
+		best := Sweep(sg.G, task.GT, core.UMC{}, 1).Best.F1
+		est := EstimateThreshold(sg.G)
+		got := Evaluate(core.UMC{}.Match(sg.G, est), task.GT).F1
+		total += best
+		recovered += got
+	}
+	if recovered < 0.75*total {
+		t.Fatalf("estimated thresholds recover %.1f%% of swept F1, want >= 75%%",
+			100*recovered/total)
+	}
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/eval"
+)
+
+// AblationThresholdData compares three threshold-selection policies per
+// algorithm: the paper's swept oracle (largest t with max F1, requiring
+// ground truth), the unsupervised estimate of eval.EstimateThreshold,
+// and a fixed t=0.5.
+type AblationThresholdData struct {
+	Algorithms []string
+	// MeanF1[policy][alg]: policy 0 = swept oracle, 1 = estimated,
+	// 2 = fixed 0.5.
+	MeanF1 [3][]float64
+}
+
+// PolicyNames labels the threshold policies of AblationThreshold.
+var PolicyNames = [3]string{"swept oracle", "estimated (no labels)", "fixed t=0.5"}
+
+// AblationThreshold quantifies how much of the oracle-tuned F1 survives
+// without ground-truth tuning — the ablation of the paper's threshold
+// selection rule called out in DESIGN.md.
+func (c *Corpus) AblationThreshold() (AblationThresholdData, Table) {
+	algs := c.Algorithms()
+	k := len(algs)
+	d := AblationThresholdData{Algorithms: algs}
+	for p := range d.MeanF1 {
+		d.MeanF1[p] = make([]float64, k)
+	}
+	if len(c.Graphs) == 0 {
+		return d, Table{Title: "Ablation: threshold selection (empty corpus)"}
+	}
+	matchers := c.Config.Matchers()
+	for _, gr := range c.Graphs {
+		est := eval.EstimateThreshold(gr.Graph.G)
+		gt := c.Tasks[gr.Graph.Dataset].GT
+		for i, m := range matchers {
+			d.MeanF1[0][i] += gr.Results[i].Best.F1
+			d.MeanF1[1][i] += eval.Evaluate(m.Match(gr.Graph.G, est), gt).F1
+			d.MeanF1[2][i] += eval.Evaluate(m.Match(gr.Graph.G, 0.5), gt).F1
+		}
+	}
+	n := float64(len(c.Graphs))
+	for p := range d.MeanF1 {
+		for i := range d.MeanF1[p] {
+			d.MeanF1[p][i] /= n
+		}
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("Ablation: threshold selection policies, mean F1 over %d graphs",
+			len(c.Graphs)),
+		Header: []string{"", PolicyNames[0], PolicyNames[1], PolicyNames[2], "est/oracle"},
+	}
+	for i, alg := range algs {
+		ratio := 0.0
+		if d.MeanF1[0][i] > 0 {
+			ratio = d.MeanF1[1][i] / d.MeanF1[0][i]
+		}
+		t.Rows = append(t.Rows, []string{alg,
+			f3(d.MeanF1[0][i]), f3(d.MeanF1[1][i]), f3(d.MeanF1[2][i]), f2(ratio)})
+	}
+	return d, t
+}
+
+// AblationBMCBasisData compares BMC's basis choices on effectiveness.
+type AblationBMCBasisData struct {
+	// MeanF1 per basis: 0 = V1, 1 = V2, 2 = auto (best of both, as the
+	// paper tunes it).
+	MeanF1 [3]float64
+}
+
+// AblationBMCBasis measures how much the paper's per-dataset basis
+// tuning buys BMC over fixing either side.
+func (c *Corpus) AblationBMCBasis() (AblationBMCBasisData, Table) {
+	var d AblationBMCBasisData
+	if len(c.Graphs) == 0 {
+		return d, Table{Title: "Ablation: BMC basis (empty corpus)"}
+	}
+	names := [3]string{"BasisV1", "BasisV2", "BasisAuto"}
+	matchers := [3]core.Matcher{
+		core.BMC{Basis: core.BasisV1},
+		core.BMC{Basis: core.BasisV2},
+		core.BMC{Basis: core.BasisAuto},
+	}
+	for _, gr := range c.Graphs {
+		gt := c.Tasks[gr.Graph.Dataset].GT
+		for bi, m := range matchers {
+			d.MeanF1[bi] += eval.Sweep(gr.Graph.G, gt, m, 1).Best.F1
+		}
+	}
+	n := float64(len(c.Graphs))
+	for i := range d.MeanF1 {
+		d.MeanF1[i] /= n
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Ablation: BMC basis side, mean tuned F1 over %d graphs", len(c.Graphs)),
+		Header: []string{"basis", "mean F1"},
+	}
+	for bi, name := range names {
+		t.Rows = append(t.Rows, []string{name, f3(d.MeanF1[bi])})
+	}
+	return d, t
+}

@@ -1,0 +1,197 @@
+package exp
+
+// Fidelity tests: assert that the paper's robust qualitative findings
+// (Section 6 and the conclusions) hold on the reproduced corpus. These
+// test the *shape* of the results — rankings and relations — not absolute
+// numbers, which depend on the synthetic data and the host machine.
+
+import (
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/simgraph"
+)
+
+func rankOf(t *testing.T, d NemenyiData, c *Corpus, alg string) int {
+	t.Helper()
+	for pos, idx := range d.Order {
+		if c.Algorithms()[idx] == alg {
+			return pos + 1
+		}
+	}
+	t.Fatalf("algorithm %s not ranked", alg)
+	return 0
+}
+
+// The paper's Figure 2: KRC, UMC, EXC and BMC rank first on F-measure;
+// CNC, RCA, BAH and RSR form the trailing group.
+func TestFidelityF1Ranking(t *testing.T) {
+	c := sharedCorpus(t)
+	d, _, err := c.Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, top := range []string{"KRC", "UMC"} {
+		if r := rankOf(t, d, c, top); r > 4 {
+			t.Errorf("%s ranks %d on F1, paper puts it in the top group", top, r)
+		}
+	}
+	trailing := 0
+	for _, low := range []string{"CNC", "RCA", "BAH", "RSR"} {
+		if r := rankOf(t, d, c, low); r >= 5 {
+			trailing++
+		}
+	}
+	if trailing < 3 {
+		t.Errorf("only %d of CNC/RCA/BAH/RSR rank in the bottom four", trailing)
+	}
+	// The Friedman test must reject the no-difference hypothesis, as in
+	// the paper.
+	if d.Friedman.PValue > 0.05 {
+		t.Errorf("Friedman p = %v, paper rejects at 0.05", d.Friedman.PValue)
+	}
+}
+
+// Table 4: CNC is the most precise and least complete algorithm, and UMC
+// balances precision and recall better than CNC.
+func TestFidelityPrecisionRecallShape(t *testing.T) {
+	c := sharedCorpus(t)
+	d, _ := c.Table4()
+	idx := map[string]int{}
+	for i, a := range d.Algorithms {
+		idx[a] = i
+	}
+	cnc, umc := idx["CNC"], idx["UMC"]
+	for a, i := range idx {
+		if a == "CNC" {
+			continue
+		}
+		if d.PrecMean[cnc] < d.PrecMean[i]-1e-9 {
+			t.Errorf("CNC precision %.3f below %s's %.3f", d.PrecMean[cnc], a, d.PrecMean[i])
+		}
+	}
+	for a, i := range idx {
+		if a == "CNC" || a == "BAH" { // BAH is stochastic; the paper also finds it erratic
+			continue
+		}
+		if d.RecMean[cnc] > d.RecMean[i]+1e-9 {
+			t.Errorf("CNC recall %.3f above %s's %.3f", d.RecMean[cnc], a, d.RecMean[i])
+		}
+	}
+	gap := func(i int) float64 { return abs(d.PrecMean[i] - d.RecMean[i]) }
+	if gap(umc) > gap(cnc) {
+		t.Errorf("UMC P/R gap %.3f exceeds CNC's %.3f; paper finds UMC the most balanced",
+			gap(umc), gap(cnc))
+	}
+}
+
+// The precision-based Nemenyi ranking puts CNC first, as in Figure 7.
+func TestFidelityPrecisionRanking(t *testing.T) {
+	c := sharedCorpus(t)
+	d, _, err := c.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rankOf(t, d, c, "CNC"); r > 2 {
+		t.Errorf("CNC ranks %d on precision, paper puts it first", r)
+	}
+}
+
+// The recall-based ranking puts UMC and KRC first, as in Figure 8.
+func TestFidelityRecallRanking(t *testing.T) {
+	c := sharedCorpus(t)
+	d, _, err := c.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rU := rankOf(t, d, c, "UMC"); rU > 3 {
+		t.Errorf("UMC ranks %d on recall, paper puts it first", rU)
+	}
+	if rK := rankOf(t, d, c, "KRC"); rK > 3 {
+		t.Errorf("KRC ranks %d on recall, paper puts it second", rK)
+	}
+	if rC := rankOf(t, d, c, "CNC"); rC < 6 {
+		t.Errorf("CNC ranks %d on recall, paper puts it last", rC)
+	}
+}
+
+// Table 8: CNC and RSR use the highest similarity thresholds over
+// syntactic weights (which also explains CNC's speed, per QT(2)).
+func TestFidelityThresholdOrdering(t *testing.T) {
+	c := sharedCorpus(t)
+	d, _ := c.Table8()
+	idx := map[string]int{}
+	for i, a := range c.Algorithms() {
+		idx[a] = i
+	}
+	for _, fam := range []simgraph.Family{simgraph.SBSyn, simgraph.SASyn} {
+		desc, ok := d.Desc[fam]
+		if !ok {
+			continue
+		}
+		for _, low := range []string{"KRC", "UMC", "EXC"} {
+			if desc[idx["CNC"]].Mean < desc[idx[low]].Mean-1e-9 {
+				t.Errorf("%s: CNC mean threshold %.3f below %s's %.3f",
+					fam, desc[idx["CNC"]].Mean, low, desc[idx[low]].Mean)
+			}
+			if desc[idx["RSR"]].Mean < desc[idx[low]].Mean-0.05 {
+				t.Errorf("%s: RSR mean threshold %.3f clearly below %s's %.3f",
+					fam, desc[idx["RSR"]].Mean, low, desc[idx[low]].Mean)
+			}
+		}
+	}
+}
+
+// Figure 9: optimal thresholds correlate strongly across algorithms —
+// the threshold depends more on the input than on the algorithm.
+func TestFidelityThresholdCorrelation(t *testing.T) {
+	c := sharedCorpus(t)
+	d, _ := c.Fig9()
+	corr, ok := d.Corr[simgraph.SASyn]
+	if !ok {
+		t.Skip("no SA-SYN graphs in corpus")
+	}
+	sum, n := 0.0, 0
+	for i := range corr {
+		for j := range corr[i] {
+			if i == j {
+				continue
+			}
+			sum += corr[i][j]
+			n++
+		}
+	}
+	if avg := sum / float64(n); avg < 0.5 {
+		t.Errorf("mean off-diagonal threshold correlation %.2f, paper reports >0.8", avg)
+	}
+}
+
+// QT(1): BAH is by far the slowest algorithm; CNC is among the fastest.
+func TestFidelityRuntimeShape(t *testing.T) {
+	c := sharedCorpus(t)
+	totals := make([]float64, len(c.Algorithms()))
+	for _, gr := range c.Graphs {
+		for i, r := range gr.Results {
+			totals[i] += float64(r.Runtime)
+		}
+	}
+	idx := map[string]int{}
+	for i, a := range c.Algorithms() {
+		idx[a] = i
+	}
+	// Timing at this scale is microsecond-level and noisy, so the
+	// assertions are ratio-based rather than strict orderings.
+	for a, i := range idx {
+		if a == "BAH" {
+			continue
+		}
+		if totals[idx["BAH"]] < 2*totals[i] {
+			t.Errorf("BAH total runtime not clearly above %s's; paper finds BAH slowest by far", a)
+		}
+	}
+	if totals[idx["CNC"]] > 2*totals[idx["KRC"]] {
+		t.Errorf("CNC much slower than KRC overall; paper finds CNC fastest, KRC slowest of the rest")
+	}
+	if totals[idx["CNC"]] > 2*totals[idx["RSR"]] {
+		t.Errorf("CNC much slower than RSR; paper finds CNC faster")
+	}
+}

@@ -1,0 +1,373 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ccer-go/ccer/internal/simgraph"
+	"github.com/ccer-go/ccer/internal/stats"
+)
+
+// NemenyiData holds a critical-difference analysis: the Friedman test and
+// the Nemenyi critical distance over the corpus.
+type NemenyiData struct {
+	Metric   string // "F1", "Precision" or "Recall"
+	Friedman stats.FriedmanResult
+	CD       float64
+	// Order lists algorithm indexes by ascending mean rank (best
+	// first).
+	Order []int
+}
+
+// nemenyi runs the Friedman + Nemenyi analysis on one effectiveness
+// metric across every corpus graph.
+func (c *Corpus) nemenyi(metric string) (NemenyiData, Table, error) {
+	var matrix [][]float64
+	for _, gr := range c.Graphs {
+		row := make([]float64, len(gr.Results))
+		for i, r := range gr.Results {
+			switch metric {
+			case "Precision":
+				row[i] = r.Best.Precision
+			case "Recall":
+				row[i] = r.Best.Recall
+			default:
+				row[i] = r.Best.F1
+			}
+		}
+		matrix = append(matrix, row)
+	}
+	fr, err := stats.Friedman(matrix)
+	if err != nil {
+		return NemenyiData{}, Table{}, err
+	}
+	cd, err := stats.NemenyiCD(fr.K, fr.N)
+	if err != nil {
+		return NemenyiData{}, Table{}, err
+	}
+	d := NemenyiData{Metric: metric, Friedman: fr, CD: cd}
+	d.Order = make([]int, fr.K)
+	for i := range d.Order {
+		d.Order[i] = i
+	}
+	sort.Slice(d.Order, func(a, b int) bool {
+		return fr.MeanRanks[d.Order[a]] < fr.MeanRanks[d.Order[b]]
+	})
+
+	t := Table{
+		Title: fmt.Sprintf("Nemenyi diagram data (%s): N=%d graphs, Friedman χ²=%.1f (p=%.2g), CD=%.3f",
+			metric, fr.N, fr.ChiSq, fr.PValue, cd),
+		Header: []string{"rank", "algorithm", "mean rank", "sig. vs next"},
+	}
+	algs := c.Algorithms()
+	for pos, idx := range d.Order {
+		sig := "-"
+		if pos+1 < len(d.Order) {
+			gap := fr.MeanRanks[d.Order[pos+1]] - fr.MeanRanks[idx]
+			if gap > cd {
+				sig = "yes"
+			} else {
+				sig = "no"
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(pos + 1), algs[idx], f2(fr.MeanRanks[idx]), sig})
+	}
+	return d, t, nil
+}
+
+// Fig2 runs the critical-difference analysis on F-measure (the paper's
+// Figure 2).
+func (c *Corpus) Fig2() (NemenyiData, Table, error) { return c.nemenyi("F1") }
+
+// Fig7 runs the analysis on precision (appendix Figure 7).
+func (c *Corpus) Fig7() (NemenyiData, Table, error) { return c.nemenyi("Precision") }
+
+// Fig8 runs the analysis on recall (appendix Figure 8).
+func (c *Corpus) Fig8() (NemenyiData, Table, error) { return c.nemenyi("Recall") }
+
+// Fig3Data summarizes the effectiveness distributions per weight family,
+// the quartile view behind the paper's Figure 3 box plots.
+type Fig3Data struct {
+	// Desc[family][metric][alg]: metric 0=Precision, 1=Recall, 2=F1.
+	Desc map[simgraph.Family][3][]stats.Descriptive
+}
+
+// Fig3 reports the distribution of precision, recall and F1 per weight
+// family (Figure 3).
+func (c *Corpus) Fig3() (Fig3Data, []Table) {
+	k := len(c.Algorithms())
+	d := Fig3Data{Desc: map[simgraph.Family][3][]stats.Descriptive{}}
+	byFam := c.ByFamily()
+	var tables []Table
+	metricNames := []string{"Precision", "Recall", "F-Measure"}
+	for _, fam := range c.sortedFamilies() {
+		var samples [3][][]float64
+		for m := range samples {
+			samples[m] = make([][]float64, k)
+		}
+		for _, gr := range byFam[fam] {
+			for i, r := range gr.Results {
+				samples[0][i] = append(samples[0][i], r.Best.Precision)
+				samples[1][i] = append(samples[1][i], r.Best.Recall)
+				samples[2][i] = append(samples[2][i], r.Best.F1)
+			}
+		}
+		var desc [3][]stats.Descriptive
+		for m := range samples {
+			desc[m] = make([]stats.Descriptive, k)
+			for i := range samples[m] {
+				desc[m][i] = stats.Describe(samples[m][i])
+			}
+		}
+		d.Desc[fam] = desc
+
+		for m, name := range metricNames {
+			t := Table{
+				Title:  fmt.Sprintf("Figure 3 (%s, %s): distribution per algorithm", fam, name),
+				Header: []string{"", "mean", "std", "min", "Q1", "median", "Q3", "max"},
+			}
+			for i, alg := range c.Algorithms() {
+				ds := desc[m][i]
+				t.Rows = append(t.Rows, []string{alg, f3(ds.Mean), f3(ds.Std),
+					f3(ds.Min), f3(ds.Q1), f3(ds.Q2), f3(ds.Q3), f3(ds.Max)})
+			}
+			tables = append(tables, t)
+		}
+	}
+	return d, tables
+}
+
+// Fig4Data holds the scalability series: per algorithm and family, one
+// (edges, runtime) point per similarity graph.
+type Fig4Data struct {
+	// Points[family][alg] is a series of (|E|, runtime ns) pairs sorted
+	// by |E|.
+	Points map[simgraph.Family][][][2]float64
+}
+
+// Fig4 produces the scalability analysis of run-time versus graph size
+// (Figure 4). The rendered table buckets graphs by decade of edge count.
+func (c *Corpus) Fig4() (Fig4Data, []Table) {
+	k := len(c.Algorithms())
+	d := Fig4Data{Points: map[simgraph.Family][][][2]float64{}}
+	byFam := c.ByFamily()
+	var tables []Table
+	for _, fam := range c.sortedFamilies() {
+		series := make([][][2]float64, k)
+		for _, gr := range byFam[fam] {
+			edges := float64(gr.Graph.G.NumEdges())
+			for i, r := range gr.Results {
+				series[i] = append(series[i], [2]float64{edges, float64(r.Runtime)})
+			}
+		}
+		for i := range series {
+			sort.Slice(series[i], func(a, b int) bool {
+				return series[i][a][0] < series[i][b][0]
+			})
+		}
+		d.Points[fam] = series
+
+		// Bucket by decade of |E| and report the mean runtime per
+		// bucket — the "central curve" of the paper's scatter plots.
+		t := Table{
+			Title:  fmt.Sprintf("Figure 4 (%s): mean run-time by edge-count decade", fam),
+			Header: append([]string{"|E| bucket"}, c.Algorithms()...),
+		}
+		type bucketAgg struct {
+			sum   []float64
+			count []int
+		}
+		buckets := map[int]*bucketAgg{}
+		for i := range series {
+			for _, pt := range series[i] {
+				dec := decade(pt[0])
+				b, ok := buckets[dec]
+				if !ok {
+					b = &bucketAgg{sum: make([]float64, k), count: make([]int, k)}
+					buckets[dec] = b
+				}
+				b.sum[i] += pt[1]
+				b.count[i]++
+			}
+		}
+		var decs []int
+		for dec := range buckets {
+			decs = append(decs, dec)
+		}
+		sort.Ints(decs)
+		for _, dec := range decs {
+			row := []string{fmt.Sprintf("10^%d", dec)}
+			b := buckets[dec]
+			for i := 0; i < k; i++ {
+				if b.count[i] == 0 {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmtDur(durOf(b.sum[i]/float64(b.count[i]))))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return d, tables
+}
+
+func decade(x float64) int {
+	d := 0
+	for x >= 10 {
+		x /= 10
+		d++
+	}
+	return d
+}
+
+// TradeoffPoint is one point of the F1/run-time trade-off scatter.
+type TradeoffPoint struct {
+	Algorithm string
+	Family    simgraph.Family
+	MeanF1    float64
+	MeanRT    float64 // nanoseconds
+}
+
+// tradeoff computes the macro-average F1 and run-time per algorithm and
+// family over the given graphs.
+func (c *Corpus) tradeoff(graphs []GraphResult) []TradeoffPoint {
+	k := len(c.Algorithms())
+	type agg struct {
+		f1, rt float64
+		n      int
+	}
+	acc := map[simgraph.Family][]agg{}
+	for _, gr := range graphs {
+		fam := gr.Graph.Family
+		if acc[fam] == nil {
+			acc[fam] = make([]agg, k)
+		}
+		for i, r := range gr.Results {
+			acc[fam][i].f1 += r.Best.F1
+			acc[fam][i].rt += float64(r.Runtime)
+			acc[fam][i].n++
+		}
+	}
+	var out []TradeoffPoint
+	for _, fam := range c.sortedFamilies() {
+		rows, ok := acc[fam]
+		if !ok {
+			continue
+		}
+		for i, a := range rows {
+			if a.n == 0 {
+				continue
+			}
+			out = append(out, TradeoffPoint{
+				Algorithm: c.Algorithms()[i],
+				Family:    fam,
+				MeanF1:    a.f1 / float64(a.n),
+				MeanRT:    a.rt / float64(a.n),
+			})
+		}
+	}
+	return out
+}
+
+// Fig5 reports the F1 versus run-time trade-off on D1 (Figure 5).
+func (c *Corpus) Fig5() ([]TradeoffPoint, Table) {
+	return c.tradeoffTable("D1", "Figure 5: F1/run-time trade-off on D1")
+}
+
+// Fig10 reports the trade-off per dataset across D2-D10 (Figure 10),
+// excluding BAH as the paper does.
+func (c *Corpus) Fig10() (map[string][]TradeoffPoint, []Table) {
+	out := map[string][]TradeoffPoint{}
+	var tables []Table
+	for _, ds := range c.DatasetIDs() {
+		if ds == "D1" {
+			continue
+		}
+		pts, t := c.tradeoffTable(ds,
+			fmt.Sprintf("Figure 10 (%s): F1/run-time trade-off (BAH excluded)", ds))
+		filtered := pts[:0:0]
+		var rows [][]string
+		for i, p := range pts {
+			if p.Algorithm == "BAH" {
+				continue
+			}
+			filtered = append(filtered, p)
+			rows = append(rows, t.Rows[i])
+		}
+		t.Rows = rows
+		out[ds] = filtered
+		tables = append(tables, t)
+	}
+	return out, tables
+}
+
+func (c *Corpus) tradeoffTable(ds, title string) ([]TradeoffPoint, Table) {
+	var graphs []GraphResult
+	for _, gr := range c.Graphs {
+		if gr.Graph.Dataset == ds {
+			graphs = append(graphs, gr)
+		}
+	}
+	pts := c.tradeoff(graphs)
+	t := Table{
+		Title:  title,
+		Header: []string{"algorithm", "family", "mean F1", "mean run-time"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{p.Algorithm, string(p.Family),
+			f3(p.MeanF1), fmtDur(durOf(p.MeanRT))})
+	}
+	return pts, t
+}
+
+// Fig9Data holds the pairwise Pearson correlations between algorithms'
+// optimal thresholds.
+type Fig9Data struct {
+	// Corr[family][i][j] is the correlation between algorithms i and j.
+	Corr map[simgraph.Family][][]float64
+}
+
+// Fig9 reports the Pearson correlation between the per-graph optimal
+// thresholds of every algorithm pair (Figure 9).
+func (c *Corpus) Fig9() (Fig9Data, []Table) {
+	k := len(c.Algorithms())
+	d := Fig9Data{Corr: map[simgraph.Family][][]float64{}}
+	byFam := c.ByFamily()
+	var tables []Table
+	for _, fam := range c.sortedFamilies() {
+		ts := make([][]float64, k)
+		for _, gr := range byFam[fam] {
+			for i, r := range gr.Results {
+				ts[i] = append(ts[i], r.BestT)
+			}
+		}
+		corr := make([][]float64, k)
+		for i := range corr {
+			corr[i] = make([]float64, k)
+			for j := range corr[i] {
+				if i == j {
+					corr[i][j] = 1
+					continue
+				}
+				corr[i][j] = stats.Pearson(ts[i], ts[j])
+			}
+		}
+		d.Corr[fam] = corr
+
+		t := Table{
+			Title:  fmt.Sprintf("Figure 9 (%s): Pearson correlation between optimal thresholds", fam),
+			Header: append([]string{""}, c.Algorithms()...),
+		}
+		for i, alg := range c.Algorithms() {
+			row := []string{alg}
+			for j := range corr[i] {
+				row = append(row, f2(corr[i][j]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return d, tables
+}

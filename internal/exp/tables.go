@@ -1,0 +1,448 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/datagen"
+	"github.com/ccer-go/ccer/internal/eval"
+	"github.com/ccer-go/ccer/internal/simgraph"
+	"github.com/ccer-go/ccer/internal/stats"
+)
+
+// Table2 reports the technical characteristics of the generated dataset
+// analogs, mirroring the paper's Table 2.
+func (c *Corpus) Table2() Table {
+	t := Table{
+		Title: "Table 2: Technical characteristics of the generated Clean-Clean ER datasets",
+		Header: []string{"", "Dataset1", "Dataset2", "|V1|", "|V2|", "NVP1", "NVP2",
+			"|A1|", "|A2|", "|p1|", "|p2|", "|D(V1∩V2)|", "|V1xV2|"},
+	}
+	for _, id := range c.DatasetIDs() {
+		spec := c.Specs[id]
+		task := c.Tasks[id]
+		t.Rows = append(t.Rows, []string{
+			id, spec.Name1, spec.Name2,
+			fmt.Sprint(task.V1.Len()), fmt.Sprint(task.V2.Len()),
+			fmt.Sprint(task.V1.NumValuePairs()), fmt.Sprint(task.V2.NumValuePairs()),
+			fmt.Sprint(len(task.V1.AttrSet())), fmt.Sprint(len(task.V2.AttrSet())),
+			f2(task.V1.AvgPairs()), f2(task.V2.AvgPairs()),
+			fmt.Sprint(task.GT.Len()), fmt.Sprint(task.Comparisons()),
+		})
+	}
+	return t
+}
+
+// Table3Data summarizes the corpus per dataset and family.
+type Table3Data struct {
+	// Count[dataset][family] is |G|; AvgEdges the mean edge count.
+	Count    map[string]map[simgraph.Family]int
+	AvgEdges map[string]map[simgraph.Family]float64
+}
+
+// Table3 reports the number and mean size of the similarity graphs per
+// dataset and weight family, mirroring the paper's Table 3.
+func (c *Corpus) Table3() (Table3Data, Table) {
+	d := Table3Data{
+		Count:    map[string]map[simgraph.Family]int{},
+		AvgEdges: map[string]map[simgraph.Family]float64{},
+	}
+	for _, gr := range c.Graphs {
+		ds, f := gr.Graph.Dataset, gr.Graph.Family
+		if d.Count[ds] == nil {
+			d.Count[ds] = map[simgraph.Family]int{}
+			d.AvgEdges[ds] = map[simgraph.Family]float64{}
+		}
+		d.Count[ds][f]++
+		d.AvgEdges[ds][f] += float64(gr.Graph.G.NumEdges())
+	}
+	for ds := range d.AvgEdges {
+		for f := range d.AvgEdges[ds] {
+			d.AvgEdges[ds][f] /= float64(d.Count[ds][f])
+		}
+	}
+
+	t := Table{
+		Title:  "Table 3: Number of similarity graphs |G| and mean edges |E| per dataset (ratio of |E| to |V1xV2|)",
+		Header: []string{""},
+	}
+	fams := c.sortedFamilies()
+	for _, f := range fams {
+		t.Header = append(t.Header, string(f)+" |G|", string(f)+" |E| (%)")
+	}
+	total := map[simgraph.Family]int{}
+	for _, ds := range c.DatasetIDs() {
+		row := []string{ds}
+		cart := float64(c.Tasks[ds].Comparisons())
+		for _, f := range fams {
+			cnt := d.Count[ds][f]
+			total[f] += cnt
+			if cnt == 0 {
+				row = append(row, "-", "-")
+				continue
+			}
+			avg := d.AvgEdges[ds][f]
+			row = append(row, fmt.Sprint(cnt),
+				fmt.Sprintf("%.0f (%.1f%%)", avg, 100*avg/cart))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	sum := []string{"Σ"}
+	for _, f := range fams {
+		sum = append(sum, fmt.Sprint(total[f]), "-")
+	}
+	t.Rows = append(t.Rows, sum)
+	return d, t
+}
+
+// Table4Data holds the macro-average effectiveness per algorithm.
+type Table4Data struct {
+	Algorithms        []string
+	PrecMean, PrecStd []float64
+	RecMean, RecStd   []float64
+	F1Mean, F1Std     []float64
+}
+
+// Table4 reports macro-average precision, recall and F1 (μ and σ) across
+// all similarity graphs, mirroring the paper's Table 4.
+func (c *Corpus) Table4() (Table4Data, Table) {
+	algs := c.Algorithms()
+	k := len(algs)
+	cols := make([][3][]float64, k) // per algorithm: P, R, F1 samples
+	for _, gr := range c.Graphs {
+		for i, r := range gr.Results {
+			cols[i][0] = append(cols[i][0], r.Best.Precision)
+			cols[i][1] = append(cols[i][1], r.Best.Recall)
+			cols[i][2] = append(cols[i][2], r.Best.F1)
+		}
+	}
+	d := Table4Data{Algorithms: algs}
+	t := Table{
+		Title:  fmt.Sprintf("Table 4: Macro-average performance across all %d similarity graphs", len(c.Graphs)),
+		Header: []string{"", "Prec μ", "Prec σ", "Rec μ", "Rec σ", "F1 μ", "F1 σ"},
+	}
+	for i, alg := range algs {
+		p := stats.Describe(cols[i][0])
+		r := stats.Describe(cols[i][1])
+		f := stats.Describe(cols[i][2])
+		d.PrecMean = append(d.PrecMean, p.Mean)
+		d.PrecStd = append(d.PrecStd, p.Std)
+		d.RecMean = append(d.RecMean, r.Mean)
+		d.RecStd = append(d.RecStd, r.Std)
+		d.F1Mean = append(d.F1Mean, f.Mean)
+		d.F1Std = append(d.F1Std, f.Std)
+		t.Rows = append(t.Rows, []string{alg,
+			f3(p.Mean), f3(p.Std), f3(r.Mean), f3(r.Std), f3(f.Mean), f3(f.Std)})
+	}
+	return d, t
+}
+
+// Table5Data holds the #Top1/Δ/#Top2 measures per family and category.
+type Table5Data struct {
+	// Stats[family][category] holds per-algorithm counters in
+	// core.Names() order. The extra category "OVL" aggregates all
+	// graphs of the family.
+	Stats map[simgraph.Family]map[datagen.Category]eval.TopStats
+}
+
+// table5Categories lists the paper's entity-collection categories plus
+// the overall aggregate.
+var table5Categories = []datagen.Category{
+	datagen.Balanced, datagen.OneSided, datagen.Scarce, "OVL",
+}
+
+// Table5 reports how often each algorithm achieves the best and
+// second-best F1 per weight family and collection category, mirroring the
+// paper's Table 5.
+func (c *Corpus) Table5() (Table5Data, []Table) {
+	d := Table5Data{Stats: map[simgraph.Family]map[datagen.Category]eval.TopStats{}}
+	byFam := c.ByFamily()
+	for _, fam := range c.sortedFamilies() {
+		d.Stats[fam] = map[datagen.Category]eval.TopStats{}
+		byCat := map[datagen.Category][][]float64{}
+		for _, gr := range byFam[fam] {
+			row := gr.F1s()
+			byCat[gr.Category] = append(byCat[gr.Category], row)
+			byCat["OVL"] = append(byCat["OVL"], row)
+		}
+		for cat, rows := range byCat {
+			d.Stats[fam][cat] = eval.TopCounts(rows)
+		}
+	}
+
+	var tables []Table
+	for _, fam := range c.sortedFamilies() {
+		t := Table{
+			Title:  fmt.Sprintf("Table 5 (%s): #Top1 / Δ%% / #Top2 per algorithm and category", fam),
+			Header: []string{""},
+		}
+		for _, cat := range table5Categories {
+			t.Header = append(t.Header,
+				string(cat)+" #T1", string(cat)+" Δ%", string(cat)+" #T2")
+		}
+		for i, alg := range c.Algorithms() {
+			row := []string{alg}
+			for _, cat := range table5Categories {
+				ts, ok := d.Stats[fam][cat]
+				if !ok || len(ts.Top1) == 0 {
+					row = append(row, "-", "-", "-")
+					continue
+				}
+				row = append(row, fmt.Sprint(ts.Top1[i]),
+					f2(ts.Delta[i]), fmt.Sprint(ts.Top2[i]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return d, tables
+}
+
+// Table6Data holds the mean run-time per algorithm, dataset and family.
+type Table6Data struct {
+	// Mean[family][dataset][alg] in nanoseconds, with the standard
+	// deviation in Std.
+	Mean map[simgraph.Family]map[string][]float64
+	Std  map[simgraph.Family]map[string][]float64
+}
+
+// Table6 reports the mean run-time (at each graph's optimal threshold)
+// per algorithm, dataset and type of input, mirroring the paper's
+// Table 6.
+func (c *Corpus) Table6() (Table6Data, []Table) {
+	k := len(c.Algorithms())
+	d := Table6Data{
+		Mean: map[simgraph.Family]map[string][]float64{},
+		Std:  map[simgraph.Family]map[string][]float64{},
+	}
+	samples := map[simgraph.Family]map[string][][]float64{}
+	for _, gr := range c.Graphs {
+		fam, ds := gr.Graph.Family, gr.Graph.Dataset
+		if samples[fam] == nil {
+			samples[fam] = map[string][][]float64{}
+		}
+		if samples[fam][ds] == nil {
+			samples[fam][ds] = make([][]float64, k)
+		}
+		for i, r := range gr.Results {
+			samples[fam][ds][i] = append(samples[fam][ds][i], float64(r.Runtime))
+		}
+	}
+	for fam, byDS := range samples {
+		d.Mean[fam] = map[string][]float64{}
+		d.Std[fam] = map[string][]float64{}
+		for ds, cols := range byDS {
+			means := make([]float64, k)
+			stds := make([]float64, k)
+			for i, xs := range cols {
+				desc := stats.Describe(xs)
+				means[i], stds[i] = desc.Mean, desc.Std
+			}
+			d.Mean[fam][ds] = means
+			d.Std[fam][ds] = stds
+		}
+	}
+
+	var tables []Table
+	for _, fam := range c.sortedFamilies() {
+		t := Table{
+			Title:  fmt.Sprintf("Table 6 (%s): mean run-time ± std per algorithm and dataset", fam),
+			Header: append([]string{""}, c.Algorithms()...),
+		}
+		for _, ds := range c.DatasetIDs() {
+			means, ok := d.Mean[fam][ds]
+			if !ok {
+				continue
+			}
+			row := []string{ds}
+			for i := range means {
+				row = append(row, fmt.Sprintf("%s±%s",
+					fmtDur(durOf(means[i])), fmtDur(durOf(d.Std[fam][ds][i]))))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return d, tables
+}
+
+func durOf(ns float64) time.Duration { return time.Duration(ns) }
+
+// Table7Data compares UMC against the published ZeroER and DITTO numbers.
+type Table7Data struct {
+	Datasets []string
+	ZeroER   []float64 // published F1, from the paper's Table 7
+	DITTO    []float64 // published F1, from the paper's Table 7
+	UMC      []float64 // measured: best schema-agnostic TF-IDF cosine configuration
+	Config   []string  // the winning representation model and threshold
+}
+
+// publishedTable7 holds the F1 scores the paper quotes for ZeroER and
+// DITTO on D2-D5.
+var publishedTable7 = map[string][2]float64{
+	"D2": {0.52, 0.89},
+	"D3": {0.48, 0.76},
+	"D4": {0.96, 0.99},
+	"D5": {0.86, 0.96},
+}
+
+// Table7 reproduces the paper's comparison of bipartite matching (UMC
+// with cosine similarity over schema-agnostic TF-IDF vectors, best
+// representation model) against the published state-of-the-art matching
+// results.
+func (c *Corpus) Table7() (Table7Data, Table) {
+	d := Table7Data{}
+	umcIdx := algIndex("UMC")
+	for _, ds := range []string{"D2", "D3", "D4", "D5"} {
+		pub, ok := publishedTable7[ds]
+		if !ok {
+			continue
+		}
+		bestF1, bestCfg := -1.0, ""
+		for _, gr := range c.Graphs {
+			if gr.Graph.Dataset != ds || gr.Graph.Family != simgraph.SASyn {
+				continue
+			}
+			// Only the TF-IDF cosine bag graphs, per the paper's setup.
+			if !hasSuffix(gr.Graph.Name, "/CosineTFIDF") {
+				continue
+			}
+			r := gr.Results[umcIdx]
+			if r.Best.F1 > bestF1 {
+				bestF1 = r.Best.F1
+				bestCfg = fmt.Sprintf("%s, t=%.2f", gr.Graph.Name, r.BestT)
+			}
+		}
+		if bestF1 < 0 {
+			continue
+		}
+		d.Datasets = append(d.Datasets, ds)
+		d.ZeroER = append(d.ZeroER, pub[0])
+		d.DITTO = append(d.DITTO, pub[1])
+		d.UMC = append(d.UMC, bestF1)
+		d.Config = append(d.Config, bestCfg)
+	}
+	t := Table{
+		Title:  "Table 7: comparison to published state-of-the-art matchers (ZeroER/DITTO F1 as reported in the paper)",
+		Header: []string{"", "ZeroER (paper)", "DITTO (paper)", "UMC (measured)", "config"},
+	}
+	for i, ds := range d.Datasets {
+		t.Rows = append(t.Rows, []string{ds,
+			f2(d.ZeroER[i]), f2(d.DITTO[i]), f2(d.UMC[i]), d.Config[i]})
+	}
+	return d, t
+}
+
+func hasSuffix(s, suffix string) bool { return strings.HasSuffix(s, suffix) }
+
+// Table8Data holds the optimal-threshold distribution per algorithm and
+// family, plus its correlation with the normalized graph size.
+type Table8Data struct {
+	// Desc[family][alg] describes the thresholds; Corr[family][alg] is
+	// the Pearson correlation ρ(t, |E|/|V1×V2|).
+	Desc map[simgraph.Family][]stats.Descriptive
+	Corr map[simgraph.Family][]float64
+}
+
+// Table8 reports the distribution of optimal similarity thresholds per
+// algorithm and type of input, mirroring the paper's Table 8.
+func (c *Corpus) Table8() (Table8Data, []Table) {
+	k := len(c.Algorithms())
+	d := Table8Data{
+		Desc: map[simgraph.Family][]stats.Descriptive{},
+		Corr: map[simgraph.Family][]float64{},
+	}
+	byFam := c.ByFamily()
+	var tables []Table
+	for _, fam := range c.sortedFamilies() {
+		ts := make([][]float64, k)
+		density := []float64{}
+		for _, gr := range byFam[fam] {
+			density = append(density, gr.Graph.G.Density())
+			for i, r := range gr.Results {
+				ts[i] = append(ts[i], r.BestT)
+			}
+		}
+		desc := make([]stats.Descriptive, k)
+		corr := make([]float64, k)
+		for i := range ts {
+			desc[i] = stats.Describe(ts[i])
+			corr[i] = stats.Pearson(ts[i], density)
+		}
+		d.Desc[fam] = desc
+		d.Corr[fam] = corr
+
+		t := Table{
+			Title:  fmt.Sprintf("Table 8 (%s): distribution of optimal similarity thresholds", fam),
+			Header: []string{"", "mean±std", "min", "Q1", "Q2", "Q3", "max", "ρ(t,|E|/|V1×V2|)"},
+		}
+		for i, alg := range c.Algorithms() {
+			t.Rows = append(t.Rows, []string{alg,
+				fmt.Sprintf("%s±%s", f2(desc[i].Mean), f2(desc[i].Std)),
+				f2(desc[i].Min), f2(desc[i].Q1), f2(desc[i].Q2),
+				f2(desc[i].Q3), f2(desc[i].Max), f2(corr[i])})
+		}
+		tables = append(tables, t)
+	}
+	return d, tables
+}
+
+// Table9Data holds the mean optimal threshold per dataset, algorithm and
+// family.
+type Table9Data struct {
+	// Mean[family][dataset][alg], Std likewise.
+	Mean map[simgraph.Family]map[string][]float64
+	Std  map[simgraph.Family]map[string][]float64
+}
+
+// Table9 reports the average optimal threshold (± std) per algorithm,
+// dataset and type of edge weights, mirroring the paper's Table 9.
+func (c *Corpus) Table9() (Table9Data, []Table) {
+	k := len(c.Algorithms())
+	d := Table9Data{
+		Mean: map[simgraph.Family]map[string][]float64{},
+		Std:  map[simgraph.Family]map[string][]float64{},
+	}
+	samples := map[simgraph.Family]map[string][][]float64{}
+	for _, gr := range c.Graphs {
+		fam, ds := gr.Graph.Family, gr.Graph.Dataset
+		if samples[fam] == nil {
+			samples[fam] = map[string][][]float64{}
+		}
+		if samples[fam][ds] == nil {
+			samples[fam][ds] = make([][]float64, k)
+		}
+		for i, r := range gr.Results {
+			samples[fam][ds][i] = append(samples[fam][ds][i], r.BestT)
+		}
+	}
+	var tables []Table
+	for _, fam := range c.sortedFamilies() {
+		d.Mean[fam] = map[string][]float64{}
+		d.Std[fam] = map[string][]float64{}
+		t := Table{
+			Title:  fmt.Sprintf("Table 9 (%s): mean optimal threshold ± std per algorithm and dataset", fam),
+			Header: append([]string{""}, c.Algorithms()...),
+		}
+		for _, ds := range c.DatasetIDs() {
+			cols, ok := samples[fam][ds]
+			if !ok {
+				continue
+			}
+			means := make([]float64, k)
+			stds := make([]float64, k)
+			row := []string{ds}
+			for i, xs := range cols {
+				desc := stats.Describe(xs)
+				means[i], stds[i] = desc.Mean, desc.Std
+				row = append(row, fmt.Sprintf(".%02.0f±.%02.0f", desc.Mean*100, desc.Std*100))
+			}
+			d.Mean[fam][ds] = means
+			d.Std[fam][ds] = stds
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return d, tables
+}

@@ -1,0 +1,71 @@
+package graph
+
+// Node identifies a node of either side of a bipartite graph.
+type Node struct {
+	Side int    // 1 for V1, 2 for V2
+	ID   NodeID // index within the side
+}
+
+// Component is a connected component of a bipartite graph, listing its
+// member nodes from both sides.
+type Component struct {
+	V1 []NodeID
+	V2 []NodeID
+}
+
+// Size returns the total number of nodes in the component.
+func (c Component) Size() int { return len(c.V1) + len(c.V2) }
+
+// ConnectedComponents computes the connected components of the graph using
+// union-find with path halving and union by size. Isolated nodes form
+// singleton components. The result is ordered by the smallest global node
+// index of each component, so it is deterministic.
+func (g *Bipartite) ConnectedComponents() []Component {
+	n := g.n1 + g.n2
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+		size[i] = 1
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+	for _, e := range g.edges {
+		union(int32(e.U), int32(g.n1)+int32(e.V))
+	}
+
+	index := make(map[int32]int)
+	var comps []Component
+	for i := int32(0); i < int32(n); i++ {
+		r := find(i)
+		ci, ok := index[r]
+		if !ok {
+			ci = len(comps)
+			index[r] = ci
+			comps = append(comps, Component{})
+		}
+		if int(i) < g.n1 {
+			comps[ci].V1 = append(comps[ci].V1, i)
+		} else {
+			comps[ci].V2 = append(comps[ci].V2, i-int32(g.n1))
+		}
+	}
+	return comps
+}

@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList hardens the edge-list parser: arbitrary input must
+// either fail with an error or produce a structurally valid graph that
+// round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("2 2\n0 0 0.5\n1 1 0.75\n")
+	f.Add("3 1\n# comment\n\n0 0 1\n")
+	f.Add("0 0\n")
+	f.Add("x")
+	f.Add("2 2\n0 0 NaN\n")
+	f.Add("2 2\n-1 0 0.5\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph invalid: %v", err)
+		}
+		var buf strings.Builder
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadEdgeList(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NumEdges() != g.NumEdges() || back.N1() != g.N1() || back.N2() != g.N2() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,389 @@
+// Package graph provides the bipartite similarity graph that is the input
+// to every Clean-Clean ER bipartite matching algorithm.
+//
+// A Bipartite graph connects two clean (duplicate-free) entity collections
+// V1 and V2. Nodes are dense integer indices local to their side: V1 nodes
+// are 0..N1-1 and V2 nodes are 0..N2-1. Every edge crosses sides and
+// carries a similarity weight, normally in [0,1] (see NormalizeMinMax).
+//
+// Graphs are immutable once built. Construction goes through a Builder so
+// that adjacency lists can be laid out contiguously (CSR-style) and sorted
+// by descending weight exactly once; the matching algorithms in
+// internal/core rely on that ordering for their best-match scans.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a node within one side of a bipartite graph.
+type NodeID = int32
+
+// Edge is a weighted edge between node U of V1 and node V of V2.
+type Edge struct {
+	U NodeID  // index in V1
+	V NodeID  // index in V2
+	W float64 // similarity weight
+}
+
+// Builder accumulates edges for a Bipartite graph.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	n1, n2 int
+	edges  []Edge
+	err    error
+}
+
+// NewBuilder returns a Builder for a graph with n1 nodes on the V1 side
+// and n2 nodes on the V2 side.
+func NewBuilder(n1, n2 int) *Builder {
+	b := &Builder{n1: n1, n2: n2}
+	if n1 < 0 || n2 < 0 {
+		b.err = fmt.Errorf("graph: negative side size (%d, %d)", n1, n2)
+	}
+	return b
+}
+
+// Add records an edge between u in V1 and v in V2 with weight w.
+// Errors are deferred and reported by Build.
+func (b *Builder) Add(u, v NodeID, w float64) {
+	if b.err != nil {
+		return
+	}
+	switch {
+	case u < 0 || int(u) >= b.n1:
+		b.err = fmt.Errorf("graph: node %d out of range for V1 of size %d", u, b.n1)
+	case v < 0 || int(v) >= b.n2:
+		b.err = fmt.Errorf("graph: node %d out of range for V2 of size %d", v, b.n2)
+	case math.IsNaN(w) || math.IsInf(w, 0):
+		b.err = fmt.Errorf("graph: non-finite weight %v for edge (%d,%d)", w, u, v)
+	default:
+		b.edges = append(b.edges, Edge{U: u, V: v, W: w})
+	}
+}
+
+// Grow extends the node ranges so that u fits in V1 and v fits in V2.
+// It is a convenience for callers that discover node counts while streaming
+// edges.
+func (b *Builder) Grow(u, v NodeID) {
+	if int(u) >= b.n1 {
+		b.n1 = int(u) + 1
+	}
+	if int(v) >= b.n2 {
+		b.n2 = int(v) + 1
+	}
+}
+
+// Build finalizes the graph. Duplicate (u,v) edges are merged keeping the
+// maximum weight, matching how the paper's pipeline treats repeated
+// candidate pairs.
+func (b *Builder) Build() (*Bipartite, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	edges := dedupeMax(b.edges)
+	return newBipartite(b.n1, b.n2, edges), nil
+}
+
+// MustBuild is Build that panics on error, for tests and literals.
+func (b *Builder) MustBuild() *Bipartite {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func dedupeMax(edges []Edge) []Edge {
+	if len(edges) < 2 {
+		return append([]Edge(nil), edges...)
+	}
+	es := append([]Edge(nil), edges...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		if es[i].V != es[j].V {
+			return es[i].V < es[j].V
+		}
+		return es[i].W > es[j].W
+	})
+	out := es[:1]
+	for _, e := range es[1:] {
+		last := &out[len(out)-1]
+		if e.U == last.U && e.V == last.V {
+			continue // keep the max weight, which sorted first
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Bipartite is an immutable weighted bipartite similarity graph.
+type Bipartite struct {
+	n1, n2 int
+	edges  []Edge
+
+	// CSR adjacency. adj1[off1[u]:off1[u+1]] are indices into edges for
+	// node u of V1, sorted by descending weight (ties broken by opposite
+	// node id, ascending, for determinism). Same for the V2 side.
+	off1, off2 []int32
+	adj1, adj2 []int32
+
+	// byWeight is the edge index permutation in descending weight order.
+	byWeight []int32
+
+	minW, maxW float64
+}
+
+func newBipartite(n1, n2 int, edges []Edge) *Bipartite {
+	g := &Bipartite{n1: n1, n2: n2, edges: edges}
+
+	g.byWeight = make([]int32, len(edges))
+	for i := range g.byWeight {
+		g.byWeight[i] = int32(i)
+	}
+	sort.Slice(g.byWeight, func(a, b int) bool {
+		ei, ej := edges[g.byWeight[a]], edges[g.byWeight[b]]
+		if ei.W != ej.W {
+			return ei.W > ej.W
+		}
+		if ei.U != ej.U {
+			return ei.U < ej.U
+		}
+		return ei.V < ej.V
+	})
+
+	g.off1 = make([]int32, n1+1)
+	g.off2 = make([]int32, n2+1)
+	for _, e := range edges {
+		g.off1[e.U+1]++
+		g.off2[e.V+1]++
+	}
+	for i := 0; i < n1; i++ {
+		g.off1[i+1] += g.off1[i]
+	}
+	for i := 0; i < n2; i++ {
+		g.off2[i+1] += g.off2[i]
+	}
+	g.adj1 = make([]int32, len(edges))
+	g.adj2 = make([]int32, len(edges))
+	next1 := append([]int32(nil), g.off1[:n1]...)
+	next2 := append([]int32(nil), g.off2[:n2]...)
+	// Appending in global descending-weight order keeps every per-node
+	// adjacency list sorted by descending weight.
+	for _, ei := range g.byWeight {
+		e := edges[ei]
+		g.adj1[next1[e.U]] = ei
+		next1[e.U]++
+		g.adj2[next2[e.V]] = ei
+		next2[e.V]++
+	}
+
+	g.minW, g.maxW = math.Inf(1), math.Inf(-1)
+	for _, e := range edges {
+		if e.W < g.minW {
+			g.minW = e.W
+		}
+		if e.W > g.maxW {
+			g.maxW = e.W
+		}
+	}
+	if len(edges) == 0 {
+		g.minW, g.maxW = 0, 0
+	}
+	return g
+}
+
+// N1 returns the number of nodes in the first collection.
+func (g *Bipartite) N1() int { return g.n1 }
+
+// N2 returns the number of nodes in the second collection.
+func (g *Bipartite) N2() int { return g.n2 }
+
+// NumNodes returns |V1|+|V2|.
+func (g *Bipartite) NumNodes() int { return g.n1 + g.n2 }
+
+// NumEdges returns the number of edges.
+func (g *Bipartite) NumEdges() int { return len(g.edges) }
+
+// Edge returns the edge with index i.
+func (g *Bipartite) Edge(i int32) Edge { return g.edges[i] }
+
+// Edges returns the underlying edge slice. Callers must not modify it.
+func (g *Bipartite) Edges() []Edge { return g.edges }
+
+// EdgesByWeight returns edge indices in descending weight order.
+// Callers must not modify the returned slice.
+func (g *Bipartite) EdgesByWeight() []int32 { return g.byWeight }
+
+// Adj1 returns the edge indices incident to node u of V1 in descending
+// weight order. Callers must not modify the returned slice.
+func (g *Bipartite) Adj1(u NodeID) []int32 { return g.adj1[g.off1[u]:g.off1[u+1]] }
+
+// Adj2 returns the edge indices incident to node v of V2 in descending
+// weight order. Callers must not modify the returned slice.
+func (g *Bipartite) Adj2(v NodeID) []int32 { return g.adj2[g.off2[v]:g.off2[v+1]] }
+
+// Degree1 returns the degree of node u of V1.
+func (g *Bipartite) Degree1(u NodeID) int { return int(g.off1[u+1] - g.off1[u]) }
+
+// Degree2 returns the degree of node v of V2.
+func (g *Bipartite) Degree2(v NodeID) int { return int(g.off2[v+1] - g.off2[v]) }
+
+// MinWeight returns the smallest edge weight (0 for an empty graph).
+func (g *Bipartite) MinWeight() float64 { return g.minW }
+
+// MaxWeight returns the largest edge weight (0 for an empty graph).
+func (g *Bipartite) MaxWeight() float64 { return g.maxW }
+
+// Weight returns the weight of edge (u,v) and whether it exists.
+// It scans the shorter of the two adjacency lists.
+func (g *Bipartite) Weight(u, v NodeID) (float64, bool) {
+	if g.Degree1(u) <= g.Degree2(v) {
+		for _, ei := range g.Adj1(u) {
+			if g.edges[ei].V == v {
+				return g.edges[ei].W, true
+			}
+		}
+		return 0, false
+	}
+	for _, ei := range g.Adj2(v) {
+		if g.edges[ei].U == u {
+			return g.edges[ei].W, true
+		}
+	}
+	return 0, false
+}
+
+// WeightLookup returns a constant-time weight lookup table for graphs
+// where repeated random-pair probes are needed (e.g. the BAH matcher).
+func (g *Bipartite) WeightLookup() WeightFunc {
+	m := make(map[int64]float64, len(g.edges))
+	for _, e := range g.edges {
+		m[pairKey(e.U, e.V)] = e.W
+	}
+	return func(u, v NodeID) (float64, bool) {
+		w, ok := m[pairKey(u, v)]
+		return w, ok
+	}
+}
+
+// WeightFunc reports the weight of a (u,v) pair and whether the edge exists.
+type WeightFunc func(u, v NodeID) (float64, bool)
+
+func pairKey(u, v NodeID) int64 { return int64(u)<<32 | int64(uint32(v)) }
+
+// Threshold returns a new graph that keeps only the edges with weight
+// strictly greater than t, matching the pruning step "e.sim > t" used by
+// the paper's algorithm listings. Node counts are preserved.
+func (g *Bipartite) Threshold(t float64) *Bipartite {
+	kept := make([]Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		if e.W > t {
+			kept = append(kept, e)
+		}
+	}
+	return newBipartite(g.n1, g.n2, kept)
+}
+
+// NormalizeMinMax returns a new graph with weights rescaled to [0,1] by
+// min-max normalization, as applied to every similarity graph in the
+// paper's experimental setup (Section 5). If all weights are equal, they
+// all become 1.
+func (g *Bipartite) NormalizeMinMax() *Bipartite {
+	edges := make([]Edge, len(g.edges))
+	span := g.maxW - g.minW
+	for i, e := range g.edges {
+		w := 1.0
+		if span > 0 {
+			w = (e.W - g.minW) / span
+		}
+		edges[i] = Edge{U: e.U, V: e.V, W: w}
+	}
+	return newBipartite(g.n1, g.n2, edges)
+}
+
+// AvgAdjWeight1 returns the average weight of edges incident to node u of
+// V1, or 0 if u is isolated. RSR seeds nodes in this order.
+func (g *Bipartite) AvgAdjWeight1(u NodeID) float64 {
+	return avgWeight(g.edges, g.Adj1(u))
+}
+
+// AvgAdjWeight2 is AvgAdjWeight1 for the V2 side.
+func (g *Bipartite) AvgAdjWeight2(v NodeID) float64 {
+	return avgWeight(g.edges, g.Adj2(v))
+}
+
+func avgWeight(edges []Edge, adj []int32) float64 {
+	if len(adj) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, ei := range adj {
+		s += edges[ei].W
+	}
+	return s / float64(len(adj))
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Bipartite) TotalWeight() float64 {
+	s := 0.0
+	for _, e := range g.edges {
+		s += e.W
+	}
+	return s
+}
+
+// Density returns |E| / (|V1|*|V2|), the normalized graph size used by the
+// paper's threshold analysis (Table 8).
+func (g *Bipartite) Density() float64 {
+	if g.n1 == 0 || g.n2 == 0 {
+		return 0
+	}
+	return float64(len(g.edges)) / (float64(g.n1) * float64(g.n2))
+}
+
+// Validate checks structural invariants. It is used by property tests and
+// returns nil on a well-formed graph.
+func (g *Bipartite) Validate() error {
+	if len(g.adj1) != len(g.edges) || len(g.adj2) != len(g.edges) {
+		return errors.New("graph: adjacency size mismatch")
+	}
+	for u := 0; u < g.n1; u++ {
+		adj := g.Adj1(NodeID(u))
+		for i, ei := range adj {
+			e := g.edges[ei]
+			if e.U != NodeID(u) {
+				return fmt.Errorf("graph: adj1[%d] points at edge of node %d", u, e.U)
+			}
+			if i > 0 && g.edges[adj[i-1]].W < e.W {
+				return fmt.Errorf("graph: adj1[%d] not sorted by descending weight", u)
+			}
+		}
+	}
+	for v := 0; v < g.n2; v++ {
+		adj := g.Adj2(NodeID(v))
+		for i, ei := range adj {
+			e := g.edges[ei]
+			if e.V != NodeID(v) {
+				return fmt.Errorf("graph: adj2[%d] points at edge of node %d", v, e.V)
+			}
+			if i > 0 && g.edges[adj[i-1]].W < e.W {
+				return fmt.Errorf("graph: adj2[%d] not sorted by descending weight", v)
+			}
+		}
+	}
+	seen := make(map[int64]bool, len(g.edges))
+	for _, e := range g.edges {
+		k := pairKey(e.U, e.V)
+		if seen[k] {
+			return fmt.Errorf("graph: duplicate edge (%d,%d)", e.U, e.V)
+		}
+		seen[k] = true
+	}
+	return nil
+}

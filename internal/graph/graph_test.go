@@ -1,0 +1,440 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, n1, n2 int, edges []Edge) *Bipartite {
+	t.Helper()
+	b := NewBuilder(n1, n2)
+	for _, e := range edges {
+		b.Add(e.U, e.V, e.W)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// paperGraph reproduces Figure 1(a) of the paper: A1..A5 vs B1..B4.
+func paperGraph(t *testing.T) *Bipartite {
+	return mustGraph(t, 5, 4, []Edge{
+		{0, 0, 0.6}, // A1-B1
+		{4, 0, 0.9}, // A5-B1
+		{4, 2, 0.6}, // A5-B3
+		{1, 1, 0.7}, // A2-B2
+		{2, 3, 0.3}, // A3-B4
+	})
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := paperGraph(t)
+	if g.N1() != 5 || g.N2() != 4 {
+		t.Fatalf("sides = (%d,%d), want (5,4)", g.N1(), g.N2())
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	if g.NumNodes() != 9 {
+		t.Fatalf("NumNodes = %d, want 9", g.NumNodes())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(b *Builder)
+	}{
+		{"u out of range", func(b *Builder) { b.Add(5, 0, 0.5) }},
+		{"v out of range", func(b *Builder) { b.Add(0, 9, 0.5) }},
+		{"negative u", func(b *Builder) { b.Add(-1, 0, 0.5) }},
+		{"NaN weight", func(b *Builder) { b.Add(0, 0, math.NaN()) }},
+		{"Inf weight", func(b *Builder) { b.Add(0, 0, math.Inf(1)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(3, 3)
+			tc.f(b)
+			if _, err := b.Build(); err == nil {
+				t.Fatalf("Build succeeded, want error")
+			}
+		})
+	}
+	if _, err := NewBuilder(-1, 2).Build(); err == nil {
+		t.Fatal("negative side accepted")
+	}
+}
+
+func TestBuilderErrorSticky(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(9, 0, 0.5) // invalid
+	b.Add(0, 0, 0.5) // valid, but must not clear the error
+	if _, err := b.Build(); err == nil {
+		t.Fatal("error was not sticky")
+	}
+}
+
+func TestBuilderGrow(t *testing.T) {
+	b := NewBuilder(0, 0)
+	b.Grow(4, 7)
+	b.Add(4, 7, 0.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N1() != 5 || g.N2() != 8 {
+		t.Fatalf("sides = (%d,%d), want (5,8)", g.N1(), g.N2())
+	}
+}
+
+func TestDuplicateEdgesKeepMax(t *testing.T) {
+	g := mustGraph(t, 2, 2, []Edge{{0, 0, 0.3}, {0, 0, 0.8}, {0, 0, 0.5}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if w, ok := g.Weight(0, 0); !ok || w != 0.8 {
+		t.Fatalf("Weight(0,0) = %v,%v, want 0.8,true", w, ok)
+	}
+}
+
+func TestAdjacencySortedDesc(t *testing.T) {
+	g := paperGraph(t)
+	adj := g.Adj2(0) // B1: edges to A5 (0.9) and A1 (0.6)
+	if len(adj) != 2 {
+		t.Fatalf("deg(B1) = %d, want 2", len(adj))
+	}
+	if g.Edge(adj[0]).U != 4 || g.Edge(adj[1]).U != 0 {
+		t.Fatalf("B1 adjacency not weight-sorted: %v %v", g.Edge(adj[0]), g.Edge(adj[1]))
+	}
+}
+
+func TestEdgesByWeight(t *testing.T) {
+	g := paperGraph(t)
+	order := g.EdgesByWeight()
+	prev := math.Inf(1)
+	for _, ei := range order {
+		w := g.Edge(ei).W
+		if w > prev {
+			t.Fatalf("EdgesByWeight not descending: %v after %v", w, prev)
+		}
+		prev = w
+	}
+	if g.Edge(order[0]).W != 0.9 {
+		t.Fatalf("top edge weight = %v, want 0.9", g.Edge(order[0]).W)
+	}
+}
+
+func TestWeightLookup(t *testing.T) {
+	g := paperGraph(t)
+	lookup := g.WeightLookup()
+	if w, ok := lookup(4, 0); !ok || w != 0.9 {
+		t.Fatalf("lookup(A5,B1) = %v,%v", w, ok)
+	}
+	if _, ok := lookup(0, 3); ok {
+		t.Fatal("lookup found a non-existent edge")
+	}
+	// Agreement with scanning Weight.
+	for u := NodeID(0); int(u) < g.N1(); u++ {
+		for v := NodeID(0); int(v) < g.N2(); v++ {
+			w1, ok1 := g.Weight(u, v)
+			w2, ok2 := lookup(u, v)
+			if w1 != w2 || ok1 != ok2 {
+				t.Fatalf("Weight(%d,%d) = %v,%v but lookup = %v,%v", u, v, w1, ok1, w2, ok2)
+			}
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	g := paperGraph(t)
+	pruned := g.Threshold(0.5)
+	if pruned.NumEdges() != 4 {
+		t.Fatalf("edges after t=0.5: %d, want 4", pruned.NumEdges())
+	}
+	if pruned.N1() != g.N1() || pruned.N2() != g.N2() {
+		t.Fatal("Threshold changed node counts")
+	}
+	// Strictly greater: an edge exactly at t is pruned.
+	if pruned.Threshold(0.6).NumEdges() != 2 {
+		t.Fatalf("edges after t=0.6: %d, want 2", pruned.Threshold(0.6).NumEdges())
+	}
+	if g.Threshold(1.0).NumEdges() != 0 {
+		t.Fatal("t=1.0 should prune everything")
+	}
+}
+
+func TestNormalizeMinMax(t *testing.T) {
+	g := mustGraph(t, 2, 2, []Edge{{0, 0, 2}, {0, 1, 4}, {1, 1, 6}})
+	n := g.NormalizeMinMax()
+	want := map[[2]NodeID]float64{{0, 0}: 0, {0, 1}: 0.5, {1, 1}: 1}
+	for k, ww := range want {
+		if w, _ := n.Weight(k[0], k[1]); math.Abs(w-ww) > 1e-12 {
+			t.Fatalf("normalized weight(%v) = %v, want %v", k, w, ww)
+		}
+	}
+	// Constant weights all become 1.
+	c := mustGraph(t, 1, 2, []Edge{{0, 0, 7}, {0, 1, 7}}).NormalizeMinMax()
+	for _, e := range c.Edges() {
+		if e.W != 1 {
+			t.Fatalf("constant graph normalized to %v, want 1", e.W)
+		}
+	}
+}
+
+func TestAvgAdjWeight(t *testing.T) {
+	g := paperGraph(t)
+	if got := g.AvgAdjWeight2(0); math.Abs(got-0.75) > 1e-12 { // B1: (0.9+0.6)/2
+		t.Fatalf("AvgAdjWeight2(B1) = %v, want 0.75", got)
+	}
+	if got := g.AvgAdjWeight1(3); got != 0 { // A4 isolated
+		t.Fatalf("AvgAdjWeight1(A4) = %v, want 0", got)
+	}
+}
+
+func TestDensityAndTotals(t *testing.T) {
+	g := paperGraph(t)
+	if got, want := g.Density(), 5.0/20.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Density = %v, want %v", got, want)
+	}
+	if got, want := g.TotalWeight(), 0.6+0.9+0.6+0.7+0.3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TotalWeight = %v, want %v", got, want)
+	}
+	empty := mustGraph(t, 0, 0, nil)
+	if empty.Density() != 0 || empty.MinWeight() != 0 || empty.MaxWeight() != 0 {
+		t.Fatal("empty graph stats not zero")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := paperGraph(t).Threshold(0.5)
+	comps := g.ConnectedComponents()
+	// Components: {A1,A5,B1,B3}, {A2,B2}, {A3}, {A4}, {B4}.
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[c.Size()]++
+	}
+	if !reflect.DeepEqual(sizes, map[int]int{4: 1, 2: 1, 1: 3}) {
+		t.Fatalf("component size histogram = %v", sizes)
+	}
+	total := 0
+	for _, c := range comps {
+		total += c.Size()
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("components cover %d nodes, want %d", total, g.NumNodes())
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	g := mustGraph(t, 3, 2, nil)
+	comps := g.ConnectedComponents()
+	if len(comps) != 5 {
+		t.Fatalf("singleton components = %d, want 5", len(comps))
+	}
+	for _, c := range comps {
+		if c.Size() != 1 {
+			t.Fatalf("component %v not a singleton", c)
+		}
+	}
+}
+
+// randomGraph builds a random bipartite graph for property tests.
+func randomGraph(rng *rand.Rand, maxSide, maxEdges int) *Bipartite {
+	n1 := rng.Intn(maxSide) + 1
+	n2 := rng.Intn(maxSide) + 1
+	b := NewBuilder(n1, n2)
+	m := rng.Intn(maxEdges + 1)
+	for i := 0; i < m; i++ {
+		b.Add(NodeID(rng.Intn(n1)), NodeID(rng.Intn(n2)), rng.Float64())
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPropertyValidateRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 30, 200)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyThresholdMonotone(t *testing.T) {
+	f := func(seed int64, a, bq float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 20, 100)
+		t1 := math.Mod(math.Abs(a), 1)
+		t2 := math.Mod(math.Abs(bq), 1)
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		g1, g2 := g.Threshold(t1), g.Threshold(t2)
+		if g2.NumEdges() > g1.NumEdges() {
+			return false
+		}
+		for _, e := range g2.Edges() {
+			if e.W <= t2 {
+				return false
+			}
+			if _, ok := g1.Weight(e.U, e.V); !ok {
+				return false // higher threshold kept an edge the lower one dropped
+			}
+		}
+		return g1.Validate() == nil && g2.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNormalizeRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomGraph(rng, 20, 100).NormalizeMinMax()
+		for _, e := range n.Edges() {
+			if e.W < 0 || e.W > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 25, 120)
+		seen1 := make([]bool, g.N1())
+		seen2 := make([]bool, g.N2())
+		for _, c := range g.ConnectedComponents() {
+			for _, u := range c.V1 {
+				if seen1[u] {
+					return false
+				}
+				seen1[u] = true
+			}
+			for _, v := range c.V2 {
+				if seen2[v] {
+					return false
+				}
+				seen2[v] = true
+			}
+		}
+		for _, s := range seen1 {
+			if !s {
+				return false
+			}
+		}
+		for _, s := range seen2 {
+			if !s {
+				return false
+			}
+		}
+		// Every edge's endpoints are in the same component.
+		comp := make(map[[2]int32]int)
+		for ci, c := range g.ConnectedComponents() {
+			for _, u := range c.V1 {
+				comp[[2]int32{1, u}] = ci
+			}
+			for _, v := range c.V2 {
+				comp[[2]int32{2, v}] = ci
+			}
+		}
+		for _, e := range g.Edges() {
+			if comp[[2]int32{1, e.U}] != comp[[2]int32{2, e.V}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := paperGraph(t)
+	var buf strings.Builder
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N1() != g.N1() || back.N2() != g.N2() || back.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip changed shape")
+	}
+	for _, e := range g.Edges() {
+		if w, ok := back.Weight(e.U, e.V); !ok || w != e.W {
+			t.Fatalf("edge (%d,%d) weight %v -> %v,%v", e.U, e.V, e.W, w, ok)
+		}
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct{ name, input string }{
+		{"empty", ""},
+		{"bad header", "x y\n"},
+		{"bad edge", "2 2\n0 0\n"},
+		{"bad weight", "2 2\n0 0 abc\n"},
+		{"out of range", "2 2\n5 0 0.5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.input)); err == nil {
+				t.Fatal("bad input accepted")
+			}
+		})
+	}
+	// Comments and blank lines are tolerated.
+	g, err := ReadEdgeList(strings.NewReader("2 2\n# comment\n\n0 1 0.5\n"))
+	if err != nil || g.NumEdges() != 1 {
+		t.Fatalf("comment handling broken: %v %v", g, err)
+	}
+}
+
+func TestPropertyEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 15, 80)
+		var buf strings.Builder
+		if err := g.WriteEdgeList(&buf); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(strings.NewReader(buf.String()))
+		if err != nil {
+			return false
+		}
+		if back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if w, ok := back.Weight(e.U, e.V); !ok || w != e.W {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+// Package ngraph implements the paper's schema-agnostic n-gram graph
+// models (Appendix B.2.2): JInsect-style character and token n-gram
+// graphs, where nodes are n-grams, undirected edges connect n-grams
+// co-occurring within a window of size n, and edge weights record the
+// co-occurrence frequency — so, unlike bag models, the order of n-grams is
+// preserved.
+//
+// Per-value graphs are merged into one "entity graph" with the update
+// operator (a running average of edge weights), and graphs are compared
+// with the containment, value, normalized value and overall similarities
+// of Giannakopoulos et al.
+package ngraph
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ccer-go/ccer/internal/strsim"
+	"github.com/ccer-go/ccer/internal/vector"
+)
+
+// Graph is an n-gram graph: an undirected weighted graph over gram ids.
+// Edges are keyed by the ordered gram-id pair.
+type Graph struct {
+	edges map[uint64]float64
+}
+
+// NumEdges returns the size |G| of the graph.
+func (g *Graph) NumEdges() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.edges)
+}
+
+func edgeKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// Vocab interns gram strings to dense ids shared by a set of graphs.
+type Vocab struct {
+	ids map[string]int32
+}
+
+// NewVocab returns an empty vocabulary.
+func NewVocab() *Vocab { return &Vocab{ids: make(map[string]int32)} }
+
+// ID interns the gram and returns its id.
+func (v *Vocab) ID(gram string) int32 {
+	id, ok := v.ids[gram]
+	if !ok {
+		id = int32(len(v.ids))
+		v.ids[gram] = id
+	}
+	return id
+}
+
+// Size returns the number of interned grams.
+func (v *Vocab) Size() int { return len(v.ids) }
+
+// FromValue builds the n-gram graph of a single textual value under the
+// given mode: nodes are the value's n-grams and every pair of grams whose
+// window distance is at most n is connected, with the edge weight counting
+// co-occurrences.
+func FromValue(vocab *Vocab, mode vector.Mode, value string) *Graph {
+	var grams []string
+	if mode.Char {
+		grams = vector.CharNGrams(value, mode.N)
+	} else {
+		grams = vector.TokenNGrams(strsim.Tokenize(value), mode.N)
+	}
+	g := &Graph{edges: make(map[uint64]float64)}
+	ids := make([]int32, len(grams))
+	for i, gram := range grams {
+		ids[i] = vocab.ID(gram)
+	}
+	for i := range ids {
+		for d := 1; d <= mode.N && i+d < len(ids); d++ {
+			if ids[i] == ids[i+d] {
+				continue // no self loops
+			}
+			g.edges[edgeKey(ids[i], ids[i+d])]++
+		}
+	}
+	return g
+}
+
+// Merge combines per-value graphs into a single entity graph using the
+// update operator: the merged weight of an edge is the running average of
+// its weights across the value graphs (treating absence as weight zero is
+// deliberately not done — the operator averages over the graphs that
+// contain the edge, following JInsect's incremental update with learning
+// factor 1/i).
+func Merge(graphs []*Graph) *Graph {
+	merged := &Graph{edges: make(map[uint64]float64)}
+	seen := make(map[uint64]int)
+	for _, g := range graphs {
+		if g == nil {
+			continue
+		}
+		for k, w := range g.edges {
+			seen[k]++
+			old := merged.edges[k]
+			merged.edges[k] = old + (w-old)/float64(seen[k])
+		}
+	}
+	return merged
+}
+
+// FromEntity builds the entity graph of a set of attribute values.
+func FromEntity(vocab *Vocab, mode vector.Mode, values []string) *Graph {
+	graphs := make([]*Graph, len(values))
+	for i, v := range values {
+		graphs[i] = FromValue(vocab, mode, v)
+	}
+	return Merge(graphs)
+}
+
+// Containment estimates the portion of common edges, ignoring weights:
+// |Gi ∩ Gj| / min(|Gi|, |Gj|).
+func Containment(a, b *Graph) float64 {
+	if a.NumEdges() == 0 && b.NumEdges() == 0 {
+		return 1
+	}
+	if a.NumEdges() == 0 || b.NumEdges() == 0 {
+		return 0
+	}
+	small, large := a, b
+	if small.NumEdges() > large.NumEdges() {
+		small, large = large, small
+	}
+	common := 0
+	for k := range small.edges {
+		if _, ok := large.edges[k]; ok {
+			common++
+		}
+	}
+	return float64(common) / float64(small.NumEdges())
+}
+
+// Value extends containment with weights:
+// Σ_{e∈Gi∩Gj} min(w)/max(w) / max(|Gi|,|Gj|).
+func Value(a, b *Graph) float64 {
+	if a.NumEdges() == 0 && b.NumEdges() == 0 {
+		return 1
+	}
+	if a.NumEdges() == 0 || b.NumEdges() == 0 {
+		return 0
+	}
+	return weightRatioSum(a, b) / float64(max2(a.NumEdges(), b.NumEdges()))
+}
+
+// NormalizedValue mitigates size imbalance by dividing by the smaller
+// graph: Σ_{e∈Gi∩Gj} min(w)/max(w) / min(|Gi|,|Gj|).
+func NormalizedValue(a, b *Graph) float64 {
+	if a.NumEdges() == 0 && b.NumEdges() == 0 {
+		return 1
+	}
+	if a.NumEdges() == 0 || b.NumEdges() == 0 {
+		return 0
+	}
+	return weightRatioSum(a, b) / float64(min2(a.NumEdges(), b.NumEdges()))
+}
+
+// Overall is the average of containment, value and normalized value.
+func Overall(a, b *Graph) float64 {
+	return (Containment(a, b) + Value(a, b) + NormalizedValue(a, b)) / 3
+}
+
+func weightRatioSum(a, b *Graph) float64 {
+	small, large := a, b
+	swap := small.NumEdges() > large.NumEdges()
+	if swap {
+		small, large = large, small
+	}
+	s := 0.0
+	for k, ws := range small.edges {
+		if wl, ok := large.edges[k]; ok {
+			s += math.Min(ws, wl) / math.Max(ws, wl)
+		}
+	}
+	return s
+}
+
+// Measure names for graph models (Appendix B, category 3).
+const (
+	MeasureContainment     = "Containment"
+	MeasureValue           = "Value"
+	MeasureNormalizedValue = "NormalizedValue"
+	MeasureOverall         = "Overall"
+)
+
+// Measures returns the four graph-model measure names in a stable order.
+func Measures() []string {
+	return []string{
+		MeasureContainment, MeasureValue, MeasureNormalizedValue, MeasureOverall,
+	}
+}
+
+// Sim computes the named graph similarity. It panics on an unknown
+// measure name.
+func Sim(measure string, a, b *Graph) float64 {
+	switch measure {
+	case MeasureContainment:
+		return Containment(a, b)
+	case MeasureValue:
+		return Value(a, b)
+	case MeasureNormalizedValue:
+		return NormalizedValue(a, b)
+	case MeasureOverall:
+		return Overall(a, b)
+	default:
+		panic("ngraph: unknown measure " + measure)
+	}
+}
+
+// AllSims computes all four graph measures in a single pass over the
+// smaller graph's edges, returned in Measures() order: containment,
+// value, normalized value, overall.
+func AllSims(a, b *Graph) [4]float64 {
+	if a.NumEdges() == 0 && b.NumEdges() == 0 {
+		return [4]float64{1, 1, 1, 1}
+	}
+	if a.NumEdges() == 0 || b.NumEdges() == 0 {
+		return [4]float64{}
+	}
+	small, large := a, b
+	if small.NumEdges() > large.NumEdges() {
+		small, large = large, small
+	}
+	common := 0
+	ratio := 0.0
+	for k, ws := range small.edges {
+		if wl, ok := large.edges[k]; ok {
+			common++
+			ratio += math.Min(ws, wl) / math.Max(ws, wl)
+		}
+	}
+	cos := float64(common) / float64(small.NumEdges())
+	vs := ratio / float64(large.NumEdges())
+	ns := ratio / float64(small.NumEdges())
+	return [4]float64{cos, vs, ns, (cos + vs + ns) / 3}
+}
+
+// GramIDs returns the sorted node ids of the graph's edges; used to build
+// inverted indexes for candidate generation.
+func (g *Graph) GramIDs() []int32 {
+	seen := make(map[int32]bool)
+	for k := range g.edges {
+		seen[int32(k>>32)] = true
+		seen[int32(uint32(k))] = true
+	}
+	ids := make([]int32, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package ngraph
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/ccer-go/ccer/internal/vector"
+)
+
+func approx(t *testing.T, got, want float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func charMode(n int) vector.Mode  { return vector.Mode{Char: true, N: n} }
+func tokenMode(n int) vector.Mode { return vector.Mode{Char: false, N: n} }
+
+func TestFromValueStructure(t *testing.T) {
+	v := NewVocab()
+	// "Joe Biden" has 7 character trigrams; with window 3 each gram
+	// connects to up to 3 successors.
+	g := FromValue(v, charMode(3), "Joe Biden")
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges built")
+	}
+	ids := g.GramIDs()
+	if len(ids) != 7 {
+		t.Fatalf("gram nodes = %d, want 7", len(ids))
+	}
+	// Edge count: pairs (i, i+d), d in 1..3, i+d < 7 => 6+5+4 = 15
+	// (all trigrams of "Joe Biden" are distinct).
+	if g.NumEdges() != 15 {
+		t.Fatalf("edges = %d, want 15", g.NumEdges())
+	}
+}
+
+func TestFromValueEmpty(t *testing.T) {
+	v := NewVocab()
+	g := FromValue(v, charMode(3), "")
+	if g.NumEdges() != 0 {
+		t.Fatalf("empty value has %d edges", g.NumEdges())
+	}
+	approx(t, Containment(g, g), 1, "Containment empty-empty")
+	g2 := FromValue(v, charMode(3), "something")
+	approx(t, Containment(g, g2), 0, "Containment empty-nonempty")
+	approx(t, Value(g, g2), 0, "Value empty-nonempty")
+	approx(t, NormalizedValue(g, g2), 0, "NormalizedValue empty-nonempty")
+}
+
+func TestSimilaritiesIdentical(t *testing.T) {
+	v := NewVocab()
+	a := FromValue(v, charMode(3), "entity resolution")
+	b := FromValue(v, charMode(3), "entity resolution")
+	for _, m := range Measures() {
+		approx(t, Sim(m, a, b), 1, m+" identical")
+	}
+}
+
+func TestSimilaritiesDisjoint(t *testing.T) {
+	v := NewVocab()
+	a := FromValue(v, tokenMode(1), "alpha beta gamma")
+	b := FromValue(v, tokenMode(1), "delta epsilon zeta")
+	for _, m := range Measures() {
+		approx(t, Sim(m, a, b), 0, m+" disjoint")
+	}
+}
+
+func TestSimilarityOrdering(t *testing.T) {
+	v := NewVocab()
+	a := FromValue(v, charMode(3), "green apple pie")
+	near := FromValue(v, charMode(3), "green apple tart")
+	far := FromValue(v, charMode(3), "quantum flux device")
+	for _, m := range Measures() {
+		if Sim(m, a, near) <= Sim(m, a, far) {
+			t.Fatalf("%s: near %v <= far %v", m, Sim(m, a, near), Sim(m, a, far))
+		}
+	}
+}
+
+func TestOrderSensitivity(t *testing.T) {
+	// Bag models cannot tell these apart; graph models can, because edges
+	// encode gram adjacency.
+	v := NewVocab()
+	// Note: a full reversal would keep the same undirected edges, so use
+	// a proper shuffle.
+	a := FromValue(v, tokenMode(1), "new york city hall")
+	b := FromValue(v, tokenMode(1), "york hall new city")
+	sim := Containment(a, b)
+	if sim >= 1 {
+		t.Fatalf("reordered tokens have containment %v, want < 1", sim)
+	}
+}
+
+func TestMergeRunningAverage(t *testing.T) {
+	v := NewVocab()
+	// Same single edge in both graphs with weights 1 and 3: merged = 2.
+	g1 := FromValue(v, tokenMode(1), "a b")
+	g2 := &Graph{edges: map[uint64]float64{}}
+	for k := range g1.edges {
+		g2.edges[k] = 3
+	}
+	merged := Merge([]*Graph{g1, g2})
+	if merged.NumEdges() != 1 {
+		t.Fatalf("merged edges = %d, want 1", merged.NumEdges())
+	}
+	for _, w := range merged.edges {
+		approx(t, w, 2, "merged weight")
+	}
+	// Merging with nil graphs is a no-op.
+	merged2 := Merge([]*Graph{g1, nil})
+	if merged2.NumEdges() != 1 {
+		t.Fatalf("merge with nil: %d edges", merged2.NumEdges())
+	}
+}
+
+func TestFromEntityMergesValues(t *testing.T) {
+	v := NewVocab()
+	g := FromEntity(v, tokenMode(1), []string{"john smith", "new york"})
+	single := FromValue(v, tokenMode(1), "john smith")
+	if Containment(single, g) != 1 {
+		t.Fatalf("entity graph does not contain its value graph: %v",
+			Containment(single, g))
+	}
+}
+
+func TestValueVsNormalizedValue(t *testing.T) {
+	v := NewVocab()
+	small := FromValue(v, tokenMode(1), "alpha beta")
+	big := FromValue(v, tokenMode(1), "alpha beta gamma delta epsilon zeta eta theta")
+	vs := Value(small, big)
+	ns := NormalizedValue(small, big)
+	if ns < vs {
+		t.Fatalf("NormalizedValue (%v) should be >= Value (%v) for imbalanced graphs", ns, vs)
+	}
+	approx(t, Overall(small, big), (Containment(small, big)+vs+ns)/3, "Overall")
+}
+
+// Similarities stay in [0,1], are symmetric, and self-similarity is 1 for
+// non-empty graphs.
+func TestPropertyGraphSimContracts(t *testing.T) {
+	words := []string{"red", "green", "blue", "apple", "pie", "soup", "york"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := func() string {
+			n := rng.Intn(6) + 2
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = words[rng.Intn(len(words))]
+			}
+			return strings.Join(parts, " ")
+		}
+		v := NewVocab()
+		modes := []vector.Mode{charMode(2), charMode(3), tokenMode(1), tokenMode(2)}
+		mode := modes[rng.Intn(len(modes))]
+		a := FromValue(v, mode, gen())
+		b := FromValue(v, mode, gen())
+		for _, m := range Measures() {
+			sab, sba := Sim(m, a, b), Sim(m, b, a)
+			if sab < 0 || sab > 1+1e-9 || math.IsNaN(sab) {
+				return false
+			}
+			if math.Abs(sab-sba) > 1e-9 {
+				return false
+			}
+		}
+		if a.NumEdges() > 0 {
+			for _, m := range Measures() {
+				if math.Abs(Sim(m, a, a)-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AllSims must agree with the individual measures.
+func TestAllSimsConsistent(t *testing.T) {
+	v := NewVocab()
+	texts := []string{"green apple pie", "green apple tart", "", "quantum flux device"}
+	for _, ta := range texts {
+		for _, tb := range texts {
+			a := FromValue(v, charMode(3), ta)
+			b := FromValue(v, charMode(3), tb)
+			all := AllSims(a, b)
+			want := [4]float64{Containment(a, b), Value(a, b), NormalizedValue(a, b), Overall(a, b)}
+			for i := range want {
+				if math.Abs(all[i]-want[i]) > 1e-12 {
+					t.Fatalf("AllSims[%d](%q,%q) = %v, want %v", i, ta, tb, all[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package rl
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/graph"
+)
+
+func randomGraph(rng *rand.Rand, n1, n2, m int) *graph.Bipartite {
+	b := graph.NewBuilder(n1, n2)
+	for i := 0; i < m; i++ {
+		b.Add(int32(rng.Intn(n1)), int32(rng.Intn(n2)), rng.Float64())
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestQMatcherValidMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, rng.Intn(15)+1, rng.Intn(15)+1, rng.Intn(80))
+		th := rng.Float64() * 0.6
+		pairs := NewQMatcher(seed).Match(g, th)
+		return core.ValidateMatching(g, pairs, th) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQMatcherDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 20, 20, 120)
+	m := NewQMatcher(7)
+	if !reflect.DeepEqual(m.Match(g, 0.2), m.Match(g, 0.2)) {
+		t.Fatal("QMatcher not deterministic for a fixed seed")
+	}
+}
+
+func TestQMatcherEmptyAndPruned(t *testing.T) {
+	g := graph.NewBuilder(3, 3).MustBuild()
+	if got := NewQMatcher(1).Match(g, 0.5); len(got) != 0 {
+		t.Fatalf("empty graph: %v", got)
+	}
+	b := graph.NewBuilder(1, 1)
+	b.Add(0, 0, 0.4)
+	g2 := b.MustBuild()
+	if got := NewQMatcher(1).Match(g2, 0.5); len(got) != 0 {
+		t.Fatalf("sub-threshold edge matched: %v", got)
+	}
+}
+
+// On graphs with a clear structure the learned policy should find most
+// of the matched weight that the exact algorithm finds; because its
+// greedy special case is UMC, it should rarely fall far below half the
+// optimum (the UMC guarantee).
+func TestQMatcherWeightQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 15, 15, 90)
+		opt := core.TotalWeight(core.Hungarian{}.Match(g, 0))
+		got := core.TotalWeight(NewQMatcher(int64(trial)).Match(g, 0))
+		if got < 0.5*opt {
+			t.Fatalf("trial %d: learned weight %.3f below half of optimal %.3f",
+				trial, got, opt)
+		}
+	}
+}
+
+// The Q-matcher's accept-biased policy keeps the top-weighted edge, like
+// the greedy family.
+func TestQMatcherKeepsTopEdge(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	b.Add(0, 0, 0.9)
+	b.Add(1, 1, 0.4)
+	g := b.MustBuild()
+	pairs := NewQMatcher(3).Match(g, 0.1)
+	found := false
+	for _, p := range pairs {
+		if p.U == 0 && p.V == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("top edge not matched: %v", pairs)
+	}
+}

@@ -1,0 +1,471 @@
+// Package simgraph implements the paper's similarity-graph generation
+// process (Sections 4-5): it applies every similarity function of the
+// taxonomy — schema-based syntactic, schema-agnostic syntactic (bag and
+// n-gram-graph models), schema-based semantic and schema-agnostic
+// semantic — to a Clean-Clean ER task, producing one weighted bipartite
+// similarity graph per function. No blocking is applied: every entity
+// pair with similarity above zero becomes an edge, and all graphs are
+// min-max normalized.
+//
+// The package also applies the first of the paper's cleaning rules
+// (dropping graphs in which no matching pair has a positive weight); the
+// F-measure-based rules need matching results and live in internal/exp.
+package simgraph
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/ccer-go/ccer/internal/dataset"
+	"github.com/ccer-go/ccer/internal/embed"
+	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/ngraph"
+	"github.com/ccer-go/ccer/internal/strsim"
+	"github.com/ccer-go/ccer/internal/vector"
+)
+
+// Family is one of the four types of edge weights of the paper's
+// taxonomy.
+type Family string
+
+const (
+	// SBSyn: schema-based syntactic weights (16 string measures per key
+	// attribute).
+	SBSyn Family = "SB-SYN"
+	// SASyn: schema-agnostic syntactic weights (6 bag models × 6
+	// measures plus 6 n-gram-graph models × 4 measures).
+	SASyn Family = "SA-SYN"
+	// SBSem: schema-based semantic weights (2 embedding models × 3
+	// measures per key attribute).
+	SBSem Family = "SB-SEM"
+	// SASem: schema-agnostic semantic weights (2 embedding models × 3
+	// measures).
+	SASem Family = "SA-SEM"
+)
+
+// Families returns the four weight families in the paper's presentation
+// order.
+func Families() []Family { return []Family{SBSyn, SASyn, SBSem, SASem} }
+
+// SimGraph is one generated similarity graph.
+type SimGraph struct {
+	// Dataset is the task name, e.g. "D2".
+	Dataset string
+	// Family is the weight family the graph belongs to.
+	Family Family
+	// Name identifies the similarity function, e.g. "name/Levenshtein"
+	// or "char3/CosineTF".
+	Name string
+	// G is the min-max normalized similarity graph.
+	G *graph.Bipartite
+}
+
+// Options tunes corpus generation.
+type Options struct {
+	// Families selects which weight families to generate; nil means all
+	// four.
+	Families []Family
+	// MaxWMDTokens caps the tokens per entity considered by the relaxed
+	// Word Mover's similarity; 0 means 6. WMD cost is quadratic in this.
+	MaxWMDTokens int
+	// KeepNoMatchGraphs disables the cleaning rule that drops graphs in
+	// which every matching pair has zero weight.
+	KeepNoMatchGraphs bool
+}
+
+func (o Options) families() []Family {
+	if len(o.Families) == 0 {
+		return Families()
+	}
+	return o.Families
+}
+
+func (o Options) maxWMDTokens() int {
+	if o.MaxWMDTokens <= 0 {
+		return 6
+	}
+	return o.MaxWMDTokens
+}
+
+// Ordered measure names, fixed so that generation is deterministic.
+var (
+	charMeasureNames = []string{
+		"Levenshtein", "DamerauLevenshtein", "Jaro", "NeedlemanWunsch",
+		"QGramsDistance", "LongestCommonSubstr", "LongestCommonSubseq",
+	}
+	tokenMeasureNames = []string{
+		"Cosine", "BlockDistance", "Dice", "SimonWhite",
+		"OverlapCoefficient", "Euclidean", "Jaccard",
+		"GeneralizedJaccard", "MongeElkan",
+	}
+)
+
+// Generate builds the similarity-graph corpus for the task. keyAttrs are
+// the schema-based attributes (Spec.KeyAttrs for generated datasets).
+//
+// Generation runs the weight families concurrently — every similarity
+// function is pure, and only the matching step is ever timed — while the
+// output order stays deterministic (families in taxonomy order, graphs
+// in function order within each family).
+func Generate(task *dataset.Task, keyAttrs []string, opts Options) []SimGraph {
+	families := opts.families()
+	slots := make([][]SimGraph, len(families))
+	var wg sync.WaitGroup
+	for i, f := range families {
+		wg.Add(1)
+		go func(i int, f Family) {
+			defer wg.Done()
+			switch f {
+			case SBSyn:
+				slots[i] = schemaBasedSyntactic(task, keyAttrs)
+			case SASyn:
+				slots[i] = schemaAgnosticSyntactic(task)
+			case SBSem:
+				slots[i] = semantic(task, keyAttrs, opts, SBSem)
+			case SASem:
+				slots[i] = semantic(task, nil, opts, SASem)
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	var out []SimGraph
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+	if !opts.KeepNoMatchGraphs {
+		out = filterNoMatchGraphs(out, task.GT)
+	}
+	return out
+}
+
+// filterNoMatchGraphs drops graphs in which every ground-truth pair has a
+// zero weight (no edge), the paper's first cleaning rule.
+func filterNoMatchGraphs(graphs []SimGraph, gt *dataset.GroundTruth) []SimGraph {
+	kept := graphs[:0:0]
+	for _, sg := range graphs {
+		ok := false
+		for _, p := range gt.Pairs {
+			if _, exists := sg.G.Weight(p[0], p[1]); exists {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			kept = append(kept, sg)
+		}
+	}
+	return kept
+}
+
+// schemaBasedSyntactic applies the 16 string measures to each key
+// attribute, computing all measures per pair in one pass over the
+// pre-tokenized values.
+func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string) []SimGraph {
+	charFuncs := strsim.CharMeasures()
+	tokenFuncs := map[string]strsim.TokenFunc{
+		"Cosine":             strsim.CosineTokens,
+		"BlockDistance":      strsim.BlockDistance,
+		"Dice":               strsim.Dice,
+		"SimonWhite":         strsim.SimonWhite,
+		"OverlapCoefficient": strsim.OverlapCoefficient,
+		"Euclidean":          strsim.EuclideanTokens,
+		"Jaccard":            strsim.Jaccard,
+		"GeneralizedJaccard": strsim.GeneralizedJaccard,
+		"MongeElkan":         strsim.MongeElkan,
+	}
+
+	var out []SimGraph
+	n1, n2 := task.V1.Len(), task.V2.Len()
+	for _, attr := range keyAttrs {
+		texts1 := task.V1.AttrTexts(attr)
+		texts2 := task.V2.AttrTexts(attr)
+		tokens1 := tokenizeAll(texts1)
+		tokens2 := tokenizeAll(texts2)
+
+		numMeasures := len(charMeasureNames) + len(tokenMeasureNames)
+		builders := make([]*graph.Builder, numMeasures)
+		for k := range builders {
+			builders[k] = graph.NewBuilder(n1, n2)
+		}
+
+		for i := 0; i < n1; i++ {
+			if texts1[i] == "" {
+				continue
+			}
+			for j := 0; j < n2; j++ {
+				if texts2[j] == "" {
+					continue
+				}
+				k := 0
+				for _, name := range charMeasureNames {
+					if sim := charFuncs[name](texts1[i], texts2[j]); sim > 0 {
+						builders[k].Add(int32(i), int32(j), sim)
+					}
+					k++
+				}
+				for _, name := range tokenMeasureNames {
+					if sim := tokenFuncs[name](tokens1[i], tokens2[j]); sim > 0 {
+						builders[k].Add(int32(i), int32(j), sim)
+					}
+					k++
+				}
+			}
+		}
+
+		k := 0
+		for _, name := range charMeasureNames {
+			out = appendGraph(out, task.Name, SBSyn, attr+"/"+name, builders[k])
+			k++
+		}
+		for _, name := range tokenMeasureNames {
+			out = appendGraph(out, task.Name, SBSyn, attr+"/"+name, builders[k])
+			k++
+		}
+	}
+	return out
+}
+
+func tokenizeAll(texts []string) [][]string {
+	out := make([][]string, len(texts))
+	for i, t := range texts {
+		out[i] = strsim.Tokenize(t)
+	}
+	return out
+}
+
+// schemaAgnosticSyntactic produces the 36 bag-model graphs and 24
+// n-gram-graph-model graphs of Section 4, one representation model per
+// goroutine.
+func schemaAgnosticSyntactic(task *dataset.Task) []SimGraph {
+	modes := vector.Modes()
+	slots := make([][]SimGraph, len(modes))
+	var wg sync.WaitGroup
+	for i, mode := range modes {
+		wg.Add(1)
+		go func(i int, mode vector.Mode) {
+			defer wg.Done()
+			slots[i] = schemaAgnosticMode(task, mode)
+		}(i, mode)
+	}
+	wg.Wait()
+	var out []SimGraph
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// schemaAgnosticMode builds the 6 bag graphs and 4 n-gram-graph graphs of
+// one representation model.
+func schemaAgnosticMode(task *dataset.Task, mode vector.Mode) []SimGraph {
+	texts1 := task.V1.Texts()
+	texts2 := task.V2.Texts()
+	n1, n2 := len(texts1), len(texts2)
+	var out []SimGraph
+
+	// Bag models: all 6 measures in one pass over candidate pairs.
+	space := vector.NewSpace(mode, texts1, texts2)
+	c1, c2 := space.CacheTFIDF()
+	cands := space.CandidatePairs()
+	bagBuilders := make([]*graph.Builder, 6)
+	for k := range bagBuilders {
+		bagBuilders[k] = graph.NewBuilder(n1, n2)
+	}
+	for _, p := range cands {
+		sims := space.AllSims(int(p[0]), int(p[1]), c1, c2)
+		for k, sim := range sims {
+			if sim > 0 {
+				bagBuilders[k].Add(p[0], p[1], sim)
+			}
+		}
+	}
+	for k, name := range vector.Measures() {
+		out = appendGraph(out, task.Name, SASyn, mode.String()+"/"+name, bagBuilders[k])
+	}
+
+	// N-gram graph models: per-value graphs merged per entity, all 4
+	// measures in one pass over pairs sharing at least one gram.
+	vocab := ngraph.NewVocab()
+	graphs1 := make([]*ngraph.Graph, n1)
+	for i, p := range task.V1.Profiles {
+		graphs1[i] = ngraph.FromEntity(vocab, mode, p.Values())
+	}
+	graphs2 := make([]*ngraph.Graph, n2)
+	for j, p := range task.V2.Profiles {
+		graphs2[j] = ngraph.FromEntity(vocab, mode, p.Values())
+	}
+	gBuilders := make([]*graph.Builder, 4)
+	for k := range gBuilders {
+		gBuilders[k] = graph.NewBuilder(n1, n2)
+	}
+	for _, p := range gramCandidates(graphs1, graphs2) {
+		sims := ngraph.AllSims(graphs1[p[0]], graphs2[p[1]])
+		for k, sim := range sims {
+			if sim > 0 {
+				gBuilders[k].Add(p[0], p[1], sim)
+			}
+		}
+	}
+	for k, name := range ngraph.Measures() {
+		out = appendGraph(out, task.Name, SASyn, mode.String()+"g/"+name, gBuilders[k])
+	}
+	return out
+}
+
+// gramCandidates returns the pairs of entities whose n-gram graphs share
+// at least one gram node — a superset of the pairs with a shared edge,
+// hence of all non-zero graph similarities.
+func gramCandidates(graphs1, graphs2 []*ngraph.Graph) [][2]int32 {
+	index := make(map[int32][]int32)
+	for i, g := range graphs1 {
+		for _, id := range g.GramIDs() {
+			index[id] = append(index[id], int32(i))
+		}
+	}
+	seen := make(map[int64]bool)
+	var pairs [][2]int32
+	for j, g := range graphs2 {
+		for _, id := range g.GramIDs() {
+			for _, i := range index[id] {
+				key := int64(i)<<32 | int64(j)
+				if !seen[key] {
+					seen[key] = true
+					pairs = append(pairs, [2]int32{i, int32(j)})
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// semantic produces embedding-based graphs: schema-based when keyAttrs is
+// non-empty (one set per attribute) or schema-agnostic on the full
+// profile texts.
+func semantic(task *dataset.Task, keyAttrs []string, opts Options, family Family) []SimGraph {
+	type scope struct {
+		prefix         string
+		texts1, texts2 []string
+	}
+	var scopes []scope
+	if family == SBSem {
+		for _, attr := range keyAttrs {
+			scopes = append(scopes, scope{attr + "/",
+				task.V1.AttrTexts(attr), task.V2.AttrTexts(attr)})
+		}
+	} else {
+		scopes = append(scopes, scope{"", task.V1.Texts(), task.V2.Texts()})
+	}
+
+	var out []SimGraph
+	for _, sc := range scopes {
+		for _, model := range embed.Models() {
+			out = append(out, semanticGraphs(task.Name, family,
+				sc.prefix+model.Name(), model, sc.texts1, sc.texts2, opts)...)
+		}
+	}
+	return out
+}
+
+func semanticGraphs(ds string, family Family, prefix string, model embed.Model, texts1, texts2 []string, opts Options) []SimGraph {
+	n1, n2 := len(texts1), len(texts2)
+
+	// Cache embeddings and (truncated) token vectors once per entity.
+	emb1 := embedAll(model, texts1)
+	emb2 := embedAll(model, texts2)
+	tv1, tw1 := tokenVecsAll(model, texts1, opts.maxWMDTokens())
+	tv2, tw2 := tokenVecsAll(model, texts2, opts.maxWMDTokens())
+
+	builders := [3]*graph.Builder{}
+	for k := range builders {
+		builders[k] = graph.NewBuilder(n1, n2)
+	}
+	for i := 0; i < n1; i++ {
+		if texts1[i] == "" {
+			continue
+		}
+		for j := 0; j < n2; j++ {
+			if texts2[j] == "" {
+				continue
+			}
+			if sim := embed.CosineSim(emb1[i], emb2[j]); sim > 0 {
+				builders[0].Add(int32(i), int32(j), sim)
+			}
+			if sim := embed.EuclideanSim(emb1[i], emb2[j]); sim > 0 {
+				builders[1].Add(int32(i), int32(j), sim)
+			}
+			if sim := relaxedWMS(tv1[i], tw1[i], tv2[j], tw2[j]); sim > 0 {
+				builders[2].Add(int32(i), int32(j), sim)
+			}
+		}
+	}
+	var out []SimGraph
+	for k, name := range embed.Measures() {
+		out = appendGraph(out, ds, family, prefix+"/"+name, builders[k])
+	}
+	return out
+}
+
+func embedAll(model embed.Model, texts []string) [][]float64 {
+	out := make([][]float64, len(texts))
+	for i, t := range texts {
+		out[i] = model.Embed(t)
+	}
+	return out
+}
+
+func tokenVecsAll(model embed.Model, texts []string, maxTokens int) ([][][]float64, [][]float64) {
+	vecs := make([][][]float64, len(texts))
+	ws := make([][]float64, len(texts))
+	for i, t := range texts {
+		v, w := model.TokenVectors(t)
+		if len(v) > maxTokens {
+			v, w = v[:maxTokens], w[:maxTokens]
+		}
+		vecs[i] = v
+		ws[i] = w
+	}
+	return vecs, ws
+}
+
+// relaxedWMS mirrors embed.WordMoversSim over pre-computed token vectors.
+func relaxedWMS(va [][]float64, wa []float64, vb [][]float64, wb []float64) float64 {
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	d := directional(va, wa, vb)
+	if d2 := directional(vb, wb, va); d2 > d {
+		d = d2
+	}
+	return 1 / (1 + d)
+}
+
+func directional(from [][]float64, w []float64, to [][]float64) float64 {
+	total := 0.0
+	for i, v := range from {
+		best := -1.0
+		for _, u := range to {
+			s := 0.0
+			for k := range v {
+				dd := v[k] - u[k]
+				s += dd * dd
+			}
+			if best < 0 || s < best {
+				best = s
+			}
+		}
+		if best > 0 {
+			total += w[i] * math.Sqrt(best)
+		}
+	}
+	return total
+}
+
+func appendGraph(out []SimGraph, ds string, family Family, name string, b *graph.Builder) []SimGraph {
+	g, err := b.Build()
+	if err != nil {
+		// Builders are fed validated indexes; an error here is a bug.
+		panic(fmt.Sprintf("simgraph: %v", err))
+	}
+	return append(out, SimGraph{Dataset: ds, Family: family, Name: name, G: g.NormalizeMinMax()})
+}

@@ -1,0 +1,168 @@
+package simgraph
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/datagen"
+	"github.com/ccer-go/ccer/internal/dataset"
+)
+
+func testTask(t *testing.T) *dataset.Task {
+	t.Helper()
+	spec, err := datagen.SpecByID("D2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.Generate(3, 0.03)
+}
+
+func TestGenerateCounts(t *testing.T) {
+	task := testTask(t)
+	graphs := Generate(task, []string{"name"}, Options{KeepNoMatchGraphs: true})
+	byFamily := map[Family]int{}
+	for _, sg := range graphs {
+		byFamily[sg.Family]++
+	}
+	// 16 schema-based measures per key attribute.
+	if byFamily[SBSyn] != 16 {
+		t.Fatalf("SB-SYN graphs = %d, want 16", byFamily[SBSyn])
+	}
+	// 6 modes × 6 bag measures + 6 modes × 4 graph measures = 60.
+	if byFamily[SASyn] != 60 {
+		t.Fatalf("SA-SYN graphs = %d, want 60", byFamily[SASyn])
+	}
+	// 2 models × 3 measures per key attribute.
+	if byFamily[SBSem] != 6 {
+		t.Fatalf("SB-SEM graphs = %d, want 6", byFamily[SBSem])
+	}
+	if byFamily[SASem] != 6 {
+		t.Fatalf("SA-SEM graphs = %d, want 6", byFamily[SASem])
+	}
+}
+
+func TestGenerateTwoKeyAttrs(t *testing.T) {
+	task := testTask(t)
+	graphs := Generate(task, []string{"name", "price"},
+		Options{Families: []Family{SBSyn, SBSem}, KeepNoMatchGraphs: true})
+	byFamily := map[Family]int{}
+	for _, sg := range graphs {
+		byFamily[sg.Family]++
+	}
+	if byFamily[SBSyn] != 32 {
+		t.Fatalf("SB-SYN graphs = %d, want 32", byFamily[SBSyn])
+	}
+	if byFamily[SBSem] != 12 {
+		t.Fatalf("SB-SEM graphs = %d, want 12", byFamily[SBSem])
+	}
+}
+
+func TestGraphsAreNormalizedAndSized(t *testing.T) {
+	task := testTask(t)
+	graphs := Generate(task, []string{"name"}, Options{})
+	if len(graphs) == 0 {
+		t.Fatal("no graphs generated")
+	}
+	for _, sg := range graphs {
+		if sg.G.N1() != task.V1.Len() || sg.G.N2() != task.V2.Len() {
+			t.Fatalf("%s: wrong node counts", sg.Name)
+		}
+		if sg.G.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph survived cleaning", sg.Name)
+		}
+		if sg.G.MinWeight() < 0 || sg.G.MaxWeight() > 1 {
+			t.Fatalf("%s: weights out of [0,1]: [%v,%v]",
+				sg.Name, sg.G.MinWeight(), sg.G.MaxWeight())
+		}
+		if err := sg.G.Validate(); err != nil {
+			t.Fatalf("%s: %v", sg.Name, err)
+		}
+		if sg.Dataset != "D2" {
+			t.Fatalf("%s: dataset = %q", sg.Name, sg.Dataset)
+		}
+	}
+}
+
+func TestGenerateFamilyFilter(t *testing.T) {
+	task := testTask(t)
+	graphs := Generate(task, []string{"name"},
+		Options{Families: []Family{SASem}, KeepNoMatchGraphs: true})
+	for _, sg := range graphs {
+		if sg.Family != SASem {
+			t.Fatalf("unexpected family %s", sg.Family)
+		}
+	}
+	if len(graphs) != 6 {
+		t.Fatalf("graphs = %d, want 6", len(graphs))
+	}
+}
+
+func TestMatchEdgesPresent(t *testing.T) {
+	// The default cleaning keeps only graphs where at least one true
+	// match has positive weight; on D2 (products sharing model numbers)
+	// most syntactic graphs should retain many match edges.
+	task := testTask(t)
+	graphs := Generate(task, []string{"name"}, Options{Families: []Family{SASyn}})
+	if len(graphs) == 0 {
+		t.Fatal("all graphs dropped")
+	}
+	for _, sg := range graphs {
+		found := 0
+		for _, p := range task.GT.Pairs {
+			if _, ok := sg.G.Weight(p[0], p[1]); ok {
+				found++
+			}
+		}
+		if found == 0 {
+			t.Fatalf("%s: no match edges despite cleaning", sg.Name)
+		}
+	}
+}
+
+func TestGraphNamesUniqueAndStructured(t *testing.T) {
+	task := testTask(t)
+	graphs := Generate(task, []string{"name"}, Options{KeepNoMatchGraphs: true})
+	seen := map[string]bool{}
+	for _, sg := range graphs {
+		key := string(sg.Family) + "|" + sg.Name
+		if seen[key] {
+			t.Fatalf("duplicate graph name %q", key)
+		}
+		seen[key] = true
+		if strings.TrimSpace(sg.Name) == "" {
+			t.Fatal("empty graph name")
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	task := testTask(t)
+	a := Generate(task, []string{"name"}, Options{Families: []Family{SBSyn, SASem}})
+	b := Generate(task, []string{"name"}, Options{Families: []Family{SBSyn, SASem}})
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].G.NumEdges() != b[i].G.NumEdges() {
+			t.Fatalf("graph %d differs between runs", i)
+		}
+		ea, eb := a[i].G.Edges(), b[i].G.Edges()
+		for k := range ea {
+			if ea[k] != eb[k] {
+				t.Fatalf("graph %s edge %d differs", a[i].Name, k)
+			}
+		}
+	}
+}
+
+func TestSemanticGraphsAreDenser(t *testing.T) {
+	// The paper observes semantic similarities connect most pairs
+	// (Table 3 shows ~100% density for schema-agnostic semantic inputs).
+	task := testTask(t)
+	sem := Generate(task, nil, Options{Families: []Family{SASem}, KeepNoMatchGraphs: true})
+	for _, sg := range sem {
+		if sg.G.Density() < 0.9 {
+			t.Fatalf("%s: density %.2f, want ~1.0", sg.Name, sg.G.Density())
+		}
+	}
+}

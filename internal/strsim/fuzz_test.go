@@ -1,0 +1,77 @@
+package strsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets: the similarity measures are exposed to arbitrary
+// attribute values, so they must never panic, never leave [0,1], and
+// respect their metric-like contracts on any input.
+
+func clip(s string) string {
+	s = strings.ToValidUTF8(s, "")
+	if len(s) > 64 {
+		s = s[:64] // DP measures are quadratic
+	}
+	return s
+}
+
+func FuzzAllMeasures(f *testing.F) {
+	f.Add("golden dragon", "golden dragon bistro")
+	f.Add("", "x")
+	f.Add("ab", "ba")
+	f.Add("café au lait", "cafe du monde")
+	f.Add("\xff\xfe", "ok")
+	measures := AllMeasures()
+	f.Fuzz(func(t *testing.T, a, b string) {
+		a, b = clip(a), clip(b)
+		for name, m := range measures {
+			s := m(a, b)
+			if math.IsNaN(s) || s < -1e-9 || s > 1+1e-9 {
+				t.Fatalf("%s(%q,%q) = %v", name, a, b, s)
+			}
+			if self := m(a, a); math.Abs(self-1) > 1e-9 {
+				t.Fatalf("%s(%q,%q) = %v, want 1", name, a, a, self)
+			}
+		}
+	})
+}
+
+func FuzzLevenshteinMetric(f *testing.F) {
+	f.Add("kitten", "sitting", "mitten")
+	f.Add("", "", "")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		a, b, c = clip(a), clip(b), clip(c)
+		ab := LevenshteinDistance(a, b)
+		ba := LevenshteinDistance(b, a)
+		if ab != ba {
+			t.Fatalf("not symmetric: %d vs %d", ab, ba)
+		}
+		if ab < 0 {
+			t.Fatalf("negative distance %d", ab)
+		}
+		if (ab == 0) != (a == b) {
+			t.Fatalf("identity of indiscernibles broken for %q,%q", a, b)
+		}
+		if ac, bc := LevenshteinDistance(a, c), LevenshteinDistance(b, c); ac > ab+bc {
+			t.Fatalf("triangle inequality broken: %d > %d + %d", ac, ab, bc)
+		}
+	})
+}
+
+func FuzzTokenize(f *testing.F) {
+	f.Add("Hello, World! 42")
+	f.Add("\x00\xff mixed\tbytes")
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if tok != strings.ToLower(tok) {
+				t.Fatalf("token %q not lower-cased", tok)
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package vector
+
+import "math"
+
+// CacheTFIDF precomputes the TF-IDF vectors of both collections, so that
+// corpus generation does not rebuild them per pair.
+func (s *Space) CacheTFIDF() (c1, c2 []Vec) {
+	c1 = make([]Vec, len(s.docs1))
+	for i := range s.docs1 {
+		c1[i] = s.TFIDF(1, i)
+	}
+	c2 = make([]Vec, len(s.docs2))
+	for j := range s.docs2 {
+		c2[j] = s.TFIDF(2, j)
+	}
+	return c1, c2
+}
+
+// AllSims computes all six bag measures for the pair (i, j) in a single
+// merge-join over the two sparse vectors, returning them in Measures()
+// order: ARCS, CosineTF, CosineTFIDF, Jaccard, GeneralizedJaccardTF,
+// GeneralizedJaccardTFIDF. tfidf1 and tfidf2 are the caches from
+// CacheTFIDF.
+func (s *Space) AllSims(i, j int, tfidf1, tfidf2 []Vec) [6]float64 {
+	a, b := s.docs1[i], s.docs2[j]
+	wa, wb := tfidf1[i], tfidf2[j] // same IDs as a and b, different weights
+
+	var (
+		arcs           float64
+		dotTF, dotIDF  float64
+		inter          int
+		minTF, maxTF   float64
+		minIDF, maxIDF float64
+	)
+	ii, jj := 0, 0
+	for ii < len(a.IDs) || jj < len(b.IDs) {
+		switch {
+		case jj >= len(b.IDs) || (ii < len(a.IDs) && a.IDs[ii] < b.IDs[jj]):
+			maxTF += a.Ws[ii]
+			maxIDF += wa.Ws[ii]
+			ii++
+		case ii >= len(a.IDs) || a.IDs[ii] > b.IDs[jj]:
+			maxTF += b.Ws[jj]
+			maxIDF += wb.Ws[jj]
+			jj++
+		default:
+			id := a.IDs[ii]
+			inter++
+			dotTF += a.Ws[ii] * b.Ws[jj]
+			dotIDF += wa.Ws[ii] * wb.Ws[jj]
+			minTF += math.Min(a.Ws[ii], b.Ws[jj])
+			maxTF += math.Max(a.Ws[ii], b.Ws[jj])
+			minIDF += math.Min(wa.Ws[ii], wb.Ws[jj])
+			maxIDF += math.Max(wa.Ws[ii], wb.Ws[jj])
+			df1 := math.Max(2, float64(s.df1[id]))
+			df2 := math.Max(2, float64(s.df2[id]))
+			arcs += math.Ln2 / math.Log(df1*df2)
+			ii++
+			jj++
+		}
+	}
+
+	var out [6]float64
+	if a.Len() > 0 && b.Len() > 0 {
+		arcs /= float64(min2(a.Len(), b.Len()))
+		if arcs > 1 {
+			arcs = 1
+		}
+		out[0] = arcs
+	}
+	if na, nb := a.Norm(), b.Norm(); na > 0 && nb > 0 {
+		out[1] = dotTF / (na * nb)
+	}
+	if na, nb := wa.Norm(), wb.Norm(); na > 0 && nb > 0 {
+		out[2] = dotIDF / (na * nb)
+	}
+	if union := a.Len() + b.Len() - inter; union > 0 {
+		out[3] = float64(inter) / float64(union)
+	} else {
+		out[3] = 1
+	}
+	if maxTF > 0 {
+		out[4] = minTF / maxTF
+	} else {
+		out[4] = 1
+	}
+	if maxIDF > 0 {
+		out[5] = minIDF / maxIDF
+	} else {
+		out[5] = 1
+	}
+	return out
+}

@@ -1,0 +1,395 @@
+// Package vector implements the paper's schema-agnostic bag (vector
+// space) models: character n-gram (n=2,3,4) and token n-gram (n=1,2,3)
+// sparse vectors with TF or TF-IDF weights, compared with ARCS, cosine,
+// Jaccard and generalized Jaccard similarities (Appendix B.2.1).
+//
+// A Space holds the two entity collections of a Clean-Clean ER task in a
+// shared vocabulary, keeps per-collection document frequencies (needed by
+// ARCS) and a joint IDF (used by the TF-IDF weighted measures), and can
+// enumerate all candidate pairs through an inverted index, which is how
+// the paper's pipeline produces similarity graphs containing every pair
+// with similarity above zero.
+package vector
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/ccer-go/ccer/internal/strsim"
+)
+
+// Mode selects a representation model: character or token n-grams of a
+// given order.
+type Mode struct {
+	Char bool
+	N    int
+}
+
+// String returns e.g. "char3" or "token2".
+func (m Mode) String() string {
+	kind := "token"
+	if m.Char {
+		kind = "char"
+	}
+	return fmt.Sprintf("%s%d", kind, m.N)
+}
+
+// Modes returns the paper's six bag representation models: character
+// n-grams for n=2,3,4 and token n-grams for n=1,2,3.
+func Modes() []Mode {
+	return []Mode{
+		{Char: true, N: 2}, {Char: true, N: 3}, {Char: true, N: 4},
+		{Char: false, N: 1}, {Char: false, N: 2}, {Char: false, N: 3},
+	}
+}
+
+// Grams extracts the n-grams of text under the mode. Character n-grams
+// slide over the raw runes; token n-grams join consecutive lower-cased
+// word tokens with a space.
+func (m Mode) Grams(text string) []string {
+	if m.Char {
+		return CharNGrams(text, m.N)
+	}
+	return TokenNGrams(strsim.Tokenize(text), m.N)
+}
+
+// CharNGrams returns the character n-grams of s. Strings shorter than n
+// yield the string itself as a single gram, so short values still get a
+// representation.
+func CharNGrams(s string, n int) []string {
+	r := []rune(s)
+	if len(r) == 0 {
+		return nil
+	}
+	if len(r) <= n {
+		return []string{string(r)}
+	}
+	grams := make([]string, 0, len(r)-n+1)
+	for i := 0; i+n <= len(r); i++ {
+		grams = append(grams, string(r[i:i+n]))
+	}
+	return grams
+}
+
+// TokenNGrams returns the token n-grams of the token sequence.
+func TokenNGrams(tokens []string, n int) []string {
+	if len(tokens) == 0 {
+		return nil
+	}
+	if len(tokens) <= n {
+		return []string{join(tokens)}
+	}
+	grams := make([]string, 0, len(tokens)-n+1)
+	for i := 0; i+n <= len(tokens); i++ {
+		grams = append(grams, join(tokens[i:i+n]))
+	}
+	return grams
+}
+
+func join(tokens []string) string {
+	out := tokens[0]
+	for _, t := range tokens[1:] {
+		out += " " + t
+	}
+	return out
+}
+
+// Vec is a sparse vector over gram ids, sorted by id.
+type Vec struct {
+	IDs []int32
+	Ws  []float64
+}
+
+// Len returns the number of non-zero dimensions.
+func (v Vec) Len() int { return len(v.IDs) }
+
+// Norm returns the L2 norm.
+func (v Vec) Norm() float64 {
+	s := 0.0
+	for _, w := range v.Ws {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the dot product of two sparse vectors via merge join.
+func Dot(a, b Vec) float64 {
+	i, j, s := 0, 0, 0.0
+	for i < len(a.IDs) && j < len(b.IDs) {
+		switch {
+		case a.IDs[i] < b.IDs[j]:
+			i++
+		case a.IDs[i] > b.IDs[j]:
+			j++
+		default:
+			s += a.Ws[i] * b.Ws[j]
+			i++
+			j++
+		}
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of two sparse vectors.
+func Cosine(a, b Vec) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// JaccardSet returns set Jaccard over the non-zero dimensions.
+func JaccardSet(a, b Vec) float64 {
+	if len(a.IDs) == 0 && len(b.IDs) == 0 {
+		return 1
+	}
+	i, j, inter := 0, 0, 0
+	for i < len(a.IDs) && j < len(b.IDs) {
+		switch {
+		case a.IDs[i] < b.IDs[j]:
+			i++
+		case a.IDs[i] > b.IDs[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	union := len(a.IDs) + len(b.IDs) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// GeneralizedJaccard returns Σmin(w)/Σmax(w) over the weighted
+// dimensions.
+func GeneralizedJaccard(a, b Vec) float64 {
+	i, j := 0, 0
+	minSum, maxSum := 0.0, 0.0
+	for i < len(a.IDs) || j < len(b.IDs) {
+		switch {
+		case j >= len(b.IDs) || (i < len(a.IDs) && a.IDs[i] < b.IDs[j]):
+			maxSum += a.Ws[i]
+			i++
+		case i >= len(a.IDs) || a.IDs[i] > b.IDs[j]:
+			maxSum += b.Ws[j]
+			j++
+		default:
+			minSum += math.Min(a.Ws[i], b.Ws[j])
+			maxSum += math.Max(a.Ws[i], b.Ws[j])
+			i++
+			j++
+		}
+	}
+	if maxSum == 0 {
+		return 1
+	}
+	return minSum / maxSum
+}
+
+// Space is the shared vector space of two entity collections under one
+// representation model.
+type Space struct {
+	Mode  Mode
+	vocab map[string]int32
+	// TF document vectors per collection, indexed by entity.
+	docs1, docs2 []Vec
+	// Per-collection document frequencies per gram id (for ARCS) and
+	// joint IDF over both collections (for TF-IDF weighting).
+	df1, df2 []int32
+	idf      []float64
+}
+
+// NewSpace builds the space from the schema-agnostic texts of the two
+// collections (one string per entity).
+func NewSpace(mode Mode, texts1, texts2 []string) *Space {
+	s := &Space{Mode: mode, vocab: make(map[string]int32)}
+	s.docs1 = s.addAll(texts1, &s.df1)
+	s.docs2 = s.addAll(texts2, &s.df2)
+	// Pad DFs to the final vocabulary size.
+	for len(s.df1) < len(s.vocab) {
+		s.df1 = append(s.df1, 0)
+	}
+	for len(s.df2) < len(s.vocab) {
+		s.df2 = append(s.df2, 0)
+	}
+	total := len(texts1) + len(texts2)
+	s.idf = make([]float64, len(s.vocab))
+	for id := range s.idf {
+		df := int(s.df1[id] + s.df2[id])
+		s.idf[id] = math.Log(float64(total) / float64(df+1))
+		if s.idf[id] < 0 {
+			s.idf[id] = 0
+		}
+	}
+	return s
+}
+
+func (s *Space) addAll(texts []string, df *[]int32) []Vec {
+	docs := make([]Vec, len(texts))
+	for i, text := range texts {
+		grams := s.Mode.Grams(text)
+		counts := make(map[int32]float64, len(grams))
+		for _, g := range grams {
+			id, ok := s.vocab[g]
+			if !ok {
+				id = int32(len(s.vocab))
+				s.vocab[g] = id
+			}
+			counts[id]++
+		}
+		v := Vec{IDs: make([]int32, 0, len(counts)), Ws: make([]float64, 0, len(counts))}
+		for id := range counts {
+			v.IDs = append(v.IDs, id)
+		}
+		sort.Slice(v.IDs, func(a, b int) bool { return v.IDs[a] < v.IDs[b] })
+		norm := float64(len(grams))
+		for _, id := range v.IDs {
+			v.Ws = append(v.Ws, counts[id]/norm) // normalized TF
+			for int(id) >= len(*df) {
+				*df = append(*df, 0)
+			}
+			(*df)[id]++
+		}
+		docs[i] = v
+	}
+	return docs
+}
+
+// N1 returns the number of entities in the first collection.
+func (s *Space) N1() int { return len(s.docs1) }
+
+// N2 returns the number of entities in the second collection.
+func (s *Space) N2() int { return len(s.docs2) }
+
+// TF returns the TF vector of entity i from the given collection (1 or 2).
+func (s *Space) TF(collection, i int) Vec {
+	if collection == 1 {
+		return s.docs1[i]
+	}
+	return s.docs2[i]
+}
+
+// TFIDF returns the TF-IDF weighted vector of entity i.
+func (s *Space) TFIDF(collection, i int) Vec {
+	tf := s.TF(collection, i)
+	v := Vec{IDs: tf.IDs, Ws: make([]float64, len(tf.Ws))}
+	for k, id := range tf.IDs {
+		v.Ws[k] = tf.Ws[k] * s.idf[id]
+	}
+	return v
+}
+
+// ARCS sums log2 / log(DF1(k)·DF2(k)) over the grams shared by entity i
+// of collection 1 and entity j of collection 2: the rarer the shared
+// grams, the higher the similarity. Grams that appear only once in a
+// collection would zero the log, so frequencies are floored at 2, and the
+// result is capped at 1 after scaling by the smaller vector size, keeping
+// scores in [0,1] before the pipeline's min-max normalization.
+func (s *Space) ARCS(i, j int) float64 {
+	a, b := s.docs1[i], s.docs2[j]
+	if a.Len() == 0 || b.Len() == 0 {
+		return 0
+	}
+	ii, jj, sum := 0, 0, 0.0
+	for ii < len(a.IDs) && jj < len(b.IDs) {
+		switch {
+		case a.IDs[ii] < b.IDs[jj]:
+			ii++
+		case a.IDs[ii] > b.IDs[jj]:
+			jj++
+		default:
+			id := a.IDs[ii]
+			df1 := math.Max(2, float64(s.df1[id]))
+			df2 := math.Max(2, float64(s.df2[id]))
+			sum += math.Ln2 / math.Log(df1*df2)
+			ii++
+			jj++
+		}
+	}
+	sim := sum / float64(min2(a.Len(), b.Len()))
+	if sim > 1 {
+		sim = 1
+	}
+	return sim
+}
+
+// Measure names for bag models, as used in the paper (Appendix B,
+// category 2): six measures combining ARCS, cosine and Jaccard variants
+// with TF or TF-IDF weights.
+const (
+	MeasureARCS        = "ARCS"
+	MeasureCosineTF    = "CosineTF"
+	MeasureCosineTFIDF = "CosineTFIDF"
+	MeasureJaccard     = "Jaccard"
+	MeasureGenJacTF    = "GeneralizedJaccardTF"
+	MeasureGenJacTFIDF = "GeneralizedJaccardTFIDF"
+)
+
+// Measures returns the six bag-model measure names in a stable order.
+func Measures() []string {
+	return []string{
+		MeasureARCS, MeasureCosineTF, MeasureCosineTFIDF,
+		MeasureJaccard, MeasureGenJacTF, MeasureGenJacTFIDF,
+	}
+}
+
+// Sim computes the named measure between entity i of collection 1 and
+// entity j of collection 2. It panics on an unknown measure name, which
+// indicates a programming error in the caller's configuration.
+func (s *Space) Sim(measure string, i, j int) float64 {
+	switch measure {
+	case MeasureARCS:
+		return s.ARCS(i, j)
+	case MeasureCosineTF:
+		return Cosine(s.docs1[i], s.docs2[j])
+	case MeasureCosineTFIDF:
+		return Cosine(s.TFIDF(1, i), s.TFIDF(2, j))
+	case MeasureJaccard:
+		return JaccardSet(s.docs1[i], s.docs2[j])
+	case MeasureGenJacTF:
+		return GeneralizedJaccard(s.docs1[i], s.docs2[j])
+	case MeasureGenJacTFIDF:
+		return GeneralizedJaccard(s.TFIDF(1, i), s.TFIDF(2, j))
+	default:
+		panic("vector: unknown measure " + measure)
+	}
+}
+
+// CandidatePairs returns all (i, j) pairs that share at least one gram,
+// via an inverted index over collection 1. Pairs that share nothing have
+// similarity zero under every bag measure, so this enumerates exactly the
+// graph's potential edges.
+func (s *Space) CandidatePairs() [][2]int32 {
+	index := make(map[int32][]int32) // gram id -> entities of collection 1
+	for i, v := range s.docs1 {
+		for _, id := range v.IDs {
+			index[id] = append(index[id], int32(i))
+		}
+	}
+	var pairs [][2]int32
+	seen := make(map[int64]bool)
+	for j, v := range s.docs2 {
+		for _, id := range v.IDs {
+			for _, i := range index[id] {
+				key := int64(i)<<32 | int64(j)
+				if !seen[key] {
+					seen[key] = true
+					pairs = append(pairs, [2]int32{i, int32(j)})
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,241 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestCharNGrams(t *testing.T) {
+	got := CharNGrams("joe", 2)
+	want := []string{"jo", "oe"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("CharNGrams = %v, want %v", got, want)
+	}
+	if got := CharNGrams("ab", 3); len(got) != 1 || got[0] != "ab" {
+		t.Fatalf("short string grams = %v, want [ab]", got)
+	}
+	if got := CharNGrams("", 2); got != nil {
+		t.Fatalf("empty string grams = %v", got)
+	}
+	// "Joe Biden" has seven character 3-grams, as in the paper's example.
+	if got := CharNGrams("Joe Biden", 3); len(got) != 7 {
+		t.Fatalf("character 3-grams of 'Joe Biden': %d, want 7", len(got))
+	}
+}
+
+func TestTokenNGrams(t *testing.T) {
+	got := TokenNGrams([]string{"joe", "biden", "president"}, 2)
+	if len(got) != 2 || got[0] != "joe biden" || got[1] != "biden president" {
+		t.Fatalf("TokenNGrams = %v", got)
+	}
+	if got := TokenNGrams([]string{"joe"}, 2); len(got) != 1 || got[0] != "joe" {
+		t.Fatalf("short token grams = %v", got)
+	}
+}
+
+func TestModes(t *testing.T) {
+	ms := Modes()
+	if len(ms) != 6 {
+		t.Fatalf("Modes: %d, want 6", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.String()] = true
+	}
+	for _, want := range []string{"char2", "char3", "char4", "token1", "token2", "token3"} {
+		if !names[want] {
+			t.Fatalf("missing mode %s in %v", want, names)
+		}
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	a := Vec{IDs: []int32{0, 2, 5}, Ws: []float64{1, 2, 3}}
+	b := Vec{IDs: []int32{2, 5, 7}, Ws: []float64{4, 1, 2}}
+	approx(t, Dot(a, b), 2*4+3*1, "Dot")
+	approx(t, a.Norm(), math.Sqrt(1+4+9), "Norm")
+	approx(t, Cosine(a, a), 1, "Cosine self")
+	approx(t, JaccardSet(a, b), 2.0/4.0, "JaccardSet")
+	approx(t, GeneralizedJaccard(a, a), 1, "GenJaccard self")
+	// GenJaccard by hand: min: ids 2,5 -> 2,1 = 3; max: 1+4+3+2 = 10.
+	approx(t, GeneralizedJaccard(a, b), 3.0/10.0, "GenJaccard")
+	empty := Vec{}
+	approx(t, Cosine(a, empty), 0, "Cosine empty")
+	approx(t, JaccardSet(empty, empty), 1, "JaccardSet both empty")
+}
+
+func newTestSpace(mode Mode) *Space {
+	return NewSpace(mode,
+		[]string{"green apple pie", "red onion soup", "blue fish"},
+		[]string{"green apple tart", "red onion soup", "chocolate cake"},
+	)
+}
+
+func TestSpaceIdenticalDocs(t *testing.T) {
+	for _, mode := range Modes() {
+		s := newTestSpace(mode)
+		for _, m := range Measures() {
+			// doc 1 of each collection is identical text.
+			sim := s.Sim(m, 1, 1)
+			if m == MeasureARCS {
+				// ARCS is not self-normalized: it rewards rarity of the
+				// shared grams, so identical docs just score positively.
+				if sim <= 0 || sim > 1 {
+					t.Fatalf("%s/ARCS identical docs sim = %v, want in (0,1]", mode, sim)
+				}
+				continue
+			}
+			if math.Abs(sim-1) > 1e-9 {
+				t.Fatalf("%s/%s identical docs sim = %v, want 1", mode, m, sim)
+			}
+		}
+	}
+}
+
+func TestSpaceDisjointDocs(t *testing.T) {
+	s := newTestSpace(Mode{Char: false, N: 1})
+	// "blue fish" vs "chocolate cake" share no tokens.
+	for _, m := range Measures() {
+		if sim := s.Sim(m, 2, 2); sim != 0 {
+			t.Fatalf("%s disjoint docs sim = %v, want 0", m, sim)
+		}
+	}
+}
+
+func TestSpaceRelativeOrder(t *testing.T) {
+	s := newTestSpace(Mode{Char: false, N: 1})
+	for _, m := range Measures() {
+		match := s.Sim(m, 0, 0)    // "green apple pie" vs "green apple tart"
+		nonmatch := s.Sim(m, 0, 2) // vs "chocolate cake"
+		if match <= nonmatch {
+			t.Fatalf("%s: match %v <= non-match %v", m, match, nonmatch)
+		}
+	}
+}
+
+func TestTFIDFDiscountsCommonGrams(t *testing.T) {
+	// "the" appears everywhere; "zebra" only in the matching pair.
+	s := NewSpace(Mode{Char: false, N: 1},
+		[]string{"the zebra", "the lion", "the ant"},
+		[]string{"the zebra", "the bear", "the wasp"},
+	)
+	tfidfMatch := s.Sim(MeasureCosineTFIDF, 0, 0)
+	tfidfShared := s.Sim(MeasureCosineTFIDF, 1, 1) // only "the" shared
+	if tfidfShared >= tfidfMatch {
+		t.Fatalf("TF-IDF did not discount the stop word: %v >= %v", tfidfShared, tfidfMatch)
+	}
+	tfShared := s.Sim(MeasureCosineTF, 1, 1)
+	if tfidfShared >= tfShared {
+		t.Fatalf("TF-IDF weight for stop-word-only pair (%v) should be below TF (%v)",
+			tfidfShared, tfShared)
+	}
+}
+
+func TestARCSPrefersRareGrams(t *testing.T) {
+	s := NewSpace(Mode{Char: false, N: 1},
+		[]string{"common rare1", "common x", "common y"},
+		[]string{"common rare1", "common z", "common w"},
+	)
+	rarePair := s.ARCS(0, 0)   // shares "common" and the rare "rare1"
+	commonPair := s.ARCS(1, 1) // shares only "common"
+	if rarePair <= commonPair {
+		t.Fatalf("ARCS: rare-gram pair %v <= common-gram pair %v", rarePair, commonPair)
+	}
+}
+
+func TestCandidatePairs(t *testing.T) {
+	s := newTestSpace(Mode{Char: false, N: 1})
+	pairs := s.CandidatePairs()
+	want := map[[2]int32]bool{
+		{0, 0}: true, // share "green", "apple"
+		{1, 1}: true, // identical
+	}
+	got := map[[2]int32]bool{}
+	for _, p := range pairs {
+		got[p] = true
+		if s.Sim(MeasureJaccard, int(p[0]), int(p[1])) == 0 {
+			t.Fatalf("candidate pair %v has zero similarity", p)
+		}
+	}
+	for p := range want {
+		if !got[p] {
+			t.Fatalf("missing candidate pair %v; got %v", p, got)
+		}
+	}
+	// Completeness: every positive-similarity pair is a candidate.
+	for i := 0; i < s.N1(); i++ {
+		for j := 0; j < s.N2(); j++ {
+			if s.Sim(MeasureJaccard, i, j) > 0 && !got[[2]int32{int32(i), int32(j)}] {
+				t.Fatalf("pair (%d,%d) has positive similarity but is not a candidate", i, j)
+			}
+		}
+	}
+}
+
+// All measures stay in [0,1] and equal 1 on identical random texts.
+func TestPropertyMeasureRange(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	gen := func(rng *rand.Rand) string {
+		n := rng.Intn(6) + 1
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		return strings.Join(parts, " ")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		t1 := make([]string, 4)
+		t2 := make([]string, 4)
+		for i := range t1 {
+			t1[i] = gen(rng)
+			t2[i] = gen(rng)
+		}
+		for _, mode := range Modes() {
+			s := NewSpace(mode, t1, t2)
+			for _, m := range Measures() {
+				for i := range t1 {
+					for j := range t2 {
+						sim := s.Sim(m, i, j)
+						if sim < 0 || sim > 1+1e-9 || math.IsNaN(sim) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// AllSims must agree with the individual Sim calls.
+func TestAllSimsConsistent(t *testing.T) {
+	for _, mode := range Modes() {
+		s := newTestSpace(mode)
+		c1, c2 := s.CacheTFIDF()
+		for i := 0; i < s.N1(); i++ {
+			for j := 0; j < s.N2(); j++ {
+				all := s.AllSims(i, j, c1, c2)
+				for k, m := range Measures() {
+					want := s.Sim(m, i, j)
+					if math.Abs(all[k]-want) > 1e-12 {
+						t.Fatalf("%s AllSims[%s](%d,%d) = %v, want %v", mode, m, i, j, all[k], want)
+					}
+				}
+			}
+		}
+	}
+}
