@@ -287,6 +287,85 @@ func BenchmarkAblationThresholdView(b *testing.B) {
 	}
 }
 
+// benchD2Config is the D2 grid used by the serial-vs-parallel engine
+// benchmarks: one dataset, all four weight families, the eight paper
+// algorithms.
+func benchD2Config(parallelism int) exp.Config {
+	cfg := benchConfig()
+	cfg.Datasets = []string{"D2"}
+	cfg.Parallelism = parallelism
+	return cfg
+}
+
+// BenchmarkD2GridSerial times the full D2 experiment grid (every
+// similarity graph × every algorithm × 20 thresholds) on one worker.
+func BenchmarkD2GridSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.BuildCorpus(benchD2Config(1))
+	}
+}
+
+// BenchmarkD2GridParallel is BenchmarkD2GridSerial on runtime.NumCPU()
+// workers. Comparing the two shows the engine's wall-clock speedup; on a
+// machine with >=4 cores the parallel grid runs >=2x faster.
+func BenchmarkD2GridParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.BuildCorpus(benchD2Config(0))
+	}
+}
+
+// sweepAllBenchInput builds the inputs for the SweepAll benchmarks: a
+// random graph and a synthetic diagonal ground truth.
+func sweepAllBenchInput() (*graph.Bipartite, *GroundTruth) {
+	g := benchGraph(1_000, 20_000)
+	pairs := make([][2]int32, 1_000)
+	for i := range pairs {
+		pairs[i] = [2]int32{int32(i), int32(i)}
+	}
+	return g, NewGroundTruth(pairs)
+}
+
+func benchSweepAll(b *testing.B, parallelism int) {
+	b.Helper()
+	g, gt := sweepAllBenchInput()
+	algorithms := Algorithms()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SweepAll(g, gt, algorithms, Options{Parallelism: parallelism}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepAllSerial times tuning all eight algorithms on one graph
+// with a single worker.
+func BenchmarkSweepAllSerial(b *testing.B) { benchSweepAll(b, 1) }
+
+// BenchmarkSweepAllParallel is BenchmarkSweepAllSerial with the
+// (algorithm × threshold) grid fanned over all CPUs.
+func BenchmarkSweepAllParallel(b *testing.B) { benchSweepAll(b, 0) }
+
+// BenchmarkMatchConcurrent times running all eight algorithms at one
+// threshold, serial vs parallel.
+func BenchmarkMatchConcurrent(b *testing.B) {
+	g := benchGraph(2_000, 50_000)
+	algorithms := Algorithms()
+	for _, cfg := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"Serial", 1}, {"Parallel", 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := MatchConcurrent(g, algorithms, 0.5, Options{Parallelism: cfg.parallelism}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSweep measures a full 20-point threshold sweep of UMC, the
 // unit of work behind every corpus entry.
 func BenchmarkSweep(b *testing.B) {

@@ -39,6 +39,7 @@ import (
 	"github.com/ccer-go/ccer/internal/dataset"
 	"github.com/ccer-go/ccer/internal/eval"
 	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/par"
 	"github.com/ccer-go/ccer/internal/simgraph"
 	"github.com/ccer-go/ccer/internal/strsim"
 )
@@ -86,12 +87,16 @@ func Algorithms() []string { return core.Names() }
 
 // NewMatcher returns the named matching algorithm with its default
 // configuration. Besides the paper's eight, "HUN" (Hungarian) and "AUC"
-// (auction) exact baselines are available. seed configures the stochastic
-// BAH algorithm and is ignored by the others.
+// (auction) exact baselines and "QLM" (the future-work Q-learning
+// matcher) are available. seed configures the stochastic BAH and QLM
+// algorithms and is ignored by the others.
 func NewMatcher(name string, seed int64) (Matcher, error) {
+	if name == "QLM" {
+		return NewQLearningMatcher(seed), nil
+	}
 	m := core.ByName(name, seed)
 	if m == nil {
-		return nil, fmt.Errorf("ccer: unknown algorithm %q (have %v, HUN, AUC)",
+		return nil, fmt.Errorf("ccer: unknown algorithm %q (have %v, HUN, AUC, QLM)",
 			name, core.Names())
 	}
 	return m, nil
@@ -115,6 +120,90 @@ func Evaluate(pairs []Pair, gt *GroundTruth) Metrics { return eval.Evaluate(pair
 // F-measure. repeats controls run-time averaging (use 1 unless timing).
 func SweepThreshold(g *Graph, gt *GroundTruth, m Matcher, repeats int) SweepResult {
 	return eval.Sweep(g, gt, m, repeats)
+}
+
+// Options configures the concurrent entry points SweepAll and
+// MatchConcurrent.
+type Options struct {
+	// Parallelism is the number of worker goroutines. 0 means
+	// runtime.NumCPU(); 1 or any negative value runs serially.
+	// Effectiveness results are identical at any parallelism as long as
+	// BAH's step cap binds before its wall-clock cap (true for the
+	// defaults; a binding deadline makes BAH timing-dependent even
+	// serially). Run-time measurements pick up scheduler noise from
+	// concurrent workers, so use 1 when timing.
+	Parallelism int
+	// Repeats is the number of timed executions per threshold in
+	// SweepAll (values below 1 mean 1). Ignored by MatchConcurrent.
+	Repeats int
+	// Seed configures the stochastic BAH algorithm (and the Q-learning
+	// matcher, if requested by name); 0 means 1, matching Match.
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// matchersByName resolves algorithm names, failing on the first unknown
+// one.
+func matchersByName(algorithms []string, seed int64) ([]Matcher, error) {
+	ms := make([]Matcher, len(algorithms))
+	for i, name := range algorithms {
+		m, err := NewMatcher(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// SweepAll tunes every named algorithm on the graph, fanning the full
+// (algorithm × threshold) grid over opts.Parallelism workers. Results
+// come back in input order with sweep points in threshold order, and are
+// identical to the serial path at a fixed seed: each worker operates on a
+// private clone of the stochastic matchers, and the timed repeat runs
+// stay sequential inside one worker so SweepResult.Runtime remains a
+// per-execution mean.
+func SweepAll(g *Graph, gt *GroundTruth, algorithms []string, opts Options) ([]SweepResult, error) {
+	ms, err := matchersByName(algorithms, opts.seed())
+	if err != nil {
+		return nil, err
+	}
+	return eval.SweepAllOpts(g, gt, ms, eval.SweepOptions{
+		Repeats:     opts.Repeats,
+		Parallelism: opts.Parallelism,
+	}), nil
+}
+
+// MatchResult couples one algorithm with its matching.
+type MatchResult struct {
+	Algorithm string
+	Pairs     []Pair
+}
+
+// MatchConcurrent runs the named algorithms on the graph at threshold t
+// across opts.Parallelism workers, returning one result per algorithm in
+// input order. Output is deterministic: every matcher in this module
+// keeps its mutable state local to a Match call, and each algorithm runs
+// on exactly one worker, so the pairs are identical to len(algorithms)
+// sequential Match calls.
+func MatchConcurrent(g *Graph, algorithms []string, t float64, opts Options) ([]MatchResult, error) {
+	ms, err := matchersByName(algorithms, opts.seed())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MatchResult, len(ms))
+	// ms is private to this call and each index runs on exactly one
+	// worker, so no cloning is needed here.
+	par.For(len(ms), par.Workers(opts.Parallelism), nil, func(_, i int) {
+		out[i] = MatchResult{Algorithm: ms[i].Name(), Pairs: ms[i].Match(g, t)}
+	})
+	return out, nil
 }
 
 // SimilarityFunc scores the similarity of two strings in [0,1].

@@ -18,18 +18,21 @@
 //	-families string   comma-separated weight families among SB-SYN,SA-SYN,SB-SEM,SA-SEM (default all)
 //	-bahsteps int      BAH search-step cap (default 10000)
 //	-bahtime  duration BAH run-time cap (default 2m)
+//	-parallel int      sweep-grid workers (default 0 = all CPUs; use 1 for paper-grade timings)
 //
 // Examples:
 //
 //	erbench -datasets D1,D2,D3 table4
-//	erbench -scale 0.05 -repeats 10 table6
+//	erbench -scale 0.05 -repeats 10 -parallel 1 table6
 //	erbench all
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -52,6 +55,8 @@ func run() error {
 	families := flag.String("families", "", "comma-separated weight families (default all)")
 	bahSteps := flag.Int("bahsteps", 10000, "BAH search-step cap")
 	bahTime := flag.Duration("bahtime", 2*time.Minute, "BAH run-time cap")
+	parallel := flag.Int("parallel", 0,
+		"sweep-grid workers (0 = all CPUs, 1 = serial; use 1 for paper-grade timings)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -64,11 +69,12 @@ func run() error {
 	}
 
 	cfg := exp.Config{
-		Seed:     *seed,
-		Scale:    *scale,
-		Repeats:  *repeats,
-		BAHSteps: *bahSteps,
-		BAHTime:  *bahTime,
+		Seed:        *seed,
+		Scale:       *scale,
+		Repeats:     *repeats,
+		BAHSteps:    *bahSteps,
+		BAHTime:     *bahTime,
+		Parallelism: *parallel,
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
@@ -85,10 +91,18 @@ func run() error {
 		}
 	}
 
-	fmt.Fprintf(os.Stderr, "erbench: building corpus (seed=%d scale=%g datasets=%v)...\n",
-		cfg.Seed, *scale, cfg.Datasets)
+	fmt.Fprintf(os.Stderr, "erbench: building corpus (seed=%d scale=%g datasets=%v parallel=%d)...\n",
+		cfg.Seed, *scale, cfg.Datasets, *parallel)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	start := time.Now()
-	corpus := exp.BuildCorpus(cfg)
+	corpus, err := exp.BuildCorpusCtx(ctx, cfg)
+	// Release the signal handler right away: a second Ctrl-C (or any
+	// interrupt after the build) should kill the process normally
+	// instead of being swallowed by the already-canceled context.
+	stop()
+	if err != nil {
+		return fmt.Errorf("corpus build: %w", err)
+	}
 	fmt.Fprintf(os.Stderr, "erbench: %d graphs (%d noisy + %d duplicates dropped) in %v\n",
 		len(corpus.Graphs), corpus.DroppedNoisy, corpus.DroppedDupes,
 		time.Since(start).Round(time.Millisecond))

@@ -14,17 +14,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"github.com/ccer-go/ccer"
 )
 
 func main() {
-	task, err := ccer.GenerateDataset("D4", 11, 0.04)
-	if err != nil {
+	if err := run(os.Stdout, 0.04); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("D4 analog: |V1|=%d |V2|=%d true matches=%d\n\n",
+}
+
+func run(w io.Writer, scale float64) error {
+	task, err := ccer.GenerateDataset("D4", 11, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "D4 analog: |V1|=%d |V2|=%d true matches=%d\n\n",
 		task.V1.Len(), task.V2.Len(), task.GT.Len())
 
 	// Schema-based on title vs schema-agnostic over the whole profile.
@@ -32,12 +40,12 @@ func main() {
 		task.V1.AttrTexts("title"), task.V2.AttrTexts("title"),
 		ccer.TokenJaccard, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	schemaAgnostic, err := ccer.BuildGraph(
 		task.V1.Texts(), task.V2.Texts(), ccer.TokenJaccard, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	for _, cfg := range []struct {
@@ -47,17 +55,17 @@ func main() {
 		{"schema-based (title)", schemaBased.NormalizeMinMax()},
 		{"schema-agnostic (all values)", schemaAgnostic.NormalizeMinMax()},
 	} {
-		fmt.Println(cfg.name)
+		fmt.Fprintln(w, cfg.name)
 		for _, alg := range []string{"UMC", "KRC", "EXC", "CNC"} {
 			m, err := ccer.NewMatcher(alg, 1)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			res := ccer.SweepThreshold(cfg.g, task.GT, m, 1)
-			fmt.Printf("  %-4s t=%.2f  P=%.3f R=%.3f F1=%.3f\n",
+			fmt.Fprintf(w, "  %-4s t=%.2f  P=%.3f R=%.3f F1=%.3f\n",
 				alg, res.BestT, res.Best.Precision, res.Best.Recall, res.Best.F1)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	// Greedy vs exact maximum weight matching on the schema-agnostic
@@ -66,11 +74,11 @@ func main() {
 	g := schemaAgnostic.NormalizeMinMax()
 	umc, err := ccer.Match(g, "UMC", 0.3)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	hun, err := ccer.Match(g, "HUN", 0.3)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var wUMC, wHUN float64
 	for _, p := range umc {
@@ -79,6 +87,7 @@ func main() {
 	for _, p := range hun {
 		wHUN += p.W
 	}
-	fmt.Printf("matching weight: UMC=%.2f, exact (Hungarian)=%.2f (ratio %.3f)\n",
+	fmt.Fprintf(w, "matching weight: UMC=%.2f, exact (Hungarian)=%.2f (ratio %.3f)\n",
 		wUMC, wHUN, wUMC/wHUN)
+	return nil
 }

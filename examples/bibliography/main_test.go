@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example at a tiny scale.
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"schema-based (title)", "schema-agnostic (all values)", "matching weight:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

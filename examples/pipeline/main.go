@@ -11,18 +11,26 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"github.com/ccer-go/ccer"
 )
 
 func main() {
-	task, err := ccer.GenerateDataset("D8", 13, 0.02)
-	if err != nil {
+	if err := run(os.Stdout, 0.02); err != nil {
 		log.Fatal(err)
 	}
+}
+
+func run(w io.Writer, scale float64) error {
+	task, err := ccer.GenerateDataset("D8", 13, scale)
+	if err != nil {
+		return err
+	}
 	n1, n2 := task.V1.Len(), task.V2.Len()
-	fmt.Printf("D8 analog: |V1|=%d |V2|=%d true matches=%d (%d possible comparisons)\n\n",
+	fmt.Fprintf(w, "D8 analog: |V1|=%d |V2|=%d true matches=%d (%d possible comparisons)\n\n",
 		n1, n2, task.GT.Len(), task.Comparisons())
 
 	// Step (i): token blocking with purging and filtering.
@@ -31,8 +39,8 @@ func main() {
 	blocks = ccer.FilterBlocks(blocks, 0.5)
 	cands := ccer.BlockCandidates(blocks)
 	q := ccer.EvaluateBlocking(cands, task.GT, n1, n2)
-	fmt.Printf("blocking: %d blocks -> %d candidates\n", len(blocks), q.Candidates)
-	fmt.Printf("          pair completeness %.3f, reduction ratio %.3f\n\n",
+	fmt.Fprintf(w, "blocking: %d blocks -> %d candidates\n", len(blocks), q.Candidates)
+	fmt.Fprintf(w, "          pair completeness %.3f, reduction ratio %.3f\n\n",
 		q.PairCompleteness, q.ReductionRatio)
 
 	// Step (ii): score only the candidates.
@@ -40,10 +48,10 @@ func main() {
 	texts2 := task.V2.Texts()
 	g, err := ccer.BuildGraphFromCandidates(texts1, texts2, cands, ccer.TokenJaccard, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	g = g.NormalizeMinMax()
-	fmt.Printf("similarity graph: %d edges (%.2f%% of the Cartesian product)\n\n",
+	fmt.Fprintf(w, "similarity graph: %d edges (%.2f%% of the Cartesian product)\n\n",
 		g.NumEdges(), 100*g.Density())
 
 	// Step (iii): pick the threshold without labels, then match. The
@@ -51,19 +59,20 @@ func main() {
 	// effectiveness and efficiency; compare it with UMC and the
 	// future-work Q-learning matcher.
 	t := ccer.EstimateThreshold(g)
-	fmt.Printf("estimated threshold: %.2f\n\n", t)
+	fmt.Fprintf(w, "estimated threshold: %.2f\n\n", t)
 	for _, alg := range []string{"EXC", "UMC", "KRC"} {
 		pairs, err := ccer.Match(g, alg, t)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		m := ccer.Evaluate(pairs, task.GT)
-		fmt.Printf("%-4s %3d pairs  P=%.3f R=%.3f F1=%.3f\n",
+		fmt.Fprintf(w, "%-4s %3d pairs  P=%.3f R=%.3f F1=%.3f\n",
 			alg, len(pairs), m.Precision, m.Recall, m.F1)
 	}
 	qlm := ccer.NewQLearningMatcher(13)
 	pairs := qlm.Match(g, t)
 	m := ccer.Evaluate(pairs, task.GT)
-	fmt.Printf("%-4s %3d pairs  P=%.3f R=%.3f F1=%.3f  (future-work Q-learning matcher)\n",
+	fmt.Fprintf(w, "%-4s %3d pairs  P=%.3f R=%.3f F1=%.3f  (future-work Q-learning matcher)\n",
 		qlm.Name(), len(pairs), m.Precision, m.Recall, m.F1)
+	return nil
 }

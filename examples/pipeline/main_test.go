@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the full blocking -> scoring -> matching pipeline
+// at a tiny scale.
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"blocking:", "similarity graph:", "estimated threshold:", "QLM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -4,6 +4,11 @@
 // thresholds. Products are the paper's noisiest domain: titles carry
 // typos, dropped tokens and reordered words.
 //
+// The tuning uses ccer.SweepAll, which can fan the full
+// (algorithm × threshold) grid over all CPUs (Options.Parallelism: 0)
+// with results identical to the serial path; the example runs it at
+// Parallelism 1 so the reported runtimes stay free of scheduler noise.
+//
 // Run with:
 //
 //	go run ./examples/productmatching
@@ -11,19 +16,27 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"github.com/ccer-go/ccer"
 )
 
 func main() {
-	// The D2 analog at 5% of the paper's scale: two product feeds with
-	// every entity matched across sides (a "balanced" collection).
-	task, err := ccer.GenerateDataset("D2", 7, 0.05)
-	if err != nil {
+	if err := run(os.Stdout, 0.05); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("D2 analog: |V1|=%d |V2|=%d true matches=%d\n",
+}
+
+func run(w io.Writer, scale float64) error {
+	// The D2 analog at 5% of the paper's scale: two product feeds with
+	// every entity matched across sides (a "balanced" collection).
+	task, err := ccer.GenerateDataset("D2", 7, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "D2 analog: |V1|=%d |V2|=%d true matches=%d\n",
 		task.V1.Len(), task.V2.Len(), task.GT.Len())
 
 	// Schema-based graph on the product name with Jaro similarity.
@@ -31,24 +44,27 @@ func main() {
 	names2 := task.V2.AttrTexts("name")
 	g, err := ccer.BuildGraph(names1, names2, ccer.JaroSimilarity, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	g = g.NormalizeMinMax()
-	fmt.Printf("similarity graph: %d edges (density %.1f%%)\n\n",
+	fmt.Fprintf(w, "similarity graph: %d edges (density %.1f%%)\n\n",
 		g.NumEdges(), 100*g.Density())
 
 	// Tune every algorithm on the paper's threshold grid and report the
-	// optimal configuration, as in the paper's Table 4/Table 9.
-	fmt.Printf("%-5s %6s %10s %8s %8s %12s\n",
+	// optimal configuration, as in Table 4/Table 9. Parallelism 1 keeps
+	// the runtime column meaningful; drop it to 0 to fan the grid over
+	// all CPUs when clean timings don't matter.
+	results, err := ccer.SweepAll(g, task.GT, ccer.Algorithms(),
+		ccer.Options{Repeats: 3, Seed: 7, Parallelism: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-5s %6s %10s %8s %8s %12s\n",
 		"alg", "best t", "precision", "recall", "F1", "runtime")
-	for _, name := range ccer.Algorithms() {
-		m, err := ccer.NewMatcher(name, 7)
-		if err != nil {
-			log.Fatal(err)
-		}
-		res := ccer.SweepThreshold(g, task.GT, m, 3)
-		fmt.Printf("%-5s %6.2f %10.3f %8.3f %8.3f %12v\n",
-			name, res.BestT, res.Best.Precision, res.Best.Recall,
+	for _, res := range results {
+		fmt.Fprintf(w, "%-5s %6.2f %10.3f %8.3f %8.3f %12v\n",
+			res.Algorithm, res.BestT, res.Best.Precision, res.Best.Recall,
 			res.Best.F1, res.Runtime)
 	}
+	return nil
 }

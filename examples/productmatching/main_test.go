@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example at a tiny scale: the parallel SweepAll
+// must tune all eight algorithms.
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, alg := range []string{"CNC", "RSR", "RCA", "BAH", "BMC", "EXC", "KRC", "UMC"} {
+		if !strings.Contains(out, alg) {
+			t.Fatalf("output missing algorithm %q:\n%s", alg, out)
+		}
+	}
+}

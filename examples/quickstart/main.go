@@ -8,12 +8,20 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"github.com/ccer-go/ccer"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// Two clean sources describing restaurants; the first three of each
 	// refer to the same real-world places.
 	source := []string{
@@ -32,23 +40,24 @@ func main() {
 	// Build the bipartite similarity graph with token Jaccard.
 	g, err := ccer.BuildGraph(source, target, ccer.TokenJaccard, 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("similarity graph: %d x %d nodes, %d edges\n",
+	fmt.Fprintf(w, "similarity graph: %d x %d nodes, %d edges\n",
 		g.N1(), g.N2(), g.NumEdges())
 
 	// Match with UMC at threshold 0.3: each entity pairs with at most
 	// one entity of the other source.
 	pairs, err := ccer.Match(g, "UMC", 0.3)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, p := range pairs {
-		fmt.Printf("matched (%.2f): %q  <->  %q\n", p.W, source[p.U], target[p.V])
+		fmt.Fprintf(w, "matched (%.2f): %q  <->  %q\n", p.W, source[p.U], target[p.V])
 	}
 
 	// If a ground truth is known, score the matching.
 	gt := ccer.NewGroundTruth([][2]int32{{0, 0}, {1, 1}, {2, 2}})
 	m := ccer.Evaluate(pairs, gt)
-	fmt.Printf("precision=%.2f recall=%.2f F1=%.2f\n", m.Precision, m.Recall, m.F1)
+	fmt.Fprintf(w, "precision=%.2f recall=%.2f F1=%.2f\n", m.Precision, m.Recall, m.F1)
+	return nil
 }

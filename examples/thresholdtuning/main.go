@@ -12,21 +12,29 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"github.com/ccer-go/ccer"
 )
 
 func main() {
-	task, err := ccer.GenerateDataset("D3", 5, 0.04)
-	if err != nil {
+	if err := run(os.Stdout, 0.04); err != nil {
 		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, scale float64) error {
+	task, err := ccer.GenerateDataset("D3", 5, scale)
+	if err != nil {
+		return err
 	}
 	attrs, err := ccer.KeyAttributes("D3")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("D3 analog: |V1|=%d |V2|=%d matches=%d, key attrs %v\n\n",
+	fmt.Fprintf(w, "D3 analog: |V1|=%d |V2|=%d matches=%d, key attrs %v\n\n",
 		task.V1.Len(), task.V2.Len(), task.GT.Len(), attrs)
 
 	// Generate the full corpus of similarity graphs for two families.
@@ -34,7 +42,7 @@ func main() {
 		ccer.WeightFamilies()[0], // schema-based syntactic
 		ccer.WeightFamilies()[1], // schema-agnostic syntactic
 	})
-	fmt.Printf("generated %d similarity graphs\n\n", len(graphs))
+	fmt.Fprintf(w, "generated %d similarity graphs\n\n", len(graphs))
 
 	// For each family, tune UMC and KRC per graph and track the optimal
 	// thresholds and the graph density.
@@ -43,10 +51,11 @@ func main() {
 	agree := 0
 	total := 0
 	for _, sg := range graphs {
-		umc, _ := ccer.NewMatcher("UMC", 1)
-		krc, _ := ccer.NewMatcher("KRC", 1)
-		rU := ccer.SweepThreshold(sg.G, task.GT, umc, 1)
-		rK := ccer.SweepThreshold(sg.G, task.GT, krc, 1)
+		results, err := ccer.SweepAll(sg.G, task.GT, []string{"UMC", "KRC"}, ccer.Options{})
+		if err != nil {
+			return err
+		}
+		rU, rK := results[0], results[1]
 		byFamily[sg.Family] = append(byFamily[sg.Family],
 			sample{t: rU.BestT, density: sg.G.Density()})
 		total++
@@ -55,19 +64,24 @@ func main() {
 		}
 	}
 
-	for fam, samples := range byFamily {
+	for _, fam := range ccer.WeightFamilies() {
+		samples := byFamily[fam]
+		if len(samples) == 0 {
+			continue
+		}
 		mean := 0.0
 		for _, s := range samples {
 			mean += s.t
 		}
 		mean /= float64(len(samples))
-		fmt.Printf("%s: %d graphs, mean optimal threshold for UMC = %.2f\n",
+		fmt.Fprintf(w, "%s: %d graphs, mean optimal threshold for UMC = %.2f\n",
 			fam, len(samples), mean)
 	}
-	fmt.Printf("\nUMC and KRC optima within 0.10 of each other on %d/%d graphs\n",
+	fmt.Fprintf(w, "\nUMC and KRC optima within 0.10 of each other on %d/%d graphs\n",
 		agree, total)
-	fmt.Println("(the paper's Figure 9 reports Pearson correlations above 0.8 " +
+	fmt.Fprintln(w, "(the paper's Figure 9 reports Pearson correlations above 0.8 "+
 		"between algorithms' optimal thresholds)")
+	return nil
 }
 
 func diff(a, b float64) float64 {

@@ -1,0 +1,3 @@
+module github.com/ccer-go/ccer
+
+go 1.24

@@ -44,6 +44,11 @@ func NewBAH(seed int64) BAH {
 // Name implements Matcher.
 func (BAH) Name() string { return "BAH" }
 
+// CloneMatcher implements Cloner. BAH's random state lives inside Match
+// (a fresh rand.Rand per call), so the value copy is a fully independent
+// matcher that reproduces the original's output for the same seed.
+func (b BAH) CloneMatcher() Matcher { return b }
+
 // Match implements Matcher.
 func (b BAH) Match(g *graph.Bipartite, t float64) []Pair {
 	maxSteps := b.MaxSteps

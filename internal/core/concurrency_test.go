@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/graph"
+)
+
+// concurrencyMatchers returns all ten matchers of this package (the
+// paper's eight plus the two exact baselines) with fixed configuration.
+func concurrencyMatchers() []Matcher {
+	return []Matcher{
+		CNC{}, RSR{}, RCA{}, NewBAH(3),
+		BMC{Basis: BasisAuto}, EXC{}, KRC{}, UMC{},
+		Hungarian{}, Auction{},
+	}
+}
+
+func concurrencyGraph(t *testing.T) *graph.Bipartite {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	n := 40
+	b := graph.NewBuilder(n, n)
+	for i := 0; i < 500; i++ {
+		b.Add(int32(rng.Intn(n)), int32(rng.Intn(n)), rng.Float64())
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestMatchersGoroutineSafe runs every matcher's Match concurrently from
+// many goroutines on a shared graph and asserts all outputs equal the
+// serial result. Under -race this also proves Match keeps its mutable
+// state call-local.
+func TestMatchersGoroutineSafe(t *testing.T) {
+	g := concurrencyGraph(t)
+	const goroutines = 8
+	for _, m := range concurrencyMatchers() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			t.Parallel()
+			want := m.Match(g, 0.3)
+			got := make([][]Pair, goroutines)
+			var wg sync.WaitGroup
+			for i := 0; i < goroutines; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					// Odd goroutines share the original value, even ones
+					// use a per-worker clone: both must be safe.
+					w := m
+					if i%2 == 0 {
+						w = Clone(m)
+					}
+					got[i] = w.Match(g, 0.3)
+				}(i)
+			}
+			wg.Wait()
+			for i, pairs := range got {
+				if !reflect.DeepEqual(pairs, want) {
+					t.Fatalf("goroutine %d: %d pairs != serial %d pairs",
+						i, len(pairs), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestClone pins Clone's contract: stochastic matchers come back as
+// independent copies with identical behavior, stateless ones come back
+// as-is.
+func TestClone(t *testing.T) {
+	g := concurrencyGraph(t)
+	b := NewBAH(17)
+	c := Clone(b)
+	if _, ok := c.(BAH); !ok {
+		t.Fatalf("Clone(BAH) = %T", c)
+	}
+	if !reflect.DeepEqual(b.Match(g, 0.3), c.Match(g, 0.3)) {
+		t.Fatal("BAH clone diverged from original at the same seed")
+	}
+	u := UMC{}
+	if Clone(u) != Matcher(u) {
+		t.Fatal("Clone of a stateless matcher should be the matcher itself")
+	}
+}

@@ -34,12 +34,68 @@ type Pair struct {
 // Matcher is a bipartite graph matching algorithm. Match must return a 1-1
 // matching of the input graph, only using edges with weight strictly
 // greater than t (the paper's pruning rule "e.sim > t").
+//
+// Goroutine safety: every matcher in this package keeps its mutable
+// working state local to the Match call, so a single matcher value may be
+// shared by concurrent Match calls on the same or different graphs. The
+// stochastic matchers (BAH here, the Q-learning matcher in internal/rl)
+// additionally implement Cloner so that parallel harnesses can hand each
+// worker its own copy and keep that guarantee explicit; Clone respects it
+// for both kinds.
 type Matcher interface {
 	// Name returns the short algorithm identifier used throughout the
 	// paper, e.g. "UMC".
 	Name() string
 	// Match computes the matching.
 	Match(g *graph.Bipartite, t float64) []Pair
+}
+
+// Cloner is implemented by matchers that carry per-instance configuration
+// (seeds, caps) a parallel harness should copy per worker rather than
+// share. CloneMatcher must return an independent matcher that produces
+// the same output as the original for the same input.
+type Cloner interface {
+	CloneMatcher() Matcher
+}
+
+// Clone returns a per-worker copy of m: the CloneMatcher result when m
+// implements Cloner, and m itself otherwise (the stateless matchers in
+// this package are safe to share).
+func Clone(m Matcher) Matcher {
+	if c, ok := m.(Cloner); ok {
+		return c.CloneMatcher()
+	}
+	return m
+}
+
+// CloneCache lazily hands each worker of a parallel harness its own
+// clone of every matcher in a list. It is safe for concurrent use as
+// long as each worker index is owned by exactly one goroutine (the
+// par.For contract).
+type CloneCache struct {
+	matchers []Matcher
+	clones   [][]Matcher
+}
+
+// NewCloneCache returns a cache for the matcher list across `workers`
+// worker slots.
+func NewCloneCache(matchers []Matcher, workers int) *CloneCache {
+	if workers < 1 {
+		workers = 1
+	}
+	return &CloneCache{matchers: matchers, clones: make([][]Matcher, workers)}
+}
+
+// Get returns worker w's private clone of matcher mi, creating it on
+// first use.
+func (c *CloneCache) Get(w, mi int) Matcher {
+	if c.clones[w] == nil {
+		c.clones[w] = make([]Matcher, len(c.matchers))
+	}
+	if c.clones[w][mi] == nil {
+		c.clones[w][mi] = Clone(c.matchers[mi])
+	}
+	return c.clones[w][mi]
 }
 
 // SortPairs orders pairs by (U, V), giving a canonical form for

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestIsMatchConcurrentLazyInit exercises the lazy lookup-set build from
+// many goroutines on a GroundTruth constructed WITHOUT NewGroundTruth
+// (as json.Unmarshal or a struct literal would), the scenario the
+// parallel sweep exposes. Under -race this pins that the sync.Once init
+// is sound.
+func TestIsMatchConcurrentLazyInit(t *testing.T) {
+	gt := &GroundTruth{Pairs: [][2]int32{{0, 0}, {1, 1}, {2, 2}}}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int32(0); i < 100; i++ {
+				if got := gt.IsMatch(i%3, i%3); !got {
+					errs <- "true match reported false"
+					return
+				}
+				if got := gt.IsMatch(i%3, (i+1)%3); got {
+					errs <- "false match reported true"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Profile is an entity profile: a description of a real-world object as
@@ -137,10 +138,16 @@ func (c *Collection) AttrTexts(attrs ...string) []string {
 }
 
 // GroundTruth is the set of known matches between two collections, stored
-// as index pairs (i into collection 1, j into collection 2).
+// as index pairs (i into collection 1, j into collection 2). A
+// GroundTruth is safe for concurrent readers (the parallel sweep
+// evaluates against one shared instance) even when constructed without
+// NewGroundTruth, e.g. via json.Unmarshal or a struct literal: the
+// lookup set is built lazily under a sync.Once.
 type GroundTruth struct {
 	Pairs [][2]int32 `json:"pairs"`
-	set   map[int64]bool
+
+	once sync.Once
+	set  map[int64]bool
 }
 
 // NewGroundTruth builds a ground truth from index pairs.
@@ -151,10 +158,12 @@ func NewGroundTruth(pairs [][2]int32) *GroundTruth {
 }
 
 func (gt *GroundTruth) buildSet() {
-	gt.set = make(map[int64]bool, len(gt.Pairs))
-	for _, p := range gt.Pairs {
-		gt.set[int64(p[0])<<32|int64(uint32(p[1]))] = true
-	}
+	gt.once.Do(func() {
+		gt.set = make(map[int64]bool, len(gt.Pairs))
+		for _, p := range gt.Pairs {
+			gt.set[int64(p[0])<<32|int64(uint32(p[1]))] = true
+		}
+	})
 }
 
 // Len returns the number of true matches, |D(V1∩V2)| of Table 2.
@@ -162,9 +171,7 @@ func (gt *GroundTruth) Len() int { return len(gt.Pairs) }
 
 // IsMatch reports whether (i, j) is a true match.
 func (gt *GroundTruth) IsMatch(i, j int32) bool {
-	if gt.set == nil {
-		gt.buildSet()
-	}
+	gt.buildSet() // no-op after the first call; gives concurrent readers a safe lazy init
 	return gt.set[int64(i)<<32|int64(uint32(j))]
 }
 

@@ -32,6 +32,43 @@ func TestEvaluate(t *testing.T) {
 	approx(t, m.F1, 2*(2.0/3.0)*(0.5)/((2.0/3.0)+0.5), "F1")
 }
 
+// TestEvaluateDivisionGuards pins the division conventions: every ratio
+// is individually guarded, so no combination of empty matchings and
+// empty/nil ground truths divides by zero or produces NaN.
+func TestEvaluateDivisionGuards(t *testing.T) {
+	gt3 := dataset.NewGroundTruth([][2]int32{{0, 0}, {1, 1}, {2, 2}})
+	cases := []struct {
+		name  string
+		pairs []core.Pair
+		gt    *dataset.GroundTruth
+		want  Metrics
+	}{
+		{"nil pairs, nil gt", nil, nil, Metrics{}},
+		{"nil pairs, empty gt", nil, dataset.NewGroundTruth(nil), Metrics{}},
+		{"nil pairs, real gt", nil, gt3, Metrics{}},
+		{"pairs, nil gt", []core.Pair{{U: 0, V: 0}}, nil, Metrics{}},
+		{"pairs, empty gt", []core.Pair{{U: 0, V: 0}}, dataset.NewGroundTruth(nil), Metrics{}},
+		{"all wrong", []core.Pair{{U: 0, V: 2}, {U: 1, V: 0}}, gt3, Metrics{}},
+		{"all correct, partial recall",
+			[]core.Pair{{U: 0, V: 0}}, gt3,
+			Metrics{Precision: 1, Recall: 1.0 / 3.0, F1: 0.5}},
+		{"perfect",
+			[]core.Pair{{U: 0, V: 0}, {U: 1, V: 1}, {U: 2, V: 2}}, gt3,
+			Metrics{Precision: 1, Recall: 1, F1: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Evaluate(tc.pairs, tc.gt)
+			if math.IsNaN(got.Precision) || math.IsNaN(got.Recall) || math.IsNaN(got.F1) {
+				t.Fatalf("NaN metrics: %+v", got)
+			}
+			approx(t, got.Precision, tc.want.Precision, "Precision")
+			approx(t, got.Recall, tc.want.Recall, "Recall")
+			approx(t, got.F1, tc.want.F1, "F1")
+		})
+	}
+}
+
 func TestEvaluateEdgeCases(t *testing.T) {
 	gt := dataset.NewGroundTruth([][2]int32{{0, 0}})
 	empty := Evaluate(nil, gt)

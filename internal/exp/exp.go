@@ -8,6 +8,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"github.com/ccer-go/ccer/internal/datagen"
 	"github.com/ccer-go/ccer/internal/dataset"
 	"github.com/ccer-go/ccer/internal/eval"
+	"github.com/ccer-go/ccer/internal/par"
 	"github.com/ccer-go/ccer/internal/simgraph"
 )
 
@@ -40,6 +42,15 @@ type Config struct {
 	// SkipClean disables the F-measure-based cleaning rules (noisy and
 	// duplicate graph removal), keeping every generated graph.
 	SkipClean bool
+	// Parallelism is the number of workers the (graph × algorithm) sweep
+	// grid fans out over. 1 (or any negative value) runs the grid
+	// serially; 0 means runtime.NumCPU(). Results are deterministic and
+	// identical to the serial path at any setting, provided BAH's step
+	// cap binds before its wall-clock cap (true for the defaults; a
+	// binding BAHTime deadline makes BAH timing-dependent even serially).
+	// Run-time measurements pick up scheduler noise under parallelism,
+	// so use 1 when timing.
+	Parallelism int
 }
 
 func (c Config) scale() float64 {
@@ -126,17 +137,48 @@ func (c *Corpus) Algorithms() []string { return core.Names() }
 // tuned results of every algorithm, then applies the paper's cleaning
 // rules: graphs whose best F1 across all algorithms is below 0.25 are
 // noisy, and near-identical graphs from the same dataset are duplicates.
+// It panics on unknown dataset ids (ids come from datagen.Specs or
+// validated config); use BuildCorpusCtx for error returns and
+// cancellation.
 func BuildCorpus(cfg Config) *Corpus {
+	corpus, err := BuildCorpusCtx(context.Background(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	return corpus
+}
+
+// sweepUnit is one (graph × algorithm) cell of the experiment grid.
+type sweepUnit struct {
+	graphIdx, matcherIdx int
+	g                    *simgraph.SimGraph
+	gt                   *dataset.GroundTruth
+}
+
+// BuildCorpusCtx is BuildCorpus with cancellation: it fans the
+// (graph × algorithm) sweep grid out over cfg.Parallelism workers and
+// stops early (returning ctx.Err()) when the context is canceled.
+// Results are deterministic — graphs stay in generation order (datasets
+// in config order, similarity functions in taxonomy order) and each
+// graph's results stay in core.Names() order — and identical to the
+// serial path at a fixed seed.
+func BuildCorpusCtx(ctx context.Context, cfg Config) (*Corpus, error) {
 	corpus := &Corpus{
 		Config: cfg,
 		Specs:  map[string]datagen.Spec{},
 		Tasks:  map[string]*dataset.Task{},
 	}
 	matchers := cfg.Matchers()
+
+	// Phase 1: datasets and similarity graphs (simgraph.Generate is
+	// internally concurrent already).
 	for _, id := range cfg.datasets() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		spec, err := datagen.SpecByID(id)
 		if err != nil {
-			panic(err) // ids come from datagen.Specs or validated config
+			return nil, err
 		}
 		task := spec.Generate(cfg.Seed, cfg.scale())
 		corpus.Specs[id] = spec
@@ -144,18 +186,50 @@ func BuildCorpus(cfg Config) *Corpus {
 		graphs := simgraph.Generate(task, spec.KeyAttrs,
 			simgraph.Options{Families: cfg.Families})
 		for _, sg := range graphs {
-			gr := GraphResult{
+			corpus.Graphs = append(corpus.Graphs, GraphResult{
 				Graph:    sg,
 				Category: spec.Category,
-				Results:  eval.SweepAll(sg.G, task.GT, matchers, cfg.repeats()),
-			}
-			corpus.Graphs = append(corpus.Graphs, gr)
+				Results:  make([]eval.SweepResult, len(matchers)),
+			})
 		}
 	}
+
+	// Phase 2: the sweep grid. Each unit tunes one algorithm on one
+	// graph; results land at fixed (graph, matcher) coordinates, so the
+	// output order never depends on scheduling.
+	units := make([]sweepUnit, 0, len(corpus.Graphs)*len(matchers))
+	for gi := range corpus.Graphs {
+		gr := &corpus.Graphs[gi]
+		gt := corpus.Tasks[gr.Graph.Dataset].GT
+		for mi := range matchers {
+			units = append(units, sweepUnit{gi, mi, &gr.Graph, gt})
+		}
+	}
+	workers := par.Workers(cfg.Parallelism)
+	stop := func() bool { return ctx.Err() != nil }
+	par.For(len(units), workers, stop,
+		func(_, j int) {
+			u := units[j]
+			// SweepOpts clones the matcher internally, keeping the
+			// stochastic matchers (BAH, QLM) private to one goroutine.
+			// Stop is threaded into the sweep so cancellation latency is
+			// bounded by one Match call, not a full 20-point sweep; the
+			// partial results are discarded below on ctx.Err().
+			corpus.Graphs[u.graphIdx].Results[u.matcherIdx] =
+				eval.SweepOpts(u.g.G, u.gt, matchers[u.matcherIdx], eval.SweepOptions{
+					Repeats:     cfg.repeats(),
+					Parallelism: 1,
+					Stop:        stop,
+				})
+		})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	if !cfg.SkipClean {
 		corpus.clean()
 	}
-	return corpus
+	return corpus, nil
 }
 
 // clean applies the noisy-graph and duplicate-graph rules of Section 5.

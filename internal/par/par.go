@@ -1,0 +1,68 @@
+// Package par provides the tiny shared-counter parallel loop used by
+// every concurrent entry point of the module: the threshold sweep
+// (internal/eval), the experiment grid (internal/exp), and the public
+// SweepAll/MatchConcurrent API.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a user-facing parallelism knob: 0 means
+// runtime.NumCPU(), anything else below 1 means serial (1), and other
+// values pass through. Callers size per-worker state with the returned
+// count before handing it to For.
+func Workers(n int) int {
+	if n == 0 {
+		return runtime.NumCPU()
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// For runs fn(worker, i) exactly once for every i in [0, n), fanned over
+// workers goroutines pulling indices from a shared counter. worker
+// identifies the executing goroutine (0 <= worker < workers), letting
+// callers keep per-worker state such as matcher clones. If stop is
+// non-nil, goroutines cease pulling new indices once it returns true;
+// already-started calls finish. For returns when all workers have
+// drained. workers <= 1 (or n <= 1) runs everything inline on the
+// calling goroutine.
+//
+// fn must confine its writes to per-i state (e.g. slot i of a
+// preallocated slice): For provides no ordering between calls beyond the
+// final synchronization at return.
+func For(n, workers int, stop func() bool, fn func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if stop != nil && stop() {
+				return
+			}
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for stop == nil || !stop() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

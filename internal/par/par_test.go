@@ -1,0 +1,59 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce checks each index runs exactly once at any
+// worker count, including counts above n.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		const n = 37
+		counts := make([]atomic.Int32, n)
+		For(n, workers, nil, func(_, i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForWorkerIDsInRange checks worker ids stay below the (clamped)
+// worker count so per-worker state slices can be sized by `workers`.
+func TestForWorkerIDsInRange(t *testing.T) {
+	const n, workers = 100, 8
+	var bad atomic.Int32
+	For(n, workers, nil, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d calls saw an out-of-range worker id", bad.Load())
+	}
+}
+
+// TestForStop checks a tripped stop prevents further indices from
+// starting.
+func TestForStop(t *testing.T) {
+	var started atomic.Int32
+	stopped := func() bool { return started.Load() >= 3 }
+	For(1000, 1, stopped, func(_, i int) { started.Add(1) })
+	if got := started.Load(); got != 3 {
+		t.Fatalf("serial: %d indices ran after stop, want 3", got)
+	}
+	// Parallel: stop bounds the tail loosely (in-flight calls finish),
+	// but the loop must terminate well short of n.
+	started.Store(0)
+	For(100000, 4, stopped, func(_, i int) { started.Add(1) })
+	if got := started.Load(); got >= 100000 {
+		t.Fatalf("parallel: stop ignored, all %d indices ran", got)
+	}
+}
+
+// TestForEmpty checks n=0 is a no-op.
+func TestForEmpty(t *testing.T) {
+	For(0, 4, nil, func(_, _ int) { t.Fatal("fn called for n=0") })
+}

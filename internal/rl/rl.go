@@ -58,6 +58,11 @@ func NewQMatcher(seed int64) QMatcher {
 // Name implements core.Matcher.
 func (QMatcher) Name() string { return "QLM" }
 
+// CloneMatcher implements core.Cloner. The Q-table and the rand.Rand are
+// created inside Match, so the value copy is an independent matcher with
+// identical behavior at the same seed.
+func (q QMatcher) CloneMatcher() core.Matcher { return q }
+
 const numActions = 2 // 0 = skip, 1 = accept
 
 // Match implements core.Matcher: it trains the Q-table on the graph's
