@@ -31,9 +31,11 @@
 package ccer
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"github.com/ccer-go/ccer/internal/algo"
 	"github.com/ccer-go/ccer/internal/core"
 	"github.com/ccer-go/ccer/internal/datagen"
 	"github.com/ccer-go/ccer/internal/dataset"
@@ -89,15 +91,13 @@ func Algorithms() []string { return core.Names() }
 // configuration. Besides the paper's eight, "HUN" (Hungarian) and "AUC"
 // (auction) exact baselines and "QLM" (the future-work Q-learning
 // matcher) are available. seed configures the stochastic BAH and QLM
-// algorithms and is ignored by the others.
+// algorithms and is ignored by the others. Resolution goes through the
+// internal/algo registry, the same one the erserve service uses, so the
+// two never drift.
 func NewMatcher(name string, seed int64) (Matcher, error) {
-	if name == "QLM" {
-		return NewQLearningMatcher(seed), nil
-	}
-	m := core.ByName(name, seed)
-	if m == nil {
-		return nil, fmt.Errorf("ccer: unknown algorithm %q (have %v, HUN, AUC, QLM)",
-			name, core.Names())
+	m, err := algo.ByName(name, seed)
+	if err != nil {
+		return nil, fmt.Errorf("ccer: %w", err)
 	}
 	return m, nil
 }
@@ -139,6 +139,30 @@ type Options struct {
 	// Seed configures the stochastic BAH algorithm (and the Q-learning
 	// matcher, if requested by name); 0 means 1, matching Match.
 	Seed int64
+	// Context, when non-nil, cancels the concurrent entry points: once
+	// it is done no further Match call starts (in-flight ones finish,
+	// bounding cancellation latency to one matching) and the entry point
+	// returns the context's error instead of partial results. A nil
+	// Context never cancels. The erserve job queue relies on this to
+	// abort sweeps on job cancellation and server shutdown.
+	Context context.Context
+}
+
+// stop adapts the optional Context to the polling Stop hook of the
+// internal/par pool.
+func (o Options) stop() func() bool {
+	if o.Context == nil {
+		return nil
+	}
+	return func() bool { return o.Context.Err() != nil }
+}
+
+// err returns the context's cancellation error, if any.
+func (o Options) err() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 func (o Options) seed() int64 {
@@ -174,10 +198,16 @@ func SweepAll(g *Graph, gt *GroundTruth, algorithms []string, opts Options) ([]S
 	if err != nil {
 		return nil, err
 	}
-	return eval.SweepAllOpts(g, gt, ms, eval.SweepOptions{
+	results := eval.SweepAllOpts(g, gt, ms, eval.SweepOptions{
 		Repeats:     opts.Repeats,
 		Parallelism: opts.Parallelism,
-	}), nil
+		Stop:        opts.stop(),
+	})
+	if err := opts.err(); err != nil {
+		// A cut-short sweep holds partial, misleading results; drop them.
+		return nil, err
+	}
+	return results, nil
 }
 
 // MatchResult couples one algorithm with its matching.
@@ -200,9 +230,12 @@ func MatchConcurrent(g *Graph, algorithms []string, t float64, opts Options) ([]
 	out := make([]MatchResult, len(ms))
 	// ms is private to this call and each index runs on exactly one
 	// worker, so no cloning is needed here.
-	par.For(len(ms), par.Workers(opts.Parallelism), nil, func(_, i int) {
+	par.For(len(ms), par.Workers(opts.Parallelism), opts.stop(), func(_, i int) {
 		out[i] = MatchResult{Algorithm: ms[i].Name(), Pairs: ms[i].Match(g, t)}
 	})
+	if err := opts.err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

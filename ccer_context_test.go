@@ -1,0 +1,88 @@
+package ccer
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBuildGraphFromCandidatesBounds(t *testing.T) {
+	texts1 := []string{"alpha", "beta"}
+	texts2 := []string{"alpha", "gamma"}
+
+	g, err := BuildGraphFromCandidates(texts1, texts2, [][2]int32{{0, 0}, {1, 1}}, JaroSimilarity, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("valid candidates produced no edges")
+	}
+
+	bad := [][2]int32{
+		{2, 0},  // first index past texts1
+		{0, 5},  // second index past texts2
+		{-1, 0}, // negative first index
+		{0, -3}, // negative second index
+	}
+	for _, c := range bad {
+		_, err := BuildGraphFromCandidates(texts1, texts2, [][2]int32{{0, 0}, c}, JaroSimilarity, 0)
+		if err == nil {
+			t.Fatalf("candidate %v accepted", c)
+		}
+		if !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("candidate %v: unexpected error %v", c, err)
+		}
+	}
+}
+
+// contextTestGraph is a small graph for cancellation tests.
+func contextTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewGraphBuilder(4, 4)
+	for i := int32(0); i < 4; i++ {
+		b.Add(i, i, 0.9)
+		b.Add(i, (i+1)%4, 0.3)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMatchConcurrentContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MatchConcurrent(contextTestGraph(t), Algorithms(), 0.5, Options{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepAllContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	gt := NewGroundTruth([][2]int32{{0, 0}, {1, 1}})
+	_, err := SweepAll(contextTestGraph(t), gt, []string{"UMC", "CNC"}, Options{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOptionsContextNilAndLive checks the two non-cancelling cases: a
+// nil context and a live context behave like the pre-context API.
+func TestOptionsContextNilAndLive(t *testing.T) {
+	g := contextTestGraph(t)
+	gt := NewGroundTruth([][2]int32{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		res, err := MatchConcurrent(g, []string{"UMC"}, 0.5, Options{Context: ctx})
+		if err != nil || len(res) != 1 || len(res[0].Pairs) != 4 {
+			t.Fatalf("ctx %v: MatchConcurrent = %v, %v", ctx, res, err)
+		}
+		sweeps, err := SweepAll(g, gt, []string{"UMC"}, Options{Context: ctx})
+		if err != nil || len(sweeps) != 1 || sweeps[0].Best.F1 != 1 {
+			t.Fatalf("ctx %v: SweepAll = %v, %v", ctx, sweeps, err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command erserve runs the resident Clean-Clean ER matching service: an
+// HTTP JSON API over the module's matching engine with an in-memory
+// graph store, an LRU result cache and an async sweep job queue, so many
+// requests amortize one graph build.
+//
+// Usage:
+//
+//	erserve [-addr :8080] [-cache N] [-job-workers N] [-queue-depth N]
+//	        [-job-history N] [-max-nodes N] [-parallel N]
+//	        [-max-body BYTES] [-drain DURATION]
+//
+// Endpoints:
+//
+//	POST   /v1/graphs       upload an edge list, or generate from a
+//	                        {"dataset","seed","scale"} JSON request
+//	GET    /v1/graphs       list stored graphs
+//	GET    /v1/graphs/{g}   graph info (?format=edgelist for the wire form)
+//	DELETE /v1/graphs/{g}   drop a graph
+//	POST   /v1/match        run a batch of algorithms at one threshold
+//	POST   /v1/sweeps       start an async threshold sweep job
+//	GET    /v1/sweeps/{id}  poll a job (DELETE cancels it)
+//	GET    /healthz         liveness
+//	GET    /metrics         flat JSON counters
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight
+// jobs are cancelled through their contexts, and the process waits up to
+// -drain for the workers to finish.
+//
+// Example:
+//
+//	erserve -addr :8080 &
+//	curl -s localhost:8080/v1/graphs -H 'Content-Type: application/json' \
+//	     -d '{"name":"d2","dataset":"D2","seed":42,"scale":0.02}'
+//	curl -s localhost:8080/v1/match -d '{"graph":"d2","threshold":0.5}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "erserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 256, "result cache capacity in matchings (negative disables)")
+	jobWorkers := flag.Int("job-workers", 2, "async sweep job workers")
+	queueDepth := flag.Int("queue-depth", 64, "sweep job backlog before 503s")
+	jobHistory := flag.Int("job-history", 256, "finished sweep jobs kept retrievable (oldest evicted beyond)")
+	maxNodes := flag.Int("max-nodes", 1<<21, "node cap per graph, uploaded or generated (negative = uncapped)")
+	parallel := flag.Int("parallel", 0, "workers inside one match batch or sweep grid (0 = all CPUs)")
+	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes")
+	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v; see -h", flag.Args())
+	}
+
+	srv := serve.New(serve.Config{
+		CacheSize:     *cache,
+		JobWorkers:    *jobWorkers,
+		JobQueueDepth: *queueDepth,
+		JobHistory:    *jobHistory,
+		MaxGraphNodes: *maxNodes,
+		Parallelism:   *parallel,
+		MaxBodyBytes:  *maxBody,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Listen before announcing readiness so a bad -addr fails fast.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "erserve: listening on %s (cache=%d job-workers=%d parallel=%d)\n",
+		ln.Addr(), *cache, *jobWorkers, *parallel)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener died before any signal
+	case <-ctx.Done():
+	}
+	// Release the signal handler right away: a second Ctrl-C kills the
+	// process normally instead of being swallowed.
+	stop()
+	fmt.Fprintln(os.Stderr, "erserve: shutting down, draining jobs...")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	if errors.Is(shutdownErr, context.DeadlineExceeded) {
+		shutdownErr = nil // in-flight requests were cut off at the deadline
+	}
+	if err := srv.Close(drainCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "erserve: bye")
+	return shutdownErr
+}

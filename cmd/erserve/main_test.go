@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// runWithArgs invokes run() with a fresh flag set and the given argv.
+func runWithArgs(args ...string) error {
+	oldArgs := os.Args
+	oldFlags := flag.CommandLine
+	defer func() {
+		os.Args = oldArgs
+		flag.CommandLine = oldFlags
+	}()
+	flag.CommandLine = flag.NewFlagSet("erserve", flag.ContinueOnError)
+	os.Args = append([]string{"erserve"}, args...)
+	return run()
+}
+
+// freeAddr reserves and releases a loopback port. The tiny window
+// between release and reuse is acceptable for a test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}
+
+// TestErserveServesAndShutsDownOnSIGINT drives the full binary surface:
+// start, generate a graph, match on it, then SIGINT and a clean exit.
+func TestErserveServesAndShutsDownOnSIGINT(t *testing.T) {
+	addr := freeAddr(t)
+	base := "http://" + addr
+	done := make(chan error, 1)
+	go func() { done <- runWithArgs("-addr", addr) }()
+	waitHealthy(t, base)
+
+	body, _ := json.Marshal(map[string]any{"name": "d2", "dataset": "D2", "seed": 42, "scale": 0.02})
+	resp, err := http.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("generate: status %d", resp.StatusCode)
+	}
+
+	body, _ = json.Marshal(map[string]any{"graph": "d2", "algorithms": []string{"UMC"}, "threshold": 0.5})
+	resp, err = http.Post(base+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr struct {
+		Results []struct {
+			Pairs []struct{ U, V int32 } `json:"pairs"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(mr.Results) != 1 || len(mr.Results[0].Pairs) == 0 {
+		t.Fatalf("match response = %+v", mr)
+	}
+
+	// Park a heavy sweep so shutdown exercises in-flight cancellation.
+	body, _ = json.Marshal(map[string]any{"graph": "d2", "repeats": 200})
+	resp, err = http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run() after SIGINT: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down after SIGINT")
+	}
+}
+
+func TestErserveErrors(t *testing.T) {
+	if err := runWithArgs("unexpected-arg"); err == nil || !strings.Contains(err.Error(), "unexpected") {
+		t.Fatalf("positional arg accepted: %v", err)
+	}
+	if err := runWithArgs("-addr", "256.256.256.256:99999"); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// TestErserveAddrInUse covers the listen-before-serve fast failure.
+func TestErserveAddrInUse(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := runWithArgs("-addr", ln.Addr().String()); err == nil {
+		t.Fatal("in-use address accepted")
+	} else if !strings.Contains(fmt.Sprint(err), "address already in use") {
+		t.Logf("got err %v (platform-specific message, accepted)", err)
+	}
+}

@@ -1,0 +1,42 @@
+// Package algo is the single registry resolving algorithm names to
+// matcher instances across every implementation package: the paper's
+// eight and the exact Hungarian/auction baselines (internal/core) plus
+// the future-work Q-learning matcher (internal/rl, which cannot live in
+// core's own ByName without an import cycle). The public ccer.NewMatcher
+// and the erserve service both resolve through this package, so the
+// accepted name set cannot drift between the library and the service.
+package algo
+
+import (
+	"fmt"
+
+	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/rl"
+)
+
+// ByName returns the named matching algorithm with its default
+// configuration. seed configures the stochastic BAH and QLM algorithms
+// and is ignored by the others.
+func ByName(name string, seed int64) (core.Matcher, error) {
+	if name == "QLM" {
+		return rl.NewQMatcher(seed), nil
+	}
+	if m := core.ByName(name, seed); m != nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (have %v, HUN, AUC, QLM)",
+		name, core.Names())
+}
+
+// AllByName resolves a list of names, failing on the first unknown one.
+func AllByName(names []string, seed int64) ([]core.Matcher, error) {
+	ms := make([]core.Matcher, len(names))
+	for i, name := range names {
+		m, err := ByName(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}

@@ -1,0 +1,45 @@
+package algo
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/core"
+)
+
+func TestByNameCoversEveryImplementation(t *testing.T) {
+	names := append(core.Names(), "HUN", "AUC", "QLM")
+	for _, name := range names {
+		m, err := ByName(name, 3)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("XXX", 1)
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	// The error enumerates the full accepted set, including the names
+	// that live outside core's own ByName.
+	for _, want := range []string{"UMC", "HUN", "AUC", "QLM"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list %s", err, want)
+		}
+	}
+}
+
+func TestAllByName(t *testing.T) {
+	ms, err := AllByName([]string{"UMC", "QLM"}, 2)
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("AllByName = %v, %v", ms, err)
+	}
+	if _, err := AllByName([]string{"UMC", "XXX"}, 2); err == nil {
+		t.Fatal("list with unknown name accepted")
+	}
+}

@@ -182,13 +182,25 @@ func SpecByID(id string) (Spec, error) {
 // scaled-down datasets stay meaningful.
 const minSide = 25
 
-// scaled returns max(minSide, round(n*scale)).
+// scaled returns max(minSide, round(n*scale)), saturating at MaxInt32
+// so an absurd scale cannot overflow into a negative size (and a
+// makeslice panic) downstream.
 func scaled(n int, scale float64) int {
-	v := int(math.Round(float64(n) * scale))
-	if v < minSide {
-		v = minSide
+	v := math.Round(float64(n) * scale)
+	if math.IsNaN(v) || v < minSide {
+		return minSide
 	}
-	return v
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(v)
+}
+
+// ScaledSizes reports the collection sizes Generate would produce at
+// the given scale, without materializing anything. Services use it to
+// enforce resource caps before paying for generation.
+func (s Spec) ScaledSizes(scale float64) (n1, n2 int) {
+	return scaled(s.N1, scale), scaled(s.N2, scale)
 }
 
 // Generate builds the synthetic task for the spec. The same (seed, scale)

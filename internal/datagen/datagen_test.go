@@ -2,6 +2,7 @@ package datagen
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -285,5 +286,28 @@ func TestPropertyGenerateValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestScaledSizesPredictGenerate(t *testing.T) {
+	spec, err := SpecByID("D2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range []float64{0.01, 0.02, 0.1} {
+		n1, n2 := spec.ScaledSizes(scale)
+		task := spec.Generate(1, scale)
+		if task.V1.Len() != n1 || task.V2.Len() != n2 {
+			t.Fatalf("scale %g: predicted %d/%d, generated %d/%d",
+				scale, n1, n2, task.V1.Len(), task.V2.Len())
+		}
+	}
+	// Absurd scales saturate instead of overflowing into negative sizes.
+	n1, n2 := spec.ScaledSizes(1e30)
+	if n1 <= 0 || n2 <= 0 {
+		t.Fatalf("huge scale produced non-positive sizes %d/%d", n1, n2)
+	}
+	if n1, _ := spec.ScaledSizes(math.NaN()); n1 != 25 {
+		t.Fatalf("NaN scale = %d, want the 25 floor", n1)
 	}
 }

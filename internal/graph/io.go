@@ -3,6 +3,7 @@ package graph
 import (
 	"bufio"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strconv"
 	"strings"
@@ -29,8 +30,25 @@ func (g *Bipartite) WriteEdgeList(w io.Writer) error {
 	return bw.Flush()
 }
 
+// Checksum fingerprints the graph content as the FNV-1a hash of its
+// edge-list serialization. Two graphs with the same side sizes and the
+// same edge set (weights at full float64 precision) have the same
+// checksum. The erserve graph store uses it to tag versioned entries.
+func (g *Bipartite) Checksum() uint64 {
+	h := fnv.New64a()
+	_ = g.WriteEdgeList(h) // writes to a hasher cannot fail
+	return h.Sum64()
+}
+
 // ReadEdgeList parses the format written by WriteEdgeList.
-func ReadEdgeList(r io.Reader) (*Bipartite, error) {
+func ReadEdgeList(r io.Reader) (*Bipartite, error) { return ReadEdgeListMax(r, 0) }
+
+// ReadEdgeListMax is ReadEdgeList with a cap on the declared node
+// counts: a header whose side sizes sum beyond maxNodes is rejected
+// before any allocation. maxNodes <= 0 means no cap. Callers parsing
+// untrusted input use it so a few header bytes cannot demand gigabytes
+// of adjacency arrays.
+func ReadEdgeListMax(r io.Reader, maxNodes int) (*Bipartite, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	if !sc.Scan() {
@@ -42,6 +60,10 @@ func ReadEdgeList(r io.Reader) (*Bipartite, error) {
 	var n1, n2 int
 	if _, err := fmt.Sscanf(strings.TrimSpace(sc.Text()), "%d %d", &n1, &n2); err != nil {
 		return nil, fmt.Errorf("graph: bad header %q: %w", sc.Text(), err)
+	}
+	// Per-side comparisons avoid n1+n2 overflowing on hostile headers.
+	if maxNodes > 0 && (n1 > maxNodes || n2 > maxNodes || n1+n2 > maxNodes) {
+		return nil, fmt.Errorf("graph: header declares %d+%d nodes, above the cap of %d", n1, n2, maxNodes)
 	}
 	b := NewBuilder(n1, n2)
 	line := 1

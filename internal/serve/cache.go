@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/ccer-go/ccer/internal/core"
+)
+
+// CacheKey identifies one cached matching. Version (not just the graph
+// name) is part of the key so overwriting a name silently invalidates
+// all of its cached results, and Seed distinguishes runs of the
+// stochastic matchers (BAH, QLM).
+type CacheKey struct {
+	Graph     string
+	Version   int64
+	Algorithm string
+	Threshold float64
+	Seed      int64
+}
+
+// ResultCache is a goroutine-safe LRU cache of matchings. A capacity
+// below 1 disables caching (every Get misses, Put is a no-op), which
+// keeps the handler code free of nil checks.
+type ResultCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[CacheKey]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheItem struct {
+	key   CacheKey
+	pairs []core.Pair
+}
+
+// NewResultCache returns a cache holding up to capacity matchings.
+func NewResultCache(capacity int) *ResultCache {
+	return &ResultCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[CacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached pairs for k, marking them most recently used.
+// Callers must not modify the returned slice.
+func (c *ResultCache) Get(k CacheKey) ([]core.Pair, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheItem).pairs, true
+}
+
+// Put stores the pairs under k, evicting the least recently used entry
+// when the cache is full. Storing an existing key refreshes its value
+// and recency.
+func (c *ResultCache) Put(k CacheKey, pairs []core.Pair) {
+	if c.capacity < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheItem).pairs = pairs
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.items) >= c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*cacheItem).key)
+		c.evictions++
+	}
+	c.items[k] = c.order.PushFront(&cacheItem{key: k, pairs: pairs})
+}
+
+// Len returns the number of cached matchings.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Capacity returns the configured maximum size.
+func (c *ResultCache) Capacity() int { return c.capacity }
+
+// Stats returns the lifetime hit, miss and eviction counts.
+func (c *ResultCache) Stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,553 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/algo"
+	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/datagen"
+	"github.com/ccer-go/ccer/internal/eval"
+	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/strsim"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphDelete)
+	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // header is out; nothing useful left to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON strictly parses the request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// metricsResponse is the flat expvar-style counter set of /metrics.
+type metricsResponse struct {
+	UptimeSeconds       float64 `json:"uptime_seconds"`
+	RequestsTotal       int64   `json:"requests_total"`
+	ErrorsTotal         int64   `json:"errors_total"`
+	GraphsStored        int     `json:"graphs_stored"`
+	GraphsCreatedTotal  int64   `json:"graphs_created_total"`
+	MatchRequestsTotal  int64   `json:"match_requests_total"`
+	MatchingsRunTotal   int64   `json:"matchings_run_total"`
+	SweepsCreatedTotal  int64   `json:"sweeps_created_total"`
+	CacheHitsTotal      int64   `json:"cache_hits_total"`
+	CacheMissesTotal    int64   `json:"cache_misses_total"`
+	CacheEvictionsTotal int64   `json:"cache_evictions_total"`
+	CacheSize           int     `json:"cache_size"`
+	CacheCapacity       int     `json:"cache_capacity"`
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+	JobsQueued          int     `json:"jobs_queued"`
+	JobsRunning         int     `json:"jobs_running"`
+	JobsLive            int     `json:"jobs_live"`
+	JobsDone            int     `json:"jobs_done"`
+	JobsFailed          int     `json:"jobs_failed"`
+	JobsCancelled       int     `json:"jobs_cancelled"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, evictions := s.cache.Stats()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	jobs := s.jobs.Counts()
+	writeJSON(w, http.StatusOK, metricsResponse{
+		UptimeSeconds:       time.Since(s.started).Seconds(),
+		RequestsTotal:       s.stats.requests.Load(),
+		ErrorsTotal:         s.stats.errors.Load(),
+		GraphsStored:        s.store.Len(),
+		GraphsCreatedTotal:  s.stats.graphsCreated.Load(),
+		MatchRequestsTotal:  s.stats.matchRequests.Load(),
+		MatchingsRunTotal:   s.stats.matchingsRun.Load(),
+		SweepsCreatedTotal:  s.stats.sweepsCreated.Load(),
+		CacheHitsTotal:      hits,
+		CacheMissesTotal:    misses,
+		CacheEvictionsTotal: evictions,
+		CacheSize:           s.cache.Len(),
+		CacheCapacity:       s.cache.Capacity(),
+		CacheHitRate:        hitRate,
+		JobsQueued:          jobs.Queued,
+		JobsRunning:         jobs.Running,
+		JobsLive:            jobs.Live(),
+		JobsDone:            jobs.Done,
+		JobsFailed:          jobs.Failed,
+		JobsCancelled:       jobs.Cancelled,
+	})
+}
+
+// graphInfo is the JSON view of a stored graph.
+type graphInfo struct {
+	Name           string    `json:"name"`
+	Version        int64     `json:"version"`
+	Checksum       string    `json:"checksum"`
+	N1             int       `json:"n1"`
+	N2             int       `json:"n2"`
+	Edges          int       `json:"edges"`
+	Density        float64   `json:"density"`
+	HasGroundTruth bool      `json:"has_ground_truth"`
+	Source         string    `json:"source"`
+	Dataset        string    `json:"dataset,omitempty"`
+	Seed           int64     `json:"seed,omitempty"`
+	Scale          float64   `json:"scale,omitempty"`
+	Created        time.Time `json:"created"`
+}
+
+func infoOf(e *GraphEntry) graphInfo {
+	return graphInfo{
+		Name:           e.Name,
+		Version:        e.Version,
+		Checksum:       fmt.Sprintf("%016x", e.Checksum),
+		N1:             e.Graph.N1(),
+		N2:             e.Graph.N2(),
+		Edges:          e.Graph.NumEdges(),
+		Density:        e.Graph.Density(),
+		HasGroundTruth: e.GT != nil && e.GT.Len() > 0,
+		Source:         e.Source,
+		Dataset:        e.Dataset,
+		Seed:           e.Seed,
+		Scale:          e.Scale,
+		Created:        e.Created,
+	}
+}
+
+// generateRequest asks the server to generate a similarity graph from a
+// synthetic dataset analog, the JSON mode of POST /v1/graphs.
+type generateRequest struct {
+	// Name keys the graph in the store; empty means auto-assigned.
+	Name string `json:"name"`
+	// Dataset is one of the paper's analogs, "D1".."D10".
+	Dataset string `json:"dataset"`
+	// Seed drives dataset generation; 0 means 1.
+	Seed int64 `json:"seed"`
+	// Scale is the dataset size relative to the paper's Table 2 sizes;
+	// 0 means 0.02 (the erbench default).
+	Scale float64 `json:"scale"`
+	// Measure is the string similarity measure; "" means "Jaccard".
+	Measure string `json:"measure"`
+	// Attrs are the attributes compared (schema-based similarity);
+	// empty means the dataset's key attributes.
+	Attrs []string `json:"attrs"`
+	// MinSim drops edges with similarity <= MinSim before min-max
+	// normalization; 0 keeps every positive-similarity pair.
+	MinSim float64 `json:"min_sim"`
+}
+
+func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	var entry *GraphEntry
+	if strings.HasPrefix(ct, "application/json") {
+		var req generateRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad generate request: %v", err)
+			return
+		}
+		e, err := generateGraph(req, s.cfg.MaxGraphNodes)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		entry = e
+	} else {
+		// Anything else is the graph.WriteEdgeList wire format.
+		g, err := graph.ReadEdgeListMax(r.Body, s.cfg.MaxGraphNodes)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad edge list: %v", err)
+			return
+		}
+		entry = &GraphEntry{
+			Name:     r.URL.Query().Get("name"),
+			Graph:    g,
+			Checksum: g.Checksum(),
+			Source:   "upload",
+		}
+	}
+	s.store.Put(entry)
+	s.stats.graphsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, infoOf(entry))
+}
+
+// generateGraph builds a stored graph entry from a generation request:
+// synthetic task -> schema-based texts -> string similarity graph,
+// min-max normalized, with the task's ground truth attached. maxNodes
+// caps the generated collection sizes (<= 0 means no cap).
+func generateGraph(req generateRequest, maxNodes int) (*GraphEntry, error) {
+	spec, err := datagen.SpecByID(req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	seed := normSeed(req.Seed)
+	scale := req.Scale
+	if scale == 0 {
+		scale = 0.02
+	}
+	if scale < 0 {
+		return nil, fmt.Errorf("negative scale %g", scale)
+	}
+	measureName := req.Measure
+	if measureName == "" {
+		measureName = "Jaccard"
+	}
+	sim, ok := strsim.AllMeasures()[measureName]
+	if !ok {
+		names := make([]string, 0, 16)
+		for n := range strsim.AllMeasures() {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("unknown measure %q; have %v", measureName, names)
+	}
+	attrs := req.Attrs
+	if len(attrs) == 0 {
+		attrs = spec.KeyAttrs
+	}
+
+	// Enforce the node cap on the predicted sizes, before Generate
+	// materializes (and pays for) the dataset.
+	if n1, n2 := spec.ScaledSizes(scale); maxNodes > 0 && n1+n2 > maxNodes {
+		return nil, fmt.Errorf("scale %g yields %d entities, above the cap of %d", scale, n1+n2, maxNodes)
+	}
+	task := spec.Generate(seed, scale)
+	texts1 := task.V1.AttrTexts(attrs...)
+	texts2 := task.V2.AttrTexts(attrs...)
+	b := graph.NewBuilder(len(texts1), len(texts2))
+	for i, t1 := range texts1 {
+		if t1 == "" {
+			continue
+		}
+		for j, t2 := range texts2 {
+			if t2 == "" {
+				continue
+			}
+			if w := sim(t1, t2); w > req.MinSim && w > 0 {
+				b.Add(int32(i), int32(j), w)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	g = g.NormalizeMinMax()
+	return &GraphEntry{
+		Name:     req.Name,
+		Graph:    g,
+		GT:       task.GT,
+		Checksum: g.Checksum(),
+		Source:   "generate",
+		Dataset:  spec.ID,
+		Seed:     seed,
+		Scale:    scale,
+	}, nil
+}
+
+func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	entries := s.store.List()
+	infos := make([]graphInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = infoOf(e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": infos})
+}
+
+func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.store.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", r.PathValue("name"))
+		return
+	}
+	if r.URL.Query().Get("format") == "edgelist" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := e.Graph.WriteEdgeList(w); err != nil {
+			// Headers are gone; the broken connection is the signal.
+			return
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(e))
+}
+
+func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.store.Delete(name) {
+		writeError(w, http.StatusNotFound, "no graph %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// matchRequest is the body of POST /v1/match.
+type matchRequest struct {
+	// Graph names a stored graph.
+	Graph string `json:"graph"`
+	// Algorithms lists matcher names; empty means the paper's eight.
+	Algorithms []string `json:"algorithms"`
+	// Threshold is the similarity threshold (edges with weight > t are
+	// kept); absent means 0.5.
+	Threshold *float64 `json:"threshold"`
+	// Seed configures the stochastic BAH/QLM matchers; 0 means 1,
+	// matching ccer.Match.
+	Seed int64 `json:"seed"`
+}
+
+type pairJSON struct {
+	U int32   `json:"u"`
+	V int32   `json:"v"`
+	W float64 `json:"w"`
+}
+
+type metricsJSON struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+type algoResultJSON struct {
+	Algorithm string       `json:"algorithm"`
+	Cached    bool         `json:"cached"`
+	Pairs     []pairJSON   `json:"pairs"`
+	Metrics   *metricsJSON `json:"metrics,omitempty"`
+}
+
+type matchResponse struct {
+	Graph     string           `json:"graph"`
+	Version   int64            `json:"version"`
+	Threshold float64          `json:"threshold"`
+	Seed      int64            `json:"seed"`
+	Results   []algoResultJSON `json:"results"`
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req matchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad match request: %v", err)
+		return
+	}
+	e, ok := s.store.Get(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", req.Graph)
+		return
+	}
+	threshold := 0.5
+	if req.Threshold != nil {
+		threshold = *req.Threshold
+	}
+	if threshold < 0 || threshold >= 1 {
+		writeError(w, http.StatusBadRequest, "threshold %g outside [0,1)", threshold)
+		return
+	}
+	algorithms := req.Algorithms
+	if len(algorithms) == 0 {
+		algorithms = core.Names()
+	}
+	s.stats.matchRequests.Add(1)
+	outcomes, err := s.matchBatch(r.Context(), e, algorithms, threshold, req.Seed)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			status = 499 // client closed request
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp := matchResponse{
+		Graph:     e.Name,
+		Version:   e.Version,
+		Threshold: threshold,
+		Seed:      normSeed(req.Seed),
+		Results:   make([]algoResultJSON, len(outcomes)),
+	}
+	for i, o := range outcomes {
+		ar := algoResultJSON{
+			Algorithm: o.Algorithm,
+			Cached:    o.Cached,
+			Pairs:     make([]pairJSON, len(o.Pairs)),
+		}
+		for k, p := range o.Pairs {
+			ar.Pairs[k] = pairJSON{U: p.U, V: p.V, W: p.W}
+		}
+		if e.GT != nil && e.GT.Len() > 0 {
+			m := eval.Evaluate(o.Pairs, e.GT)
+			ar.Metrics = &metricsJSON{Precision: m.Precision, Recall: m.Recall, F1: m.F1}
+		}
+		resp.Results[i] = ar
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sweepRequest is the body of POST /v1/sweeps.
+type sweepRequest struct {
+	// Graph names a stored graph; the sweep is pinned to its current
+	// version and fails if the graph is replaced before it runs.
+	Graph string `json:"graph"`
+	// Algorithms lists matcher names; empty means the paper's eight.
+	Algorithms []string `json:"algorithms"`
+	// Repeats is the timed executions per threshold; <1 means 1.
+	Repeats int `json:"repeats"`
+	// Seed configures the stochastic matchers; 0 means 1.
+	Seed int64 `json:"seed"`
+}
+
+type sweepResultJSON struct {
+	Algorithm string  `json:"algorithm"`
+	BestT     float64 `json:"best_t"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+	RuntimeMS float64 `json:"runtime_ms"`
+}
+
+type sweepJSON struct {
+	ID           string            `json:"id"`
+	Graph        string            `json:"graph"`
+	GraphVersion int64             `json:"graph_version"`
+	Algorithms   []string          `json:"algorithms"`
+	Repeats      int               `json:"repeats"`
+	Seed         int64             `json:"seed"`
+	State        JobState          `json:"state"`
+	Error        string            `json:"error,omitempty"`
+	Created      time.Time         `json:"created"`
+	Started      *time.Time        `json:"started,omitempty"`
+	Finished     *time.Time        `json:"finished,omitempty"`
+	Results      []sweepResultJSON `json:"results,omitempty"`
+}
+
+func sweepViewJSON(v JobView) sweepJSON {
+	out := sweepJSON{
+		ID:           v.ID,
+		Graph:        v.Graph,
+		GraphVersion: v.GraphVersion,
+		Algorithms:   v.Algorithms,
+		Repeats:      v.Repeats,
+		Seed:         v.Seed,
+		State:        v.State,
+		Error:        v.Error,
+		Created:      v.Created,
+	}
+	if !v.Started.IsZero() {
+		t := v.Started
+		out.Started = &t
+	}
+	if !v.Finished.IsZero() {
+		t := v.Finished
+		out.Finished = &t
+	}
+	for _, res := range v.Results {
+		out.Results = append(out.Results, sweepResultJSON{
+			Algorithm: res.Algorithm,
+			BestT:     res.BestT,
+			Precision: res.Best.Precision,
+			Recall:    res.Best.Recall,
+			F1:        res.Best.F1,
+			RuntimeMS: float64(res.Runtime) / float64(time.Millisecond),
+		})
+	}
+	return out
+}
+
+func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req sweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	e, ok := s.store.Get(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no graph %q", req.Graph)
+		return
+	}
+	algorithms := req.Algorithms
+	if len(algorithms) == 0 {
+		algorithms = core.Names()
+	}
+	// Resolve eagerly so a typo fails the request, not the job.
+	if _, err := algo.AllByName(algorithms, normSeed(req.Seed)); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	repeats := req.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	job, err := s.jobs.Submit(&SweepJob{
+		Graph:        e.Name,
+		GraphVersion: e.Version,
+		Algorithms:   algorithms,
+		Repeats:      repeats,
+		Seed:         normSeed(req.Seed),
+	})
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.stats.sweepsCreated.Add(1)
+	view, _ := s.jobs.Get(job.ID)
+	writeJSON(w, http.StatusAccepted, sweepViewJSON(view))
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	views := s.jobs.List()
+	out := make([]sweepJSON, len(views))
+	for i, v := range views {
+		out[i] = sweepViewJSON(v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": out})
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepViewJSON(view))
+}
+
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.jobs.Cancel(id) {
+		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		return
+	}
+	view, _ := s.jobs.Get(id)
+	writeJSON(w, http.StatusOK, sweepViewJSON(view))
+}

@@ -1,0 +1,556 @@
+// Handler tests live in an external test package so they can exercise
+// the service against the public ccer API (the root package imports
+// internal/serve, so the internal package itself must not import it
+// back; an external test package breaks the cycle).
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ccer-go/ccer"
+	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/serve"
+)
+
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv := serve.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Close(ctx); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+// doJSON posts body (marshalled) to url and decodes the response into out.
+func doJSON(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("decode %s %s response %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type graphInfoJSON struct {
+	Name           string  `json:"name"`
+	Version        int64   `json:"version"`
+	Checksum       string  `json:"checksum"`
+	N1             int     `json:"n1"`
+	N2             int     `json:"n2"`
+	Edges          int     `json:"edges"`
+	HasGroundTruth bool    `json:"has_ground_truth"`
+	Source         string  `json:"source"`
+	Dataset        string  `json:"dataset"`
+	Seed           int64   `json:"seed"`
+	Scale          float64 `json:"scale"`
+}
+
+type matchRespJSON struct {
+	Graph     string  `json:"graph"`
+	Version   int64   `json:"version"`
+	Threshold float64 `json:"threshold"`
+	Seed      int64   `json:"seed"`
+	Results   []struct {
+		Algorithm string `json:"algorithm"`
+		Cached    bool   `json:"cached"`
+		Pairs     []struct {
+			U int32   `json:"u"`
+			V int32   `json:"v"`
+			W float64 `json:"w"`
+		} `json:"pairs"`
+		Metrics *struct {
+			Precision float64 `json:"precision"`
+			Recall    float64 `json:"recall"`
+			F1        float64 `json:"f1"`
+		} `json:"metrics"`
+	} `json:"results"`
+}
+
+type sweepRespJSON struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Error   string `json:"error"`
+	Results []struct {
+		Algorithm string  `json:"algorithm"`
+		BestT     float64 `json:"best_t"`
+		F1        float64 `json:"f1"`
+	} `json:"results"`
+}
+
+type metricsJSON struct {
+	RequestsTotal      int64   `json:"requests_total"`
+	GraphsStored       int     `json:"graphs_stored"`
+	MatchRequestsTotal int64   `json:"match_requests_total"`
+	CacheHitsTotal     int64   `json:"cache_hits_total"`
+	CacheMissesTotal   int64   `json:"cache_misses_total"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
+	JobsLive           int     `json:"jobs_live"`
+	JobsDone           int     `json:"jobs_done"`
+}
+
+// generateD2 stores the reference D2 graph under the given name.
+func generateD2(t *testing.T, base, name string) graphInfoJSON {
+	t.Helper()
+	var info graphInfoJSON
+	code := doJSON(t, http.MethodPost, base+"/v1/graphs", map[string]any{
+		"name": name, "dataset": "D2", "seed": 42, "scale": 0.02,
+	}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("generate: status %d", code)
+	}
+	if info.Edges == 0 || !info.HasGroundTruth || info.Source != "generate" {
+		t.Fatalf("generate info = %+v", info)
+	}
+	return info
+}
+
+// fetchGraph pulls the stored graph back through the edge-list endpoint,
+// yielding the exact *graph.Bipartite the server matches on.
+func fetchGraph(t *testing.T, base, name string) *graph.Bipartite {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/graphs/" + name + "?format=edgelist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("edgelist fetch: status %d", resp.StatusCode)
+	}
+	g, err := graph.ReadEdgeList(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestMatchBatchIdenticalToSerial is the acceptance criterion: a POST
+// /v1/match batch over all eight algorithms on a generated D2 graph
+// returns exactly the pairs of serial ccer.Match at the same seed.
+func TestMatchBatchIdenticalToSerial(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	generateD2(t, ts.URL, "d2")
+	g := fetchGraph(t, ts.URL, "d2")
+
+	const threshold = 0.5
+	var resp matchRespJSON
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/match", map[string]any{
+		"graph": "d2", "algorithms": ccer.Algorithms(), "threshold": threshold,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("match: status %d", code)
+	}
+	if len(resp.Results) != len(ccer.Algorithms()) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(ccer.Algorithms()))
+	}
+	for i, alg := range ccer.Algorithms() {
+		want, err := ccer.Match(g, alg, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := resp.Results[i]
+		if got.Algorithm != alg {
+			t.Fatalf("result %d is %s, want %s", i, got.Algorithm, alg)
+		}
+		if len(got.Pairs) != len(want) {
+			t.Fatalf("%s: %d pairs, want %d", alg, len(got.Pairs), len(want))
+		}
+		for k, p := range want {
+			q := got.Pairs[k]
+			if q.U != p.U || q.V != p.V || q.W != p.W {
+				t.Fatalf("%s pair %d = (%d,%d,%v), want (%d,%d,%v)",
+					alg, k, q.U, q.V, q.W, p.U, p.V, p.W)
+			}
+		}
+		if got.Metrics == nil {
+			t.Fatalf("%s: no metrics despite ground truth", alg)
+		}
+	}
+}
+
+func TestMatchCacheHitAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	generateD2(t, ts.URL, "d2")
+	req := map[string]any{"graph": "d2", "algorithms": []string{"UMC", "CNC"}, "threshold": 0.5}
+
+	var first, second matchRespJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/match", req, &first)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/match", req, &second)
+	for i := range first.Results {
+		if first.Results[i].Cached {
+			t.Fatalf("first request already cached: %+v", first.Results[i])
+		}
+		if !second.Results[i].Cached {
+			t.Fatalf("repeat request not cached: %+v", second.Results[i])
+		}
+		if len(first.Results[i].Pairs) != len(second.Results[i].Pairs) {
+			t.Fatal("cached pairs differ from computed pairs")
+		}
+	}
+
+	var m metricsJSON
+	doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m)
+	if m.CacheHitsTotal != 2 || m.CacheMissesTotal != 2 {
+		t.Fatalf("cache counters = %d hits / %d misses, want 2/2", m.CacheHitsTotal, m.CacheMissesTotal)
+	}
+	if m.CacheHitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", m.CacheHitRate)
+	}
+	if m.GraphsStored != 1 || m.MatchRequestsTotal != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestGraphOverwriteInvalidatesCache(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	generateD2(t, ts.URL, "d2")
+	req := map[string]any{"graph": "d2", "algorithms": []string{"UMC"}, "threshold": 0.5}
+	var resp matchRespJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/match", req, &resp)
+
+	// Same name, new content: the version bump must miss the cache.
+	var info graphInfoJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", map[string]any{
+		"name": "d2", "dataset": "D2", "seed": 7, "scale": 0.02,
+	}, &info)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/match", req, &resp)
+	if resp.Results[0].Cached {
+		t.Fatal("match on replaced graph served from stale cache")
+	}
+	if resp.Version != info.Version {
+		t.Fatalf("match version %d, want %d", resp.Version, info.Version)
+	}
+}
+
+func TestSweepJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	generateD2(t, ts.URL, "d2")
+	g := fetchGraph(t, ts.URL, "d2")
+
+	var sweep sweepRespJSON
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
+		"graph": "d2", "algorithms": []string{"UMC", "CNC"},
+	}, &sweep)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep create: status %d", code)
+	}
+	if sweep.ID == "" {
+		t.Fatal("no job id")
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for sweep.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck in %q (%s)", sweep.State, sweep.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if code := doJSON(t, http.MethodGet, ts.URL+"/v1/sweeps/"+sweep.ID, nil, &sweep); code != http.StatusOK {
+			t.Fatalf("sweep get: status %d", code)
+		}
+	}
+
+	// The async job must agree with the serial library sweep. The server
+	// generated the task at (D2, seed 42, scale 0.02); regenerating it
+	// client-side recovers the same ground truth.
+	task, err := ccer.GenerateDataset("D2", 42, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ccer.SweepAll(g, task.GT, []string{"UMC", "CNC"}, ccer.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Results) != 2 {
+		t.Fatalf("results = %+v", sweep.Results)
+	}
+	for i, res := range want {
+		got := sweep.Results[i]
+		if got.Algorithm != res.Algorithm || got.BestT != res.BestT || got.F1 != res.Best.F1 {
+			t.Fatalf("job result %d = %+v, want %s best_t=%v f1=%v",
+				i, got, res.Algorithm, res.BestT, res.Best.F1)
+		}
+	}
+
+	var again sweepRespJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
+		"graph": "d2", "algorithms": []string{"UMC", "CNC"},
+	}, &again)
+	for again.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("second sweep stuck in %q", again.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		doJSON(t, http.MethodGet, ts.URL+"/v1/sweeps/"+again.ID, nil, &again)
+	}
+	for i := range sweep.Results {
+		if sweep.Results[i].BestT != again.Results[i].BestT || sweep.Results[i].F1 != again.Results[i].F1 {
+			t.Fatalf("sweep results not deterministic: %+v vs %+v", sweep.Results[i], again.Results[i])
+		}
+	}
+
+	var m metricsJSON
+	doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m)
+	if m.JobsDone != 2 || m.JobsLive != 0 {
+		t.Fatalf("job metrics = %+v", m)
+	}
+}
+
+func TestSweepCancelQueuedJob(t *testing.T) {
+	// One worker: the first (heavy) job occupies it, so the second stays
+	// queued and cancels instantly.
+	_, ts := newTestServer(t, serve.Config{JobWorkers: 1, Parallelism: 1})
+	generateD2(t, ts.URL, "d2")
+
+	var heavy, victim sweepRespJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
+		"graph": "d2", "repeats": 50,
+	}, &heavy)
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{"graph": "d2"}, &victim)
+
+	code := doJSON(t, http.MethodDelete, ts.URL+"/v1/sweeps/"+victim.ID, nil, &victim)
+	if code != http.StatusOK {
+		t.Fatalf("cancel: status %d", code)
+	}
+	if victim.State != "cancelled" {
+		t.Fatalf("victim state = %q, want cancelled", victim.State)
+	}
+	// Cancel the heavy one too so Cleanup's Close drains fast.
+	doJSON(t, http.MethodDelete, ts.URL+"/v1/sweeps/"+heavy.ID, nil, &heavy)
+}
+
+func TestServerCloseCancelsInFlightJobs(t *testing.T) {
+	srv := serve.New(serve.Config{JobWorkers: 1, Parallelism: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	generateD2(t, ts.URL, "d2")
+	var job sweepRespJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
+		"graph": "d2", "repeats": 200,
+	}, &job)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		t.Fatalf("close with in-flight job: %v", err)
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/sweeps/"+job.ID, nil, &job)
+	if job.State != "cancelled" && job.State != "done" {
+		t.Fatalf("job state after close = %q", job.State)
+	}
+	// A 200-repeat full sweep takes far longer than Close took; it must
+	// have been cut short, not completed.
+	if job.State != "cancelled" {
+		t.Fatalf("job completed despite shutdown cancellation")
+	}
+}
+
+func TestGraphUploadRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	b := graph.NewBuilder(3, 3)
+	b.Add(0, 0, 0.9)
+	b.Add(1, 2, 0.7)
+	b.Add(2, 1, 0.4)
+	g := b.MustBuild()
+	var wire bytes.Buffer
+	if err := g.WriteEdgeList(&wire); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/graphs?name=up", "text/plain", bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info graphInfoJSON
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	if info.Name != "up" || info.N1 != 3 || info.Edges != 3 || info.HasGroundTruth || info.Source != "upload" {
+		t.Fatalf("upload info = %+v", info)
+	}
+	if info.Checksum != fmt.Sprintf("%016x", g.Checksum()) {
+		t.Fatalf("checksum %s, want %016x", info.Checksum, g.Checksum())
+	}
+
+	back := fetchGraph(t, ts.URL, "up")
+	if back.NumEdges() != 3 || back.N1() != 3 || back.N2() != 3 {
+		t.Fatalf("round-tripped graph %d/%d/%d", back.N1(), back.N2(), back.NumEdges())
+	}
+
+	// Matching an uploaded graph works, just without metrics.
+	var mr matchRespJSON
+	doJSON(t, http.MethodPost, ts.URL+"/v1/match", map[string]any{
+		"graph": "up", "algorithms": []string{"UMC"}, "threshold": 0.3,
+	}, &mr)
+	if len(mr.Results) != 1 || len(mr.Results[0].Pairs) == 0 {
+		t.Fatalf("match on upload = %+v", mr.Results)
+	}
+	if mr.Results[0].Metrics != nil {
+		t.Fatal("metrics reported without ground truth")
+	}
+}
+
+func TestGraphListAndDelete(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	generateD2(t, ts.URL, "a")
+	generateD2(t, ts.URL, "b")
+	var list struct {
+		Graphs []graphInfoJSON `json:"graphs"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/graphs", nil, &list)
+	if len(list.Graphs) != 2 || list.Graphs[0].Name != "a" || list.Graphs[1].Name != "b" {
+		t.Fatalf("list = %+v", list.Graphs)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/a", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete: %d", code)
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/graphs", nil, &list)
+	if len(list.Graphs) != 1 {
+		t.Fatalf("list after delete = %+v", list.Graphs)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	var h struct {
+		Status string `json:"status"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &h); code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", code, h)
+	}
+}
+
+func TestErrorResponses(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	generateD2(t, ts.URL, "d2")
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"match unknown graph", http.MethodPost, "/v1/match", map[string]any{"graph": "nope"}, http.StatusNotFound},
+		{"match unknown algorithm", http.MethodPost, "/v1/match", map[string]any{"graph": "d2", "algorithms": []string{"XXX"}}, http.StatusBadRequest},
+		{"match bad threshold", http.MethodPost, "/v1/match", map[string]any{"graph": "d2", "threshold": 1.5}, http.StatusBadRequest},
+		{"match unknown field", http.MethodPost, "/v1/match", map[string]any{"graph": "d2", "bogus": 1}, http.StatusBadRequest},
+		{"sweep unknown graph", http.MethodPost, "/v1/sweeps", map[string]any{"graph": "nope"}, http.StatusNotFound},
+		{"sweep unknown algorithm", http.MethodPost, "/v1/sweeps", map[string]any{"graph": "d2", "algorithms": []string{"XXX"}}, http.StatusBadRequest},
+		{"sweep get unknown", http.MethodGet, "/v1/sweeps/sweep-99", nil, http.StatusNotFound},
+		{"sweep cancel unknown", http.MethodDelete, "/v1/sweeps/sweep-99", nil, http.StatusNotFound},
+		{"graph get unknown", http.MethodGet, "/v1/graphs/nope", nil, http.StatusNotFound},
+		{"graph delete unknown", http.MethodDelete, "/v1/graphs/nope", nil, http.StatusNotFound},
+		{"generate unknown dataset", http.MethodPost, "/v1/graphs", map[string]any{"dataset": "D99"}, http.StatusBadRequest},
+		{"generate unknown measure", http.MethodPost, "/v1/graphs", map[string]any{"dataset": "D1", "measure": "Nope"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code := doJSON(t, tc.method, ts.URL+tc.path, tc.body, nil); code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+	}
+
+	// A malformed edge-list upload is a 400, not a panic.
+	resp, err := http.Post(ts.URL+"/v1/graphs", "text/plain", strings.NewReader("not a header\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad upload: status %d", resp.StatusCode)
+	}
+}
+
+// TestUploadHeaderNodeCap pins the hostile-header guard: a few bytes
+// declaring billions of nodes must be rejected before allocation.
+func TestUploadHeaderNodeCap(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxGraphNodes: 100})
+	resp, err := http.Post(ts.URL+"/v1/graphs", "text/plain",
+		strings.NewReader("2000000000 2000000000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("huge header: status %d (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "cap") {
+		t.Fatalf("huge header error = %s", body)
+	}
+
+	// Within the cap still works.
+	resp, err = http.Post(ts.URL+"/v1/graphs", "text/plain",
+		strings.NewReader("2 2\n0 0 0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("small upload under cap: status %d", resp.StatusCode)
+	}
+}
+
+func TestGenerateScaleNodeCap(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxGraphNodes: 10})
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", map[string]any{
+		"dataset": "D2", "scale": 0.02,
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("over-cap generation: status %d, want 400", code)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{MaxBodyBytes: 64})
+	big := strings.Repeat("x", 1024)
+	resp, err := http.Post(ts.URL+"/v1/graphs", "text/plain", strings.NewReader("2 2\n#"+big+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized upload: status %d, want 400", resp.StatusCode)
+	}
+}

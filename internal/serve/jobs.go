@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/eval"
+)
+
+// JobState is the lifecycle state of an async sweep job.
+type JobState string
+
+// Job lifecycle: queued -> running -> done | failed | cancelled.
+// Cancellation can also strike while still queued.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// ErrQueueFull is returned by Submit when the job backlog is at capacity.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrClosed is returned by Submit after the queue began shutting down.
+var ErrClosed = errors.New("serve: job queue closed")
+
+// SweepJob is one asynchronous threshold-sweep request. Mutable fields
+// are guarded by the owning JobQueue's mutex; handlers read them through
+// Get/List snapshots only.
+type SweepJob struct {
+	ID           string
+	Graph        string
+	GraphVersion int64
+	Algorithms   []string
+	Repeats      int
+	Seed         int64
+
+	State    JobState
+	Error    string
+	Results  []eval.SweepResult
+	Created  time.Time
+	Started  time.Time
+	Finished time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// JobView is an immutable snapshot of a SweepJob for rendering.
+type JobView struct {
+	ID           string
+	Graph        string
+	GraphVersion int64
+	Algorithms   []string
+	Repeats      int
+	Seed         int64
+	State        JobState
+	Error        string
+	Results      []eval.SweepResult
+	Created      time.Time
+	Started      time.Time
+	Finished     time.Time
+}
+
+// JobCounts aggregates job states for /metrics.
+type JobCounts struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Live returns the number of jobs not yet in a terminal state.
+func (c JobCounts) Live() int { return c.Queued + c.Running }
+
+// runFunc executes one job; ctx is cancelled by job cancellation and by
+// queue shutdown.
+type runFunc func(ctx context.Context, job *SweepJob) ([]eval.SweepResult, error)
+
+// JobQueue runs sweep jobs on a fixed pool of worker goroutines with a
+// bounded backlog. Every job gets a context derived from the queue's
+// base context, so Close cancels queued and in-flight work in one step.
+// Terminal jobs are retained for polling up to a history cap; the
+// oldest ones are evicted beyond it, keeping the resident service's
+// memory bounded.
+type JobQueue struct {
+	mu      sync.Mutex
+	jobs    map[string]*SweepJob
+	order   []string
+	nextID  int64
+	closed  bool
+	history int
+
+	backlog chan *SweepJob
+	base    context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	run     runFunc
+}
+
+// NewJobQueue starts workers goroutines draining a backlog of up to
+// depth queued jobs, executing each with run. history caps how many
+// terminal (done/failed/cancelled) jobs stay retrievable; older ones
+// are evicted oldest-first (negative retains none).
+func NewJobQueue(workers, depth, history int, run runFunc) *JobQueue {
+	if history < 0 {
+		history = 0
+	}
+	base, stop := context.WithCancel(context.Background())
+	q := &JobQueue{
+		jobs:    make(map[string]*SweepJob),
+		history: history,
+		backlog: make(chan *SweepJob, depth),
+		base:    base,
+		stop:    stop,
+		run:     run,
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues the job, assigning its id ("sweep-1", "sweep-2", ...)
+// and timestamps. It fails fast with ErrQueueFull when the backlog is at
+// capacity rather than blocking an HTTP handler. The backlog send stays
+// inside the critical section (it is non-blocking, so it cannot deadlock
+// against the workers): reserving the slot and registering the job
+// atomically keeps q.order and q.jobs consistent under concurrent
+// Submits.
+func (q *JobQueue) Submit(job *SweepJob) (*SweepJob, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	job.State = JobQueued
+	job.ctx, job.cancel = context.WithCancel(q.base)
+	select {
+	case q.backlog <- job:
+	default:
+		job.cancel()
+		return nil, ErrQueueFull
+	}
+	// A worker that already received the job blocks on q.mu in runJob
+	// until we return, so the registration below is ordered before it.
+	q.nextID++
+	job.ID = fmt.Sprintf("sweep-%d", q.nextID)
+	job.Created = time.Now()
+	q.jobs[job.ID] = job
+	q.order = append(q.order, job.ID)
+	return job, nil
+}
+
+// Get returns a snapshot of the identified job.
+func (q *JobQueue) Get(id string) (JobView, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return q.viewLocked(job), true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (q *JobQueue) List() []JobView {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]JobView, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.viewLocked(q.jobs[id]))
+	}
+	return out
+}
+
+// Counts tallies job states.
+func (q *JobQueue) Counts() JobCounts {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var c JobCounts
+	for _, job := range q.jobs {
+		switch job.State {
+		case JobQueued:
+			c.Queued++
+		case JobRunning:
+			c.Running++
+		case JobDone:
+			c.Done++
+		case JobFailed:
+			c.Failed++
+		case JobCancelled:
+			c.Cancelled++
+		}
+	}
+	return c
+}
+
+// Cancel requests cancellation of the identified job. A queued job flips
+// to cancelled immediately; a running job's context is cancelled and the
+// worker marks it once its in-flight Match call returns. Terminal jobs
+// are left untouched (reported as ok: the cancellation is already moot).
+func (q *JobQueue) Cancel(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return false
+	}
+	switch job.State {
+	case JobQueued:
+		q.finishLocked(job, JobCancelled, context.Canceled.Error())
+	case JobRunning:
+		job.cancel()
+	}
+	return true
+}
+
+// Close stops accepting jobs, cancels every queued and running job, and
+// waits for the workers to drain, up to ctx's deadline.
+func (q *JobQueue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.stop() // cancels q.base and with it every job context
+		// finishLocked prunes history, mutating q.order; iterate a copy.
+		for _, id := range append([]string(nil), q.order...) {
+			if job, ok := q.jobs[id]; ok && job.State == JobQueued {
+				q.finishLocked(job, JobCancelled, "server shutting down")
+			}
+		}
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: job drain: %w", ctx.Err())
+	}
+}
+
+func (q *JobQueue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.base.Done():
+			return
+		case job := <-q.backlog:
+			q.runJob(job)
+		}
+	}
+}
+
+func (q *JobQueue) runJob(job *SweepJob) {
+	q.mu.Lock()
+	if job.State != JobQueued { // cancelled while still in the backlog
+		q.mu.Unlock()
+		return
+	}
+	job.State = JobRunning
+	job.Started = time.Now()
+	ctx := job.ctx
+	q.mu.Unlock()
+
+	results, err := q.run(ctx, job)
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch {
+	case ctx.Err() != nil:
+		// Partial sweep results are meaningless; drop them.
+		q.finishLocked(job, JobCancelled, ctx.Err().Error())
+	case err != nil:
+		q.finishLocked(job, JobFailed, err.Error())
+	default:
+		job.Results = results
+		q.finishLocked(job, JobDone, "")
+	}
+}
+
+// finishLocked moves the job to a terminal state and prunes history.
+// Callers hold q.mu.
+func (q *JobQueue) finishLocked(job *SweepJob, state JobState, errMsg string) {
+	job.State = state
+	job.Error = errMsg
+	job.Finished = time.Now()
+	job.cancel()
+	q.pruneLocked()
+}
+
+func isTerminal(s JobState) bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// pruneLocked evicts the oldest terminal jobs beyond the history cap.
+// Callers hold q.mu.
+func (q *JobQueue) pruneLocked() {
+	terminal := 0
+	for _, id := range q.order {
+		if isTerminal(q.jobs[id].State) {
+			terminal++
+		}
+	}
+	if terminal <= q.history {
+		return
+	}
+	keep := q.order[:0]
+	for _, id := range q.order {
+		if terminal > q.history && isTerminal(q.jobs[id].State) {
+			delete(q.jobs, id)
+			terminal--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	q.order = keep
+}
+
+func (q *JobQueue) viewLocked(job *SweepJob) JobView {
+	return JobView{
+		ID:           job.ID,
+		Graph:        job.Graph,
+		GraphVersion: job.GraphVersion,
+		Algorithms:   append([]string(nil), job.Algorithms...),
+		Repeats:      job.Repeats,
+		Seed:         job.Seed,
+		State:        job.State,
+		Error:        job.Error,
+		Results:      job.Results,
+		Created:      job.Created,
+		Started:      job.Started,
+		Finished:     job.Finished,
+	}
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/eval"
+)
+
+// waitState polls until the job reaches state or the deadline passes.
+func waitState(t *testing.T, q *JobQueue, id string, want JobState) JobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		v, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v.State == want {
+			return v
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, _ := q.Get(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, v.State, want)
+	return JobView{}
+}
+
+func TestJobQueueRunsToDone(t *testing.T) {
+	q := NewJobQueue(2, 8, 256, func(ctx context.Context, job *SweepJob) ([]eval.SweepResult, error) {
+		return []eval.SweepResult{{Algorithm: "UMC", BestT: 0.4}}, nil
+	})
+	defer q.Close(context.Background())
+	job, err := q.Submit(&SweepJob{Graph: "g", Algorithms: []string{"UMC"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "sweep-1" {
+		t.Fatalf("first job id = %q", job.ID)
+	}
+	v := waitState(t, q, job.ID, JobDone)
+	if len(v.Results) != 1 || v.Results[0].BestT != 0.4 {
+		t.Fatalf("results = %+v", v.Results)
+	}
+	if v.Finished.IsZero() || v.Started.IsZero() {
+		t.Fatal("timestamps not stamped")
+	}
+}
+
+func TestJobQueueFailedJob(t *testing.T) {
+	q := NewJobQueue(1, 8, 256, func(ctx context.Context, job *SweepJob) ([]eval.SweepResult, error) {
+		return nil, errors.New("graph gone")
+	})
+	defer q.Close(context.Background())
+	job, err := q.Submit(&SweepJob{Graph: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitState(t, q, job.ID, JobFailed)
+	if v.Error != "graph gone" {
+		t.Fatalf("error = %q", v.Error)
+	}
+}
+
+// blockingQueue returns a queue whose jobs block until their context is
+// cancelled or the returned release channel is closed.
+func blockingQueue(workers, depth int) (*JobQueue, chan struct{}, chan string) {
+	release := make(chan struct{})
+	started := make(chan string, depth+workers)
+	q := NewJobQueue(workers, depth, 256, func(ctx context.Context, job *SweepJob) ([]eval.SweepResult, error) {
+		started <- job.ID
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			return []eval.SweepResult{}, nil
+		}
+	})
+	return q, release, started
+}
+
+func TestJobQueueCancelQueuedAndRunning(t *testing.T) {
+	q, release, started := blockingQueue(1, 8)
+	defer q.Close(context.Background())
+	running, err := q.Submit(&SweepJob{Graph: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker is now blocked inside job 1
+	queued, err := q.Submit(&SweepJob{Graph: "g"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !q.Cancel(queued.ID) {
+		t.Fatal("Cancel(queued) = false")
+	}
+	v, _ := q.Get(queued.ID)
+	if v.State != JobCancelled {
+		t.Fatalf("queued job state = %s, want cancelled immediately", v.State)
+	}
+
+	if !q.Cancel(running.ID) {
+		t.Fatal("Cancel(running) = false")
+	}
+	waitState(t, q, running.ID, JobCancelled)
+	if q.Cancel("sweep-999") {
+		t.Fatal("Cancel of unknown id = true")
+	}
+	close(release)
+}
+
+func TestJobQueueBacklogFull(t *testing.T) {
+	q, release, started := blockingQueue(1, 1)
+	defer q.Close(context.Background())
+	if _, err := q.Submit(&SweepJob{}); err != nil { // runs
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := q.Submit(&SweepJob{}); err != nil { // fills the backlog
+		t.Fatal(err)
+	}
+	_, err := q.Submit(&SweepJob{})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit err = %v, want ErrQueueFull", err)
+	}
+	// The rejected job must not linger in listings.
+	if n := len(q.List()); n != 2 {
+		t.Fatalf("List len = %d, want 2", n)
+	}
+	close(release)
+}
+
+func TestJobQueueCloseCancelsEverything(t *testing.T) {
+	q, _, started := blockingQueue(1, 8)
+	running, _ := q.Submit(&SweepJob{})
+	<-started
+	queued, _ := q.Submit(&SweepJob{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		v, _ := q.Get(id)
+		if v.State != JobCancelled {
+			t.Fatalf("job %s state after Close = %s, want cancelled", id, v.State)
+		}
+	}
+	if _, err := q.Submit(&SweepJob{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestJobQueueCloseTimesOutOnStuckJob(t *testing.T) {
+	stuck := make(chan struct{})
+	defer close(stuck)
+	started := make(chan struct{})
+	q := NewJobQueue(1, 1, 256, func(ctx context.Context, job *SweepJob) ([]eval.SweepResult, error) {
+		close(started)
+		<-stuck // ignores ctx: simulates a wedged worker
+		return nil, nil
+	})
+	if _, err := q.Submit(&SweepJob{}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := q.Close(ctx); err == nil {
+		t.Fatal("Close returned nil with a wedged worker")
+	}
+}
+
+func TestJobQueueHistoryPruning(t *testing.T) {
+	q := NewJobQueue(1, 16, 2, func(ctx context.Context, job *SweepJob) ([]eval.SweepResult, error) {
+		return nil, nil
+	})
+	defer q.Close(context.Background())
+	var last string
+	for i := 0; i < 6; i++ {
+		job, err := q.Submit(&SweepJob{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = job.ID
+		waitState(t, q, job.ID, JobDone)
+	}
+	if n := len(q.List()); n != 2 {
+		t.Fatalf("retained %d terminal jobs, want history cap 2", n)
+	}
+	if _, ok := q.Get("sweep-1"); ok {
+		t.Fatal("oldest job survived pruning")
+	}
+	if _, ok := q.Get(last); !ok {
+		t.Fatal("newest job was pruned")
+	}
+	if c := q.Counts(); c.Done != 2 {
+		t.Fatalf("Counts.Done = %d over retained jobs, want 2", c.Done)
+	}
+}
+
+func TestJobQueueHistoryKeepsLiveJobs(t *testing.T) {
+	// history 0: terminal jobs vanish immediately, live jobs never do.
+	q, release, started := blockingQueue(1, 8)
+	q.history = 0
+	defer q.Close(context.Background())
+	running, err := q.Submit(&SweepJob{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := q.Submit(&SweepJob{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Cancel(queued.ID) // terminal -> pruned at once
+	if _, ok := q.Get(queued.ID); ok {
+		t.Fatal("terminal job retained with zero history")
+	}
+	if _, ok := q.Get(running.ID); !ok {
+		t.Fatal("running job pruned")
+	}
+	close(release)
+}
+
+func TestJobQueueListOrder(t *testing.T) {
+	q := NewJobQueue(1, 16, 256, func(ctx context.Context, job *SweepJob) ([]eval.SweepResult, error) {
+		return nil, nil
+	})
+	defer q.Close(context.Background())
+	for i := 0; i < 5; i++ {
+		if _, err := q.Submit(&SweepJob{Graph: fmt.Sprintf("g%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := q.List()
+	if len(list) != 5 {
+		t.Fatalf("List len = %d", len(list))
+	}
+	for i, v := range list {
+		if want := fmt.Sprintf("sweep-%d", i+1); v.ID != want {
+			t.Fatalf("List[%d] = %s, want %s", i, v.ID, want)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package serve_test
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/serve"
+)
+
+// TestConcurrentClients hammers every endpoint from parallel clients.
+// It asserts nothing about individual responses beyond "a sane status";
+// its job is to let the race detector see the store, cache, job queue
+// and counters under real contention (CI runs this package with -race).
+func TestConcurrentClients(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{CacheSize: 8, JobWorkers: 2})
+	generateD2(t, ts.URL, "shared")
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			own := fmt.Sprintf("own-%d", c)
+			for round := 0; round < 3; round++ {
+				// Overwrite a private graph and the shared one to churn
+				// versions under concurrent matches.
+				code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", map[string]any{
+					"name": own, "dataset": "D1", "seed": c + 1, "scale": 0.01,
+				}, nil)
+				if code != http.StatusCreated {
+					t.Errorf("client %d: generate status %d", c, code)
+					return
+				}
+				for _, g := range []string{own, "shared"} {
+					code = doJSON(t, http.MethodPost, ts.URL+"/v1/match", map[string]any{
+						"graph": g, "algorithms": []string{"UMC", "CNC", "KRC"},
+						"threshold": 0.5,
+					}, nil)
+					if code != http.StatusOK {
+						t.Errorf("client %d: match status %d", c, code)
+						return
+					}
+				}
+				var sweep sweepRespJSON
+				code = doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
+					"graph": own, "algorithms": []string{"UMC"},
+				}, &sweep)
+				// 503 (backlog full) is a legitimate answer under load.
+				if code != http.StatusAccepted && code != http.StatusServiceUnavailable {
+					t.Errorf("client %d: sweep status %d", c, code)
+					return
+				}
+				if code == http.StatusAccepted && round == 1 {
+					doJSON(t, http.MethodDelete, ts.URL+"/v1/sweeps/"+sweep.ID, nil, nil)
+				}
+				doJSON(t, http.MethodGet, ts.URL+"/v1/graphs", nil, nil)
+				doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, nil)
+				doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, nil)
+			}
+			doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/"+own, nil, nil)
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/algo"
+	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/eval"
+	"github.com/ccer-go/ccer/internal/par"
+)
+
+// Config tunes a Server. The zero value is a working configuration; every
+// field has a serviceable default.
+type Config struct {
+	// CacheSize is the capacity of the match result cache in matchings
+	// (one per (graph version, algorithm, threshold, seed)). 0 means 256;
+	// negative disables caching.
+	CacheSize int
+	// JobWorkers is the number of goroutines executing async sweep jobs.
+	// 0 means 2.
+	JobWorkers int
+	// JobQueueDepth is the backlog of queued sweep jobs before POST
+	// /v1/sweeps starts returning 503. 0 means 64.
+	JobQueueDepth int
+	// JobHistory caps how many finished (done/failed/cancelled) sweep
+	// jobs stay retrievable via GET /v1/sweeps/{id}; the oldest are
+	// evicted beyond it so a resident server's memory stays bounded.
+	// 0 means 256; negative retains none.
+	JobHistory int
+	// MaxGraphNodes caps the node count (|V1|+|V2|) a single graph may
+	// declare, whether uploaded (the edge-list header is untrusted
+	// input: a few bytes can demand gigabytes of adjacency arrays) or
+	// generated. 0 means 1<<21; negative means no cap.
+	MaxGraphNodes int
+	// Parallelism is the worker count inside one match batch or sweep
+	// grid, forwarded to the internal/par pool (0 means all CPUs, 1
+	// serial). Responses are deterministic at any setting.
+	Parallelism int
+	// MaxBodyBytes caps request bodies (edge-list uploads dominate).
+	// 0 means 32 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueueDepth <= 0 {
+		c.JobQueueDepth = 64
+	}
+	if c.JobHistory == 0 {
+		c.JobHistory = 256
+	}
+	if c.MaxGraphNodes == 0 {
+		c.MaxGraphNodes = 1 << 21
+	}
+	if c.MaxGraphNodes < 0 {
+		c.MaxGraphNodes = 0 // no cap, the ReadEdgeListMax convention
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	return c
+}
+
+// counters are the monotonically increasing request-level metrics
+// surfaced by /metrics (cache and job counters live with their owners).
+type counters struct {
+	requests      atomic.Int64
+	errors        atomic.Int64
+	graphsCreated atomic.Int64
+	matchRequests atomic.Int64
+	matchingsRun  atomic.Int64
+	sweepsCreated atomic.Int64
+}
+
+// Server is the resident ER matching service: a graph store, a result
+// cache and a sweep job queue behind an HTTP JSON API. Create one with
+// New, mount Handler on an http.Server, and Close it on shutdown.
+type Server struct {
+	cfg     Config
+	store   *Store
+	cache   *ResultCache
+	jobs    *JobQueue
+	mux     *http.ServeMux
+	stats   counters
+	started time.Time
+}
+
+// New returns a started server (its job workers are running). The
+// caller owns shutdown via Close.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   NewStore(),
+		cache:   NewResultCache(cfg.CacheSize),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.jobs = NewJobQueue(cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobHistory, s.runSweep)
+	s.routes()
+	return s
+}
+
+// Handler returns the root handler: the v1 API plus /healthz and
+// /metrics, wrapped with request/error counting.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.stats.requests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+		if rec.status >= 400 {
+			s.stats.errors.Add(1)
+		}
+	})
+}
+
+// Close drains the service: no new jobs are accepted, queued and running
+// sweeps are cancelled through their contexts, and the job workers are
+// awaited up to ctx's deadline. It does not stop an http.Server mounted
+// on Handler; shut that down first (see cmd/erserve).
+func (s *Server) Close(ctx context.Context) error {
+	return s.jobs.Close(ctx)
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// normSeed mirrors ccer.Options: seed 0 means 1, the same default the
+// one-shot ccer.Match applies, so cache keys and matchings line up with
+// the library's serial path.
+func normSeed(seed int64) int64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
+}
+
+// stopFunc adapts a context to the polling Stop hook used by the
+// internal/par pool and the sweep engine.
+func stopFunc(ctx context.Context) func() bool {
+	if ctx == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
+}
+
+// matchOutcome is one algorithm's matching within a batch.
+type matchOutcome struct {
+	Algorithm string
+	Pairs     []core.Pair
+	Cached    bool
+}
+
+// matchBatch runs the named algorithms on the stored graph at the
+// threshold, serving individual matchings from the result cache where
+// possible and fanning the misses over the par pool (the same shape as
+// ccer.MatchConcurrent, so pairs are identical to sequential ccer.Match
+// calls at the same seed). Fresh matchings are inserted into the cache
+// before returning.
+func (s *Server) matchBatch(ctx context.Context, e *GraphEntry, algorithms []string, threshold float64, seed int64) ([]matchOutcome, error) {
+	seed = normSeed(seed)
+	ms, err := algo.AllByName(algorithms, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]matchOutcome, len(algorithms))
+	todo := make([]int, 0, len(algorithms))
+	for i, name := range algorithms {
+		key := CacheKey{Graph: e.Name, Version: e.Version, Algorithm: name, Threshold: threshold, Seed: seed}
+		if pairs, ok := s.cache.Get(key); ok {
+			out[i] = matchOutcome{Algorithm: name, Pairs: pairs, Cached: true}
+			continue
+		}
+		todo = append(todo, i)
+	}
+	if len(todo) > 0 {
+		// Each todo index runs on exactly one worker and every matcher in
+		// the module keeps its mutable state local to a Match call, so no
+		// cloning is needed (the ccer.MatchConcurrent invariant).
+		par.For(len(todo), par.Workers(s.cfg.Parallelism), stopFunc(ctx), func(_, k int) {
+			i := todo[k]
+			out[i] = matchOutcome{Algorithm: algorithms[i], Pairs: ms[i].Match(e.Graph, threshold)}
+		})
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		s.stats.matchingsRun.Add(int64(len(todo)))
+		for _, i := range todo {
+			key := CacheKey{Graph: e.Name, Version: e.Version, Algorithm: algorithms[i], Threshold: threshold, Seed: seed}
+			s.cache.Put(key, out[i].Pairs)
+		}
+	}
+	return out, nil
+}
+
+// runSweep executes one queued sweep job on the par pool; ctx cancellation
+// (job cancel or server shutdown) trips the sweep's Stop hook between
+// Match calls.
+func (s *Server) runSweep(ctx context.Context, job *SweepJob) ([]eval.SweepResult, error) {
+	e, ok := s.store.Get(job.Graph)
+	if !ok {
+		return nil, fmt.Errorf("graph %q no longer in store", job.Graph)
+	}
+	if e.Version != job.GraphVersion {
+		return nil, fmt.Errorf("graph %q was replaced (version %d, job wants %d)",
+			job.Graph, e.Version, job.GraphVersion)
+	}
+	ms, err := algo.AllByName(job.Algorithms, normSeed(job.Seed))
+	if err != nil {
+		return nil, err
+	}
+	return eval.SweepAllOpts(e.Graph, e.GT, ms, eval.SweepOptions{
+		Repeats:     job.Repeats,
+		Parallelism: s.cfg.Parallelism,
+		Stop:        stopFunc(ctx),
+	}), nil
+}

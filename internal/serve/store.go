@@ -1,0 +1,124 @@
+// Package serve implements the erserve subsystem: a long-running
+// Clean-Clean ER matching service exposing the module's matching engine
+// over an HTTP JSON API. It keeps named similarity graphs resident in a
+// versioned in-memory store, runs synchronous match batches through an
+// LRU result cache, and executes threshold sweeps as asynchronous jobs
+// on a bounded worker pool with context cancellation, so many requests
+// amortize one graph build.
+//
+// The package is wired together by Server (see serve.go) and re-exported
+// to library users through ccer.NewServer / ccer.ServeConfig.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/dataset"
+	"github.com/ccer-go/ccer/internal/graph"
+)
+
+// GraphEntry is one named, versioned graph resident in the store.
+type GraphEntry struct {
+	// Name is the store key.
+	Name string
+	// Version increases monotonically across the whole store, so
+	// (Name, Version) identifies one immutable graph even after a name
+	// is overwritten. Result-cache keys embed it, which invalidates
+	// cached matchings the moment a name points at new content.
+	Version int64
+	// Checksum fingerprints the graph content via the edge-list codec
+	// (graph.Bipartite.Checksum).
+	Checksum uint64
+	// Graph is the immutable similarity graph itself.
+	Graph *graph.Bipartite
+	// GT is the ground truth when the graph came from a generated task;
+	// nil for uploaded edge lists. Sweeps and match metrics degrade to
+	// zero scores without it.
+	GT *dataset.GroundTruth
+	// Source records provenance: "upload" or "generate".
+	Source string
+	// Dataset, Seed and Scale record the generation request for
+	// generated graphs ("" / 0 / 0 for uploads).
+	Dataset string
+	Seed    int64
+	Scale   float64
+	// Created is the store-insertion time.
+	Created time.Time
+}
+
+// Store is a goroutine-safe in-memory collection of named graphs.
+type Store struct {
+	mu          sync.RWMutex
+	entries     map[string]*GraphEntry
+	nextVersion int64
+	nextAuto    int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{entries: make(map[string]*GraphEntry)}
+}
+
+// Put inserts the entry under e.Name, assigning the next version.
+// An empty name is given an auto-generated "g1", "g2", ... name that is
+// not already taken. Re-using a name replaces the previous entry; the
+// fresh version keeps result-cache keys from resurrecting stale pairs.
+// It returns the stored entry (with Name, Version and Created filled).
+func (s *Store) Put(e *GraphEntry) *GraphEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e.Name == "" {
+		for {
+			s.nextAuto++
+			name := fmt.Sprintf("g%d", s.nextAuto)
+			if _, taken := s.entries[name]; !taken {
+				e.Name = name
+				break
+			}
+		}
+	}
+	s.nextVersion++
+	e.Version = s.nextVersion
+	e.Created = time.Now()
+	s.entries[e.Name] = e
+	return e
+}
+
+// Get returns the entry under name.
+func (s *Store) Get(name string) (*GraphEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[name]
+	return e, ok
+}
+
+// Delete removes the entry under name, reporting whether it existed.
+func (s *Store) Delete(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[name]
+	delete(s.entries, name)
+	return ok
+}
+
+// List returns the entries sorted by name.
+func (s *Store) List() []*GraphEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*GraphEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of stored graphs.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/graph"
+)
+
+func testGraph(t *testing.T, weights ...float64) *graph.Bipartite {
+	t.Helper()
+	b := graph.NewBuilder(len(weights), len(weights))
+	for i, w := range weights {
+		b.Add(int32(i), int32(i), w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestStorePutGetDelete(t *testing.T) {
+	s := NewStore()
+	g := testGraph(t, 0.9, 0.8)
+	e := s.Put(&GraphEntry{Name: "a", Graph: g, Checksum: g.Checksum(), Source: "upload"})
+	if e.Version != 1 {
+		t.Fatalf("first version = %d, want 1", e.Version)
+	}
+	if e.Created.IsZero() {
+		t.Fatal("Created not stamped")
+	}
+	got, ok := s.Get("a")
+	if !ok || got.Graph != g {
+		t.Fatalf("Get(a) = %v, %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.Delete("a") {
+		t.Fatal("Delete(a) = false")
+	}
+	if s.Delete("a") {
+		t.Fatal("second Delete(a) = true")
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Get after Delete succeeded")
+	}
+}
+
+func TestStoreOverwriteBumpsVersion(t *testing.T) {
+	s := NewStore()
+	e1 := s.Put(&GraphEntry{Name: "a", Graph: testGraph(t, 0.9)})
+	e2 := s.Put(&GraphEntry{Name: "a", Graph: testGraph(t, 0.1)})
+	if e2.Version <= e1.Version {
+		t.Fatalf("overwrite version %d not above %d", e2.Version, e1.Version)
+	}
+	got, _ := s.Get("a")
+	if got != e2 {
+		t.Fatal("Get returned the stale entry")
+	}
+}
+
+func TestStoreAutoNamesSkipTaken(t *testing.T) {
+	s := NewStore()
+	s.Put(&GraphEntry{Name: "g1", Graph: testGraph(t, 0.5)})
+	e := s.Put(&GraphEntry{Graph: testGraph(t, 0.6)})
+	if e.Name != "g2" {
+		t.Fatalf("auto name = %q, want g2 (g1 taken)", e.Name)
+	}
+}
+
+func TestStoreListSorted(t *testing.T) {
+	s := NewStore()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		s.Put(&GraphEntry{Name: name, Graph: testGraph(t, 0.5)})
+	}
+	list := s.List()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(list) != len(want) {
+		t.Fatalf("List len = %d, want %d", len(list), len(want))
+	}
+	for i, e := range list {
+		if e.Name != want[i] {
+			t.Fatalf("List[%d] = %q, want %q", i, e.Name, want[i])
+		}
+	}
+}

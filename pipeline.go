@@ -5,6 +5,8 @@ package ccer
 // Q-learning matcher.
 
 import (
+	"fmt"
+
 	"github.com/ccer-go/ccer/internal/blocking"
 	"github.com/ccer-go/ccer/internal/eval"
 	"github.com/ccer-go/ccer/internal/graph"
@@ -57,10 +59,16 @@ func EvaluateBlocking(cands [][2]int32, gt *GroundTruth, n1, n2 int) BlockingQua
 }
 
 // BuildGraphFromCandidates scores only the candidate pairs (from
-// blocking) instead of the full Cartesian product.
+// blocking) instead of the full Cartesian product. A candidate indexing
+// outside either collection (possible when the candidate set was built
+// against different collections) is reported as an error.
 func BuildGraphFromCandidates(texts1, texts2 []string, cands [][2]int32, sim SimilarityFunc, minSim float64) (*Graph, error) {
 	b := graph.NewBuilder(len(texts1), len(texts2))
-	for _, c := range cands {
+	for i, c := range cands {
+		if c[0] < 0 || int(c[0]) >= len(texts1) || c[1] < 0 || int(c[1]) >= len(texts2) {
+			return nil, fmt.Errorf("ccer: candidate %d: pair (%d,%d) out of range for collections of %d and %d texts",
+				i, c[0], c[1], len(texts1), len(texts2))
+		}
 		if w := sim(texts1[c[0]], texts2[c[1]]); w > minSim {
 			b.Add(c[0], c[1], w)
 		}

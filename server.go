@@ -1,0 +1,23 @@
+package ccer
+
+// The erserve subsystem: the matching engine as a long-running service.
+// The implementation lives in internal/serve; this file re-exports the
+// constructor so library users can embed the service in their own
+// processes, while cmd/erserve wraps it in a standalone binary.
+
+import "github.com/ccer-go/ccer/internal/serve"
+
+// ServeConfig tunes an embedded matching service (cache capacity, job
+// workers, parallelism, body limits). The zero value works.
+type ServeConfig = serve.Config
+
+// Server is a resident Clean-Clean ER matching service: named graphs
+// stay warm in a versioned in-memory store, match batches are answered
+// through an LRU result cache, and threshold sweeps run as cancellable
+// async jobs on a bounded worker pool. Mount Handler on an http.Server
+// and Close it on shutdown.
+type Server = serve.Server
+
+// NewServer returns a started matching service (its job workers are
+// running); the caller owns shutdown via Server.Close.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
