@@ -21,8 +21,10 @@ import (
 	"time"
 
 	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/datagen"
 	"github.com/ccer-go/ccer/internal/exp"
 	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/simgraph"
 )
 
 var (
@@ -56,6 +58,22 @@ func BenchmarkCorpusBuild(b *testing.B) {
 	cfg.Datasets = []string{"D1"}
 	for i := 0; i < b.N; i++ {
 		exp.BuildCorpus(cfg)
+	}
+}
+
+// BenchmarkSimGraphGenerate times similarity-graph generation alone —
+// the corpus-build fast path (per-entity representations, candidate
+// enumeration, row-parallel kernels) without the threshold sweeps — on
+// the same D1 task BenchmarkCorpusBuild starts from.
+func BenchmarkSimGraphGenerate(b *testing.B) {
+	spec, err := datagen.SpecByID("D1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := spec.Generate(42, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simgraph.Generate(task, spec.KeyAttrs, simgraph.Options{})
 	}
 }
 

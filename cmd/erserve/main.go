@@ -65,6 +65,7 @@ func run() error {
 	maxNodes := flag.Int("max-nodes", 1<<21, "node cap per graph, uploaded or generated (negative = uncapped)")
 	parallel := flag.Int("parallel", 0, "workers inside one match batch or sweep grid (0 = all CPUs)")
 	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -79,6 +80,7 @@ func run() error {
 		MaxGraphNodes: *maxNodes,
 		Parallelism:   *parallel,
 		MaxBodyBytes:  *maxBody,
+		EnablePprof:   *pprofOn,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"time"
 
 	"github.com/ccer-go/ccer/internal/graph"
@@ -70,26 +69,16 @@ func (b BAH) Match(g *graph.Bipartite, t float64) []Pair {
 	if nLarge == 0 || nSmall == 0 {
 		return nil
 	}
-
-	lookup := g.WeightLookup()
-	// d returns the pair contribution: the edge weight if the edge exists
-	// and exceeds t, else 0 (Algorithm 4, lines 3-6).
-	d := func(large, small graph.NodeID) float64 {
-		var w float64
-		var ok bool
-		if swapped {
-			w, ok = lookup(small, large)
-		} else {
-			w, ok = lookup(large, small)
-		}
-		if ok && w > t {
-			return w
-		}
-		return 0
+	// No edge exceeds the threshold: every pair contribution is 0, so
+	// the random walk cannot change the (empty) output — skip it.
+	if g.MaxWeight() <= t {
+		return nil
 	}
 
-	// p[i] is the small-side partner of large-side node i, or -1.
-	p := make([]graph.NodeID, nLarge)
+	// p[i] is the small-side partner of large-side node i, or -1. Small
+	// graphs keep it on the stack.
+	var pbuf [512]graph.NodeID
+	p := scratch(pbuf[:], nLarge)
 	for i := range p {
 		if i < nSmall {
 			p[i] = graph.NodeID(i)
@@ -98,26 +87,128 @@ func (b BAH) Match(g *graph.Bipartite, t float64) []Pair {
 		}
 	}
 
-	rng := rand.New(rand.NewSource(b.Seed))
+	// The seeded draw sequence is cached and replayed (see
+	// randstream.go): values match rand.New(rand.NewSource(b.Seed)) and
+	// Intn(nLarge) exactly, so results are unchanged. The walk consumes
+	// precisely two draws per step, acquired in deadline-check-sized
+	// chunks so a binding time cap stops the stream growth too.
+	src := newDrawSource(b.Seed, nLarge, 2*maxSteps)
 	deadline := time.Now().Add(maxDur)
-	for step := 0; step < maxSteps; step++ {
-		if step%256 == 0 && time.Now().After(deadline) {
-			break
+	const chunk = 256 // steps between deadline checks, as in the classic loop
+
+	// pairW(large, small) is the pair contribution: the edge weight if
+	// the edge exists and exceeds t, else 0 (Algorithm 4, lines 3-6).
+	var pairW func(large, small graph.NodeID) float64
+
+	stride := nSmall + 1
+	if cells := nLarge * stride; cells <= 2*maxSteps {
+		// Dense graphs small relative to the step budget: materialize
+		// the thresholded, large-oriented contribution matrix once from
+		// the edge list — wt[large*(nSmall+1) + small+1], with column 0
+		// absorbing the "no partner" sentinel — so a step is four
+		// unconditional loads. The cells <= 2*maxSteps bound keeps the
+		// O(cells) build amortized below one write per probe.
+		wt := make([]float64, cells)
+		if swapped {
+			for _, e := range g.Edges() {
+				if e.W > t {
+					wt[int(e.V)*stride+int(e.U)+1] = e.W
+				}
+			}
+		} else {
+			for _, e := range g.Edges() {
+				if e.W > t {
+					wt[int(e.U)*stride+int(e.V)+1] = e.W
+				}
+			}
 		}
-		i := graph.NodeID(rng.Intn(nLarge))
-		j := graph.NodeID(rng.Intn(nLarge))
-		if i == j {
-			continue
+		for base := 0; base < maxSteps; base += chunk {
+			if time.Now().After(deadline) {
+				break
+			}
+			end := base + chunk
+			if end > maxSteps {
+				end = maxSteps
+			}
+			draws := src.pairs(base, end)
+			for s := 0; s < end-base; s++ {
+				i := draws[2*s]
+				j := draws[2*s+1]
+				if i == j {
+					continue
+				}
+				pi, pj := int(p[i])+1, int(p[j])+1
+				ri, rj := int(i)*stride, int(j)*stride
+				// Same association as the two-step accumulation of the
+				// general path: (gain_i) + (gain_j).
+				delta := (wt[rj+pi] - wt[ri+pi]) + (wt[ri+pj] - wt[rj+pj])
+				if delta >= 0 {
+					p[i], p[j] = p[j], p[i]
+				}
+			}
 		}
-		delta := 0.0
-		if p[i] >= 0 {
-			delta += d(j, p[i]) - d(i, p[i])
+		pairW = func(large, small graph.NodeID) float64 {
+			return wt[int(large)*stride+int(small)+1]
 		}
-		if p[j] >= 0 {
-			delta += d(i, p[j]) - d(j, p[j])
+	} else {
+		// General path over the graph's cached pair index (built once
+		// per graph, shared by the whole sweep): a direct strided probe
+		// of the cached dense matrix when the graph has one, else the
+		// hash map. WeightOrZero semantics fold the existence check
+		// into the weight: an absent edge reads as 0, which contributes
+		// 0 exactly like a present edge failing w > t.
+		lookup := g.PairWeights()
+		if dense, dn2 := lookup.DenseMatrix(); dense != nil {
+			strideL, strideS := dn2, 1
+			if swapped {
+				strideL, strideS = 1, dn2
+			}
+			pairW = func(large, small graph.NodeID) float64 {
+				if w := dense[int(large)*strideL+int(small)*strideS]; w > t {
+					return w
+				}
+				return 0
+			}
+		} else {
+			pairW = func(large, small graph.NodeID) float64 {
+				var w float64
+				if swapped {
+					w = lookup.WeightOrZero(small, large)
+				} else {
+					w = lookup.WeightOrZero(large, small)
+				}
+				if w > t {
+					return w
+				}
+				return 0
+			}
 		}
-		if delta >= 0 {
-			p[i], p[j] = p[j], p[i]
+		for base := 0; base < maxSteps; base += chunk {
+			if time.Now().After(deadline) {
+				break
+			}
+			end := base + chunk
+			if end > maxSteps {
+				end = maxSteps
+			}
+			draws := src.pairs(base, end)
+			for s := 0; s < end-base; s++ {
+				i := graph.NodeID(draws[2*s])
+				j := graph.NodeID(draws[2*s+1])
+				if i == j {
+					continue
+				}
+				delta := 0.0
+				if p[i] >= 0 {
+					delta += pairW(j, p[i]) - pairW(i, p[i])
+				}
+				if p[j] >= 0 {
+					delta += pairW(i, p[j]) - pairW(j, p[j])
+				}
+				if delta >= 0 {
+					p[i], p[j] = p[j], p[i]
+				}
+			}
 		}
 	}
 
@@ -126,7 +217,7 @@ func (b BAH) Match(g *graph.Bipartite, t float64) []Pair {
 		if p[i] < 0 {
 			continue
 		}
-		if w := d(graph.NodeID(i), p[i]); w > 0 {
+		if w := pairW(graph.NodeID(i), p[i]); w > 0 {
 			if swapped {
 				pairs = append(pairs, Pair{U: p[i], V: graph.NodeID(i), W: w})
 			} else {

@@ -53,35 +53,38 @@ func (b BMC) Match(g *graph.Bipartite, t float64) []Pair {
 // with V2 as basis.
 func bmcFrom(g *graph.Bipartite, t float64, fromV1 bool) []Pair {
 	var pairs []Pair
+	var mbuf [512]bool
 	if fromV1 {
-		matched2 := make([]bool, g.N2())
+		matched2 := scratch(mbuf[:], g.N2())
 		for u := graph.NodeID(0); int(u) < g.N1(); u++ {
-			for _, ei := range g.Adj1(u) { // descending weight
-				e := g.Edge(ei)
-				if e.W <= t {
+			opp, ws := g.AdjList1(u) // descending weight
+			for k, w := range ws {
+				if w <= t {
 					break
 				}
-				if matched2[e.V] {
+				v := opp[k]
+				if matched2[v] {
 					continue
 				}
-				matched2[e.V] = true
-				pairs = append(pairs, Pair{U: u, V: e.V, W: e.W})
+				matched2[v] = true
+				pairs = append(pairs, Pair{U: u, V: v, W: w})
 				break
 			}
 		}
 	} else {
-		matched1 := make([]bool, g.N1())
+		matched1 := scratch(mbuf[:], g.N1())
 		for v := graph.NodeID(0); int(v) < g.N2(); v++ {
-			for _, ei := range g.Adj2(v) {
-				e := g.Edge(ei)
-				if e.W <= t {
+			opp, ws := g.AdjList2(v)
+			for k, w := range ws {
+				if w <= t {
 					break
 				}
-				if matched1[e.U] {
+				u := opp[k]
+				if matched1[u] {
 					continue
 				}
-				matched1[e.U] = true
-				pairs = append(pairs, Pair{U: e.U, V: v, W: e.W})
+				matched1[u] = true
+				pairs = append(pairs, Pair{U: u, V: v, W: w})
 				break
 			}
 		}

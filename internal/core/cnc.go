@@ -22,8 +22,8 @@ func (CNC) Name() string { return "CNC" }
 func (CNC) Match(g *graph.Bipartite, t float64) []Pair {
 	n1 := int32(g.N1())
 	n := g.NumNodes()
-	parent := make([]int32, n)
-	size := make([]int32, n)
+	var pbuf, sbuf [512]int32
+	parent, size := scratch(pbuf[:], n), scratch(sbuf[:], n)
 	for i := range parent {
 		parent[i] = int32(i)
 		size[i] = 1

@@ -18,7 +18,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"github.com/ccer-go/ccer/internal/graph"
 )
@@ -98,14 +98,39 @@ func (c *CloneCache) Get(w, mi int) Matcher {
 	return c.clones[w][mi]
 }
 
+// scratch returns buf[:n] when the caller's stack buffer is large
+// enough, else a heap slice. The matchers' per-call working arrays go
+// through it: a threshold sweep makes thousands of Match calls, and on
+// the small graphs of a corpus the arrays then never leave the stack.
+// buf must be freshly zeroed (a `var` array is).
+func scratch[T any](buf []T, n int) []T {
+	if n <= len(buf) {
+		return buf[:n]
+	}
+	return make([]T, n)
+}
+
 // SortPairs orders pairs by (U, V), giving a canonical form for
-// comparisons and deterministic output.
+// comparisons and deterministic output. Matchers that emit in node
+// order (e.g. BAH's unswapped orientation) hit the O(n) sorted check
+// and skip the sort.
 func SortPairs(pairs []Pair) {
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].U != pairs[j].U {
-			return pairs[i].U < pairs[j].U
+	sorted := true
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i-1].U > pairs[i].U ||
+			(pairs[i-1].U == pairs[i].U && pairs[i-1].V > pairs[i].V) {
+			sorted = false
+			break
 		}
-		return pairs[i].V < pairs[j].V
+	}
+	if sorted {
+		return
+	}
+	slices.SortFunc(pairs, func(a, b Pair) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
+		}
+		return int(a.V) - int(b.V)
 	})
 }
 

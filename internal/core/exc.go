@@ -21,28 +21,23 @@ func (EXC) Name() string { return "EXC" }
 // Match implements Matcher.
 func (EXC) Match(g *graph.Bipartite, t float64) []Pair {
 	// best2[v] is the best partner of v in V2, or -1.
-	best2 := make([]graph.NodeID, g.N2())
+	var bbuf [512]graph.NodeID
+	best2 := scratch(bbuf[:], g.N2())
 	for v := range best2 {
 		best2[v] = -1
-		adj := g.Adj2(graph.NodeID(v))
-		if len(adj) > 0 {
-			if e := g.Edge(adj[0]); e.W > t {
-				best2[v] = e.U
-			}
+		opp, ws := g.AdjList2(graph.NodeID(v))
+		if len(ws) > 0 && ws[0] > t {
+			best2[v] = opp[0]
 		}
 	}
 	var pairs []Pair
 	for u := graph.NodeID(0); int(u) < g.N1(); u++ {
-		adj := g.Adj1(u)
-		if len(adj) == 0 {
+		opp, ws := g.AdjList1(u)
+		if len(ws) == 0 || ws[0] <= t {
 			continue
 		}
-		e := g.Edge(adj[0]) // u's best edge
-		if e.W <= t {
-			continue
-		}
-		if best2[e.V] == u {
-			pairs = append(pairs, Pair{U: u, V: e.V, W: e.W})
+		if v := opp[0]; best2[v] == u { // u's best edge
+			pairs = append(pairs, Pair{U: u, V: v, W: ws[0]})
 		}
 	}
 	SortPairs(pairs)

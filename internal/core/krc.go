@@ -24,11 +24,18 @@ func (KRC) Name() string { return "KRC" }
 func (KRC) Match(g *graph.Bipartite, t float64) []Pair {
 	n1, n2 := g.N1(), g.N2()
 
-	ptr := make([]int32, n1)       // next preference index per man
-	lastChance := make([]bool, n1) // second-pass flag per man
-	fiance := make([]int32, n2)    // current man per woman, or -1
-	fianceW := make([]float64, n2) // weight of the current engagement
-	engagedTo := make([]int32, n1) // current woman per man, or -1
+	var (
+		ptrBuf  [512]int32
+		lastBuf [512]bool
+		fiBuf   [512]int32
+		fwBuf   [512]float64
+		enBuf   [512]int32
+	)
+	ptr := scratch(ptrBuf[:], n1)         // next preference index per man
+	lastChance := scratch(lastBuf[:], n1) // second-pass flag per man
+	fiance := scratch(fiBuf[:], n2)       // current man per woman, or -1
+	fianceW := scratch(fwBuf[:], n2)      // weight of the current engagement
+	engagedTo := scratch(enBuf[:], n1)    // current woman per man, or -1
 	for v := range fiance {
 		fiance[v] = -1
 	}
@@ -44,14 +51,14 @@ func (KRC) Match(g *graph.Bipartite, t float64) []Pair {
 
 	// prefs returns man u's preference list: the prefix of his adjacency
 	// with weight above t (adjacency is already descending by weight).
-	prefs := func(u int32) []int32 {
-		adj := g.Adj1(u)
-		for i, ei := range adj {
-			if g.Edge(ei).W <= t {
-				return adj[:i]
+	prefs := func(u int32) ([]int32, []float64) {
+		opp, ws := g.AdjList1(u)
+		for i, w := range ws {
+			if w <= t {
+				return opp[:i], ws[:i]
 			}
 		}
-		return adj
+		return opp, ws
 	}
 
 	accepts := func(v int32, u int32, w float64) bool {
@@ -67,8 +74,8 @@ func (KRC) Match(g *graph.Bipartite, t float64) []Pair {
 		if engagedTo[u] >= 0 {
 			continue // engaged while waiting in the queue
 		}
-		list := prefs(u)
-		if int(ptr[u]) >= len(list) {
+		opps, ws := prefs(u)
+		if int(ptr[u]) >= len(ws) {
 			if !lastChance[u] {
 				lastChance[u] = true
 				ptr[u] = 0 // recover the initial queue (Line 29)
@@ -76,9 +83,8 @@ func (KRC) Match(g *graph.Bipartite, t float64) []Pair {
 			}
 			continue // out of chances: u stays a singleton
 		}
-		e := g.Edge(list[ptr[u]])
+		v, w := opps[ptr[u]], ws[ptr[u]]
 		ptr[u]++
-		v, w := e.V, e.W
 		if fiance[v] < 0 {
 			fiance[v], fianceW[v], engagedTo[u] = u, w, v
 			continue

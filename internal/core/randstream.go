@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/bits"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// BAH restarts a seeded math/rand generator on every Match call, and a
+// threshold sweep makes 20 such calls per graph — each one re-running
+// the 607-word LFSR seeding and then paying several call layers plus a
+// modulo per draw. For a fixed seed AND a fixed bound n, the sequence
+// of Intn(n) results never changes, and BAH consumes exactly two draws
+// per search step — so the reduced draw sequence is produced once
+// (bit-exactly, see below) and replayed as a flat []int32 by every
+// subsequent Match with the same (seed, n).
+//
+// Exactness: raw Int31 values come from a real *rand.Rand, and the
+// reduction replicates rand.Rand.Int31n verbatim — power-of-two mask,
+// otherwise rejection sampling plus modulo (the modulo via Lemire's
+// exact fastmod). TestIntnStreamMatchesMathRand locks this in.
+
+// intnStream is the cached Intn(n) draw prefix of one (seed, n). The
+// values slice only ever grows; callers hold immutable-prefix
+// snapshots.
+type intnStream struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	n     uint64
+	magic uint64 // ⌊2^64 / n⌋ + 1 (fastmod constant)
+	max   int32  // rejection threshold; raw draws above it are redrawn
+	mask  int32  // n-1 when n is a power of two, else -1
+	vals  []int32
+	// cached marks registry membership: only cached streams count
+	// toward the global draw budget (and stop counting once evicted).
+	// Guarded by mu, so grow's accounting and the evictor's subtraction
+	// serialize and the budget counter cannot drift.
+	cached bool
+}
+
+func newIntnStream(seed int64, n int) *intnStream {
+	s := &intnStream{rng: rand.New(rand.NewSource(seed)), n: uint64(n), mask: -1}
+	if n&(n-1) == 0 {
+		s.mask = int32(n - 1)
+	} else {
+		s.max = int32((1 << 31) - 1 - (1<<31)%uint32(n))
+		s.magic = ^uint64(0)/s.n + 1
+	}
+	return s
+}
+
+// grow returns the draw slice extended to at least k values.
+func (s *intnStream) grow(k int) []int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	grown := 0
+	for len(s.vals) < k {
+		var v int32
+		if s.mask >= 0 {
+			v = s.rng.Int31() & s.mask
+		} else {
+			v = s.rng.Int31()
+			for v > s.max {
+				v = s.rng.Int31()
+			}
+			hi, _ := bits.Mul64(s.magic*uint64(v), s.n)
+			v = int32(hi)
+		}
+		s.vals = append(s.vals, v)
+		grown++
+	}
+	if grown > 0 && s.cached {
+		registryDraws.Add(int64(grown))
+	}
+	return s.vals
+}
+
+// The registry is bounded two ways so callers cycling seeds or graph
+// sizes (e.g. through the erserve sweep API) cannot grow it without
+// limit: maxCachedStreams caps the entry count and maxRegistryDraws
+// caps the aggregate cached draws (4 bytes each — 16M draws = 64 MiB).
+// Over either bound the oldest entries are evicted, so a long-running
+// service keeps caching its current working set instead of permanently
+// falling back to per-call regeneration.
+const (
+	maxCachedStreams = 128
+	maxRegistryDraws = 16 << 20
+)
+
+type streamKey struct {
+	seed int64
+	n    int
+}
+
+var (
+	streamMu sync.Mutex
+	streams  = map[streamKey]*intnStream{}
+	// streamOrder tracks insertion order for eviction (FIFO is enough:
+	// the working set of a sweep is a handful of keys reused 20x each).
+	streamOrder []streamKey
+	// registryDraws counts the draws held by registry members.
+	registryDraws atomic.Int64
+)
+
+// intnStreamFor returns the shared reduced-draw stream of (seed, n).
+func intnStreamFor(seed int64, n int) *intnStream {
+	key := streamKey{seed, n}
+	streamMu.Lock()
+	st, ok := streams[key]
+	if !ok {
+		st = newIntnStream(seed, n)
+		st.cached = true // not yet shared; no lock needed
+		for len(streams) >= maxCachedStreams ||
+			(registryDraws.Load() > maxRegistryDraws && len(streamOrder) > 0) {
+			old := streams[streamOrder[0]]
+			delete(streams, streamOrder[0])
+			streamOrder = streamOrder[1:]
+			if old != nil {
+				old.mu.Lock()
+				old.cached = false
+				registryDraws.Add(-int64(len(old.vals)))
+				old.mu.Unlock()
+			}
+		}
+		streams[key] = st
+		streamOrder = append(streamOrder, key)
+	}
+	streamMu.Unlock()
+	return st
+}
+
+// maxStreamedDraws caps how many reduced draws a walk may materialize
+// through the shared cache (8 MiB per stream); beyond it, draws come
+// from a live generator in bounded chunks instead.
+const maxStreamedDraws = 1 << 21
+
+// drawSource hands a BAH walk its Intn(n) draws chunk by chunk: either
+// zero-copy windows of the shared reduced stream, or (for very large
+// step caps, where caching whole prefixes would cost gigabytes) a live
+// math/rand generator filling a reusable buffer. Both produce the exact
+// rand.New(rand.NewSource(seed)).Intn(n) sequence.
+type drawSource struct {
+	st  *intnStream
+	rng *rand.Rand
+	n   int
+	buf []int32
+}
+
+func newDrawSource(seed int64, n, totalDraws int) drawSource {
+	if totalDraws <= maxStreamedDraws {
+		return drawSource{st: intnStreamFor(seed, n), n: n}
+	}
+	return drawSource{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// pairs returns the draws for steps [base, end): 2*(end-base) values.
+// The slice is only valid until the next call.
+func (d *drawSource) pairs(base, end int) []int32 {
+	if d.st != nil {
+		return d.st.grow(2 * end)[2*base : 2*end]
+	}
+	k := 2 * (end - base)
+	if cap(d.buf) < k {
+		d.buf = make([]int32, k)
+	}
+	b := d.buf[:k]
+	for i := range b {
+		b[i] = int32(d.rng.Intn(d.n))
+	}
+	return b
+}

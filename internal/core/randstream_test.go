@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The cached reduced stream must match math/rand's Intn sequence draw
+// for draw, for every bound shape (power of two, odd, even, tiny,
+// huge) — BAH's reproducibility rides on it.
+func TestIntnStreamMatchesMathRand(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 16, 25, 45, 70, 97, 1024, 65537, 1<<31 - 2, 1<<31 - 1} {
+		for _, seed := range []int64{0, 1, 42, -7, 1 << 40} {
+			ref := rand.New(rand.NewSource(seed))
+			vals := newIntnStream(seed, n).grow(3000)
+			for k := 0; k < 3000; k++ {
+				if want := ref.Intn(n); int(vals[k]) != want {
+					t.Fatalf("n=%d seed=%d draw %d: got %d, want %d", n, seed, k, vals[k], want)
+				}
+			}
+		}
+	}
+}
+
+// Repeated and concurrent growth of the shared stream must replay the
+// same prefix.
+func TestIntnStreamSharedAndConcurrent(t *testing.T) {
+	const seed, n = 99, 97
+	ref := rand.New(rand.NewSource(seed))
+	want := make([]int32, 4000)
+	for i := range want {
+		want[i] = int32(ref.Intn(n))
+	}
+	st := intnStreamFor(seed, n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			vals := st.grow(1000 + 300*g)
+			for i := range vals[:1000+300*g] {
+				if vals[i] != want[i] {
+					t.Errorf("draw %d: got %d, want %d", i, vals[i], want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// A second lookup must return the same stream object with the same
+	// prefix.
+	again := intnStreamFor(seed, n).grow(4000)
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("replayed draw %d: got %d, want %d", i, again[i], want[i])
+		}
+	}
+}
+
+// Filling the registry past capacity must evict (bounding memory) while
+// still caching new keys — a long-running service keeps its working set.
+func TestIntnStreamRegistryEviction(t *testing.T) {
+	for k := 0; k < maxCachedStreams+20; k++ {
+		intnStreamFor(int64(1000+k), 33).grow(8)
+	}
+	streamMu.Lock()
+	size := len(streams)
+	_, newest := streams[streamKey{int64(1000 + maxCachedStreams + 19), 33}]
+	streamMu.Unlock()
+	if size > maxCachedStreams {
+		t.Fatalf("registry holds %d streams, cap %d", size, maxCachedStreams)
+	}
+	if !newest {
+		t.Fatalf("newest stream was not cached after eviction")
+	}
+	// Evicted-then-refetched streams must still replay the exact prefix.
+	vals := intnStreamFor(1000, 33).grow(8)
+	ref := rand.New(rand.NewSource(1000))
+	for i := range vals[:8] {
+		if int(vals[i]) != ref.Intn(33) {
+			t.Fatalf("refetched stream draw %d mismatch", i)
+		}
+	}
+}

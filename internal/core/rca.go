@@ -44,31 +44,34 @@ func (RCA) Match(g *graph.Bipartite, t float64) []Pair {
 func rcaPass(g *graph.Bipartite, fromV1 bool) ([]Pair, float64) {
 	var pairs []Pair
 	total := 0.0
+	var mbuf [512]bool
 	if fromV1 {
-		matched2 := make([]bool, g.N2())
+		matched2 := scratch(mbuf[:], g.N2())
 		for u := graph.NodeID(0); int(u) < g.N1(); u++ {
-			for _, ei := range g.Adj1(u) {
-				e := g.Edge(ei)
-				if matched2[e.V] {
+			opp, ws := g.AdjList1(u)
+			for k, w := range ws {
+				v := opp[k]
+				if matched2[v] {
 					continue
 				}
-				matched2[e.V] = true
-				pairs = append(pairs, Pair{U: u, V: e.V, W: e.W})
-				total += e.W
+				matched2[v] = true
+				pairs = append(pairs, Pair{U: u, V: v, W: w})
+				total += w
 				break
 			}
 		}
 	} else {
-		matched1 := make([]bool, g.N1())
+		matched1 := scratch(mbuf[:], g.N1())
 		for v := graph.NodeID(0); int(v) < g.N2(); v++ {
-			for _, ei := range g.Adj2(v) {
-				e := g.Edge(ei)
-				if matched1[e.U] {
+			opp, ws := g.AdjList2(v)
+			for k, w := range ws {
+				u := opp[k]
+				if matched1[u] {
 					continue
 				}
-				matched1[e.U] = true
-				pairs = append(pairs, Pair{U: e.U, V: v, W: e.W})
-				total += e.W
+				matched1[u] = true
+				pairs = append(pairs, Pair{U: u, V: v, W: w})
+				total += w
 				break
 			}
 		}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"github.com/ccer-go/ccer/internal/graph"
 )
@@ -62,13 +62,17 @@ func (RSR) Match(g *graph.Bipartite, t float64) []Pair {
 	n1, n2 := g.N1(), g.N2()
 	n := n1 + n2
 
-	s := &rsrState{
-		n1:       n1,
-		isCenter: make([]bool, n),
-		centerOf: make([]int32, n),
-		simWith:  make([]float64, n),
-		member:   make([]int32, n),
-	}
+	var (
+		icBuf [512]bool
+		coBuf [512]int32
+		swBuf [512]float64
+		meBuf [512]int32
+	)
+	s := &rsrState{n1: n1}
+	s.isCenter = scratch(icBuf[:], n)
+	s.centerOf = scratch(coBuf[:], n)
+	s.simWith = scratch(swBuf[:], n)
+	s.member = scratch(meBuf[:], n)
 	for i := range s.centerOf {
 		s.centerOf[i] = -1
 		s.member[i] = -1
@@ -76,10 +80,9 @@ func (RSR) Match(g *graph.Bipartite, t float64) []Pair {
 
 	// avgAbove computes the mean weight of the above-threshold prefix of
 	// an adjacency list (lists are sorted by descending weight).
-	avgAbove := func(adj []int32) float64 {
+	avgAbove := func(ws []float64) float64 {
 		sum, cnt := 0.0, 0
-		for _, ei := range adj {
-			w := g.Edge(ei).W
+		for _, w := range ws {
 			if w <= t {
 				break
 			}
@@ -93,34 +96,41 @@ func (RSR) Match(g *graph.Bipartite, t float64) []Pair {
 	}
 
 	// Seed order: descending average adjacent weight, ties by id.
-	order := make([]int32, n)
-	avg := make([]float64, n)
+	var orBuf [512]int32
+	var avBuf [512]float64
+	order, avg := scratch(orBuf[:], n), scratch(avBuf[:], n)
 	for i := 0; i < n1; i++ {
 		order[i] = int32(i)
-		avg[i] = avgAbove(g.Adj1(graph.NodeID(i)))
+		_, ws := g.AdjList1(graph.NodeID(i))
+		avg[i] = avgAbove(ws)
 	}
 	for j := 0; j < n2; j++ {
 		order[n1+j] = int32(n1 + j)
-		avg[n1+j] = avgAbove(g.Adj2(graph.NodeID(j)))
+		_, ws := g.AdjList2(graph.NodeID(j))
+		avg[n1+j] = avgAbove(ws)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		if avg[order[a]] != avg[order[b]] {
-			return avg[order[a]] > avg[order[b]]
+	// The id tie-break makes this a total order, so an unstable sort
+	// yields the same (deterministic) permutation.
+	slices.SortFunc(order, func(x, y int32) int {
+		switch {
+		case avg[x] > avg[y]:
+			return -1
+		case avg[x] < avg[y]:
+			return 1
+		default:
+			return int(x) - int(y)
 		}
-		return order[a] < order[b]
 	})
 
-	adjOf := func(x int32) []int32 {
+	// adjOf returns x's neighbors (as global node ids via the returned
+	// offset) and weights in descending weight order.
+	adjOf := func(x int32) (opp []int32, ws []float64, oppBase int32) {
 		if int(x) < n1 {
-			return g.Adj1(x)
+			opp, ws = g.AdjList1(x)
+			return opp, ws, int32(n1)
 		}
-		return g.Adj2(x - int32(n1))
-	}
-	otherEnd := func(x int32, e graph.Edge) (int32, float64) {
-		if int(x) < n1 {
-			return int32(n1) + e.V, e.W
-		}
-		return e.U, e.W
+		opp, ws = g.AdjList2(x - int32(n1))
+		return opp, ws, 0
 	}
 
 	for _, vi := range order {
@@ -128,11 +138,12 @@ func (RSR) Match(g *graph.Bipartite, t float64) []Pair {
 
 		// Claim the first eligible adjacent vertex (Lines 11-20).
 		claimed := int32(-1)
-		for _, ei := range adjOf(vi) {
-			vj, sim := otherEnd(vi, g.Edge(ei))
+		opps, ws, base := adjOf(vi)
+		for k, sim := range ws {
 			if sim <= t {
 				break // descending order: prefix exhausted
 			}
+			vj := base + opps[k]
 			if s.isCenter[vj] {
 				continue
 			}
@@ -168,11 +179,12 @@ func (RSR) Match(g *graph.Bipartite, t float64) []Pair {
 			}
 			maxSim := 0.0
 			cMax := int32(-1)
-			for _, ei := range adjOf(vk) {
-				vl, sim := otherEnd(vk, g.Edge(ei))
+			kOpps, kWs, kBase := adjOf(vk)
+			for k, sim := range kWs {
 				if sim <= t {
 					break
 				}
+				vl := kBase + kOpps[k]
 				if sim > maxSim && s.clusterSize(vl) < 2 {
 					maxSim = sim
 					cMax = vl

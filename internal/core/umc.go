@@ -19,8 +19,8 @@ func (UMC) Name() string { return "UMC" }
 
 // Match implements Matcher.
 func (UMC) Match(g *graph.Bipartite, t float64) []Pair {
-	matched1 := make([]bool, g.N1())
-	matched2 := make([]bool, g.N2())
+	var b1, b2 [512]bool
+	matched1, matched2 := scratch(b1[:], g.N1()), scratch(b2[:], g.N2())
 	var pairs []Pair
 	for _, ei := range g.EdgesByWeight() {
 		e := g.Edge(ei)

@@ -25,6 +25,7 @@ package embed
 import (
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"github.com/ccer-go/ccer/internal/strsim"
 )
@@ -41,6 +42,45 @@ type Model interface {
 	// TokenVectors returns per-token vectors with TF weights, used by
 	// Word Mover's similarity.
 	TokenVectors(text string) ([][]float64, []float64)
+}
+
+// VecCache memoizes derived vectors by string key (a token, or a
+// token-with-context window). Both models are pure, so a cached vector
+// is bit-identical to recomputing it; attaching a cache to a model is
+// purely a speed knob. Cached slices are shared with callers and must be
+// treated as immutable. Safe for concurrent use.
+//
+// One cache must not be shared between models with different
+// configurations (dimension or bias), since the key does not encode
+// them.
+type VecCache struct {
+	mu sync.RWMutex
+	m  map[string][]float64
+}
+
+// NewVecCache returns an empty vector cache.
+func NewVecCache() *VecCache { return &VecCache{m: make(map[string][]float64)} }
+
+// get returns the cached vector for key, or nil.
+func (c *VecCache) get(key string) []float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	v := c.m[key]
+	c.mu.RUnlock()
+	return v
+}
+
+// put stores v under key and returns v.
+func (c *VecCache) put(key string, v []float64) []float64 {
+	if c == nil {
+		return v
+	}
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+	return v
 }
 
 // hashVec fills out with deterministic pseudo-random values in [-1,1]
@@ -88,6 +128,9 @@ type FastTextLike struct {
 	// 300; lower dimensionality keeps experiments fast without changing
 	// relative behaviour).
 	Dimension int
+	// Cache, when non-nil, memoizes per-token vectors across texts (the
+	// same token hashes to the same vector regardless of context).
+	Cache *VecCache
 }
 
 // Name implements Model.
@@ -102,6 +145,9 @@ func (m FastTextLike) Dim() int {
 }
 
 func (m FastTextLike) tokenVec(token string, buf []float64) []float64 {
+	if v := m.Cache.get(token); v != nil {
+		return v
+	}
 	d := m.Dim()
 	v := make([]float64, d)
 	r := []rune("<" + token + ">")
@@ -116,7 +162,7 @@ func (m FastTextLike) tokenVec(token string, buf []float64) []float64 {
 	hashVec("<word>"+token, buf)
 	addScaled(v, buf, 1)
 	normalize(v)
-	return v
+	return m.Cache.put(token, v)
 }
 
 // TokenVectors implements Model.
@@ -147,7 +193,16 @@ func (m FastTextLike) TokenVectors(text string) ([][]float64, []float64) {
 // Embed implements Model.
 func (m FastTextLike) Embed(text string) []float64 {
 	vecs, ws := m.TokenVectors(text)
-	out := make([]float64, m.Dim())
+	return EmbedTokens(m.Dim(), vecs, ws)
+}
+
+// EmbedTokens combines per-token vectors into the model's text
+// embedding: the normalized weighted sum. It is exactly the reduction
+// both models' Embed applies, exposed so callers that already hold the
+// token vectors (e.g. for Word Mover's similarity) can derive the text
+// embedding without recomputing them.
+func EmbedTokens(dim int, vecs [][]float64, ws []float64) []float64 {
+	out := make([]float64, dim)
 	for i, v := range vecs {
 		addScaled(out, v, ws[i])
 	}
@@ -166,6 +221,9 @@ type ContextualLike struct {
 	// Bias is the mixing weight of the shared component in [0,1); if
 	// zero, 0.55 is used.
 	Bias float64
+	// Cache, when non-nil, memoizes per-(token, context-window) vectors
+	// across texts.
+	Cache *VecCache
 }
 
 // Name implements Model.
@@ -186,6 +244,19 @@ func (m ContextualLike) bias() float64 {
 	return m.Bias
 }
 
+// sharedBias returns the model's shared bias component, memoized under a
+// reserved cache key when a cache is attached.
+func (m ContextualLike) sharedBias() []float64 {
+	const key = "\x00<albert-shared-bias>"
+	if v := m.Cache.get(key); v != nil {
+		return v
+	}
+	bias := make([]float64, m.Dim())
+	hashVec("<albert-shared-bias>", bias)
+	normalize(bias)
+	return m.Cache.put(key, bias)
+}
+
 // TokenVectors implements Model.
 func (m ContextualLike) TokenVectors(text string) ([][]float64, []float64) {
 	tokens := strsim.Tokenize(text)
@@ -193,9 +264,7 @@ func (m ContextualLike) TokenVectors(text string) ([][]float64, []float64) {
 		return nil, nil
 	}
 	d := m.Dim()
-	bias := make([]float64, d)
-	hashVec("<albert-shared-bias>", bias)
-	normalize(bias)
+	bias := m.sharedBias()
 	buf := make([]float64, d)
 	vecs := make([][]float64, len(tokens))
 	ws := make([]float64, len(tokens))
@@ -207,15 +276,20 @@ func (m ContextualLike) TokenVectors(text string) ([][]float64, []float64) {
 		if i < len(tokens)-1 {
 			next = tokens[i+1]
 		}
-		v := make([]float64, d)
-		hashVec(t, buf)
-		addScaled(v, buf, 1)
-		hashVec(prev+"|"+t+"|"+next, buf)
-		addScaled(v, buf, 0.5) // contextual component
-		normalize(v)
-		addScaled(v, bias, m.bias()/(1-m.bias()))
-		normalize(v)
-		vecs[i] = v
+		ctx := prev + "|" + t + "|" + next
+		if v := m.Cache.get(ctx); v != nil {
+			vecs[i] = v
+		} else {
+			v := make([]float64, d)
+			hashVec(t, buf)
+			addScaled(v, buf, 1)
+			hashVec(ctx, buf)
+			addScaled(v, buf, 0.5) // contextual component
+			normalize(v)
+			addScaled(v, bias, m.bias()/(1-m.bias()))
+			normalize(v)
+			vecs[i] = m.Cache.put(ctx, v)
+		}
 		ws[i] = 1 / float64(len(tokens))
 	}
 	return vecs, ws
@@ -224,12 +298,7 @@ func (m ContextualLike) TokenVectors(text string) ([][]float64, []float64) {
 // Embed implements Model.
 func (m ContextualLike) Embed(text string) []float64 {
 	vecs, ws := m.TokenVectors(text)
-	out := make([]float64, m.Dim())
-	for i, v := range vecs {
-		addScaled(out, v, ws[i])
-	}
-	normalize(out)
-	return out
+	return EmbedTokens(m.Dim(), vecs, ws)
 }
 
 // CosineSim returns the cosine similarity of two embeddings mapped to
@@ -258,6 +327,33 @@ func EuclideanSim(a, b []float64) float64 {
 		s += d * d
 	}
 	return 1 / (1 + math.Sqrt(s))
+}
+
+// NormSq returns Σ v[i]², accumulated in index order — exactly the
+// self-product sum CosineSim folds per call, exposed so pairwise loops
+// can precompute it per entity.
+func NormSq(v []float64) float64 {
+	s := 0.0
+	for i := range v {
+		s += v[i] * v[i]
+	}
+	return s
+}
+
+// CosineEuclidean returns CosineSim and EuclideanSim of a and b in one
+// pass over the dimensions, given the entities' precomputed squared
+// norms. Values are bit-identical to the standalone functions.
+func CosineEuclidean(a, b []float64, na, nb float64) (cos, euc float64) {
+	dot, sq := 0.0, 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+		d := a[i] - b[i]
+		sq += d * d
+	}
+	if na != 0 && nb != 0 {
+		cos = (1 + dot/math.Sqrt(na*nb)) / 2
+	}
+	return cos, 1 / (1 + math.Sqrt(sq))
 }
 
 // WordMoversSim returns 1/(1+rwmd), where rwmd is the relaxed Word
@@ -308,6 +404,18 @@ func Measures() []string {
 // Models returns the two semantic representation models the paper uses.
 func Models() []Model {
 	return []Model{FastTextLike{}, ContextualLike{}}
+}
+
+// CachedModels is Models with a fresh token-vector cache attached to
+// each model. Embeddings are unchanged (the models are pure); repeated
+// tokens across a collection are hashed once instead of per entity. The
+// caches live as long as the returned models, so callers should scope
+// them to one corpus build.
+func CachedModels() []Model {
+	return []Model{
+		FastTextLike{Cache: NewVecCache()},
+		ContextualLike{Cache: NewVecCache()},
+	}
 }
 
 // Sim computes the named semantic measure between two texts under the

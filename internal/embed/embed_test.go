@@ -178,3 +178,78 @@ func TestPropertySemanticRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Cached models must embed bit-identically to their uncached
+// counterparts: the cache is a speed knob, never a semantic one.
+func TestCachedModelsBitIdentical(t *testing.T) {
+	texts := []string{
+		"", "galaxy note 10 plus", "galaxy note 10", "entity resolution at scale",
+		"galaxy galaxy galaxy", "μια ελληνική φράση",
+	}
+	plain := Models()
+	cached := CachedModels()
+	for k := range plain {
+		for _, text := range texts {
+			a := plain[k].Embed(text)
+			b := cached[k].Embed(text)
+			b2 := cached[k].Embed(text) // second call served from the cache
+			if len(a) != len(b) || len(a) != len(b2) {
+				t.Fatalf("%s: dimension mismatch", plain[k].Name())
+			}
+			for i := range a {
+				if math.Float64bits(a[i]) != math.Float64bits(b[i]) ||
+					math.Float64bits(a[i]) != math.Float64bits(b2[i]) {
+					t.Fatalf("%s: Embed(%q)[%d] differs with cache", plain[k].Name(), text, i)
+				}
+			}
+			va, wa := plain[k].TokenVectors(text)
+			vb, wb := cached[k].TokenVectors(text)
+			if len(va) != len(vb) || len(wa) != len(wb) {
+				t.Fatalf("%s: TokenVectors(%q) shape differs with cache", plain[k].Name(), text)
+			}
+			for i := range va {
+				for d := range va[i] {
+					if math.Float64bits(va[i][d]) != math.Float64bits(vb[i][d]) {
+						t.Fatalf("%s: token vector %d of %q differs with cache", plain[k].Name(), i, text)
+					}
+				}
+			}
+		}
+	}
+}
+
+// EmbedTokens must reproduce Embed exactly from the token vectors.
+func TestEmbedTokensMatchesEmbed(t *testing.T) {
+	for _, m := range Models() {
+		for _, text := range []string{"", "one", "alpha beta gamma alpha"} {
+			vecs, ws := m.TokenVectors(text)
+			got := EmbedTokens(m.Dim(), vecs, ws)
+			want := m.Embed(text)
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s: EmbedTokens(%q)[%d] = %v, Embed %v", m.Name(), text, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The fused pair kernel must be bit-identical to the standalone
+// similarities.
+func TestCosineEuclideanFused(t *testing.T) {
+	for _, m := range Models() {
+		texts := []string{"galaxy note", "galaxy tab pro", "quantum flux", ""}
+		for _, ta := range texts {
+			for _, tb := range texts {
+				a, b := m.Embed(ta), m.Embed(tb)
+				cos, euc := CosineEuclidean(a, b, NormSq(a), NormSq(b))
+				if math.Float64bits(cos) != math.Float64bits(CosineSim(a, b)) {
+					t.Fatalf("%s: fused cosine differs for (%q,%q)", m.Name(), ta, tb)
+				}
+				if math.Float64bits(euc) != math.Float64bits(EuclideanSim(a, b)) {
+					t.Fatalf("%s: fused euclidean differs for (%q,%q)", m.Name(), ta, tb)
+				}
+			}
+		}
+	}
+}

@@ -170,8 +170,9 @@ func BuildCorpusCtx(ctx context.Context, cfg Config) (*Corpus, error) {
 	}
 	matchers := cfg.Matchers()
 
-	// Phase 1: datasets and similarity graphs (simgraph.Generate is
-	// internally concurrent already).
+	// Phase 1: datasets and similarity graphs. Generation fans its row
+	// kernels over the same worker budget as the sweep grid; its output
+	// is deterministic at any parallelism.
 	for _, id := range cfg.datasets() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -184,7 +185,7 @@ func BuildCorpusCtx(ctx context.Context, cfg Config) (*Corpus, error) {
 		corpus.Specs[id] = spec
 		corpus.Tasks[id] = task
 		graphs := simgraph.Generate(task, spec.KeyAttrs,
-			simgraph.Options{Families: cfg.Families})
+			simgraph.Options{Families: cfg.Families, Parallelism: cfg.Parallelism})
 		for _, sg := range graphs {
 			corpus.Graphs = append(corpus.Graphs, GraphResult{
 				Graph:    sg,

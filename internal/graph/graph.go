@@ -16,7 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // NodeID identifies a node within one side of a bipartite graph.
@@ -65,6 +66,17 @@ func (b *Builder) Add(u, v NodeID, w float64) {
 	}
 }
 
+// Reserve ensures capacity for n further Add calls, for callers that
+// know the edge count up front.
+func (b *Builder) Reserve(n int) {
+	if b.err != nil || cap(b.edges)-len(b.edges) >= n {
+		return
+	}
+	es := make([]Edge, len(b.edges), len(b.edges)+n)
+	copy(es, b.edges)
+	b.edges = es
+}
+
 // Grow extends the node ranges so that u fits in V1 and v fits in V2.
 // It is a convenience for callers that discover node counts while streaming
 // edges.
@@ -98,18 +110,39 @@ func (b *Builder) MustBuild() *Bipartite {
 }
 
 func dedupeMax(edges []Edge) []Edge {
-	if len(edges) < 2 {
-		return append([]Edge(nil), edges...)
-	}
 	es := append([]Edge(nil), edges...)
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
+	if len(es) < 2 {
+		return es
+	}
+	// The schema-based and semantic generation kernels emit edges
+	// already strictly (U,V)-ordered (U-rows in order, V ascending, no
+	// duplicates); detecting that skips both the sort and the dedupe
+	// scan. The bag and n-gram-graph kernels assemble V-major and still
+	// take the sort below, exactly as a from-scratch build would.
+	sorted := true
+	for i := 1; i < len(es); i++ {
+		if es[i-1].U > es[i].U ||
+			(es[i-1].U == es[i].U && es[i-1].V >= es[i].V) {
+			sorted = false
+			break
 		}
-		if es[i].V != es[j].V {
-			return es[i].V < es[j].V
+	}
+	if sorted {
+		return es
+	}
+	slices.SortFunc(es, func(a, b Edge) int {
+		switch {
+		case a.U != b.U:
+			return int(a.U) - int(b.U)
+		case a.V != b.V:
+			return int(a.V) - int(b.V)
+		case a.W > b.W:
+			return -1
+		case a.W < b.W:
+			return 1
+		default:
+			return 0
 		}
-		return es[i].W > es[j].W
 	})
 	out := es[:1]
 	for _, e := range es[1:] {
@@ -137,6 +170,21 @@ type Bipartite struct {
 	byWeight []int32
 
 	minW, maxW float64
+
+	// pair is the lazily built constant-time (u,v) -> weight index,
+	// shared by every Match call on this graph (graphs are immutable, so
+	// it is built at most once).
+	pairOnce sync.Once
+	pair     *PairLookup
+
+	// Adjacency-ordered weight / opposite-node arrays (aligned with
+	// adj1/adj2), lazily built once and shared by the matchers' repeated
+	// threshold-prefix scans: a 20-point sweep walks each adjacency list
+	// dozens of times, and the contiguous layout replaces a random edge
+	// lookup per visit.
+	adjCacheOnce     sync.Once
+	adjW1, adjW2     []float64
+	adjOpp1, adjOpp2 []int32
 }
 
 func newBipartite(n1, n2 int, edges []Edge) *Bipartite {
@@ -146,15 +194,18 @@ func newBipartite(n1, n2 int, edges []Edge) *Bipartite {
 	for i := range g.byWeight {
 		g.byWeight[i] = int32(i)
 	}
-	sort.Slice(g.byWeight, func(a, b int) bool {
-		ei, ej := edges[g.byWeight[a]], edges[g.byWeight[b]]
-		if ei.W != ej.W {
-			return ei.W > ej.W
+	slices.SortFunc(g.byWeight, func(x, y int32) int {
+		ei, ej := edges[x], edges[y]
+		switch {
+		case ei.W > ej.W:
+			return -1
+		case ei.W < ej.W:
+			return 1
+		case ei.U != ej.U:
+			return int(ei.U) - int(ej.U)
+		default:
+			return int(ei.V) - int(ej.V)
 		}
-		if ei.U != ej.U {
-			return ei.U < ej.U
-		}
-		return ei.V < ej.V
 	})
 
 	g.off1 = make([]int32, n1+1)
@@ -220,6 +271,40 @@ func (g *Bipartite) Edges() []Edge { return g.edges }
 // Callers must not modify the returned slice.
 func (g *Bipartite) EdgesByWeight() []int32 { return g.byWeight }
 
+// buildAdjCache materializes the adjacency-ordered weight and
+// opposite-node arrays.
+func (g *Bipartite) buildAdjCache() {
+	g.adjCacheOnce.Do(func() {
+		g.adjW1 = make([]float64, len(g.adj1))
+		g.adjOpp1 = make([]int32, len(g.adj1))
+		for k, ei := range g.adj1 {
+			g.adjW1[k] = g.edges[ei].W
+			g.adjOpp1[k] = g.edges[ei].V
+		}
+		g.adjW2 = make([]float64, len(g.adj2))
+		g.adjOpp2 = make([]int32, len(g.adj2))
+		for k, ei := range g.adj2 {
+			g.adjW2[k] = g.edges[ei].W
+			g.adjOpp2[k] = g.edges[ei].U
+		}
+	})
+}
+
+// AdjList1 returns node u of V1's neighbors and edge weights in
+// descending weight order (the Adj1 ordering), as two aligned
+// contiguous slices. Built once per graph; callers must not modify
+// them.
+func (g *Bipartite) AdjList1(u NodeID) (opp []int32, ws []float64) {
+	g.buildAdjCache()
+	return g.adjOpp1[g.off1[u]:g.off1[u+1]], g.adjW1[g.off1[u]:g.off1[u+1]]
+}
+
+// AdjList2 is AdjList1 for the V2 side.
+func (g *Bipartite) AdjList2(v NodeID) (opp []int32, ws []float64) {
+	g.buildAdjCache()
+	return g.adjOpp2[g.off2[v]:g.off2[v+1]], g.adjW2[g.off2[v]:g.off2[v+1]]
+}
+
 // Adj1 returns the edge indices incident to node u of V1 in descending
 // weight order. Callers must not modify the returned slice.
 func (g *Bipartite) Adj1(u NodeID) []int32 { return g.adj1[g.off1[u]:g.off1[u+1]] }
@@ -259,17 +344,87 @@ func (g *Bipartite) Weight(u, v NodeID) (float64, bool) {
 	return 0, false
 }
 
+// denseLookupEntries caps the n1*n2 product for which PairWeights uses a
+// dense weight matrix (8 bytes per cell plus one existence bit): above it
+// the lookup falls back to a hash map, keeping the resident memory of
+// very large stored graphs bounded.
+const denseLookupEntries = 1 << 20
+
+// PairLookup is a constant-time (u,v) -> weight index over a graph's
+// edges. Small graphs use a dense matrix with an existence bitset (a
+// probe is two array loads, no hashing); large ones fall back to a map.
+type PairLookup struct {
+	n2    int
+	dense []float64 // weight at u*n2+v; nil for the map representation
+	bits  []uint64  // edge-existence bitset for dense
+	m     map[int64]float64
+}
+
+// Weight reports the weight of edge (u,v) and whether it exists.
+func (l *PairLookup) Weight(u, v NodeID) (float64, bool) {
+	if l.dense != nil {
+		idx := int(u)*l.n2 + int(v)
+		if l.bits[idx>>6]&(1<<(uint(idx)&63)) == 0 {
+			return 0, false
+		}
+		return l.dense[idx], true
+	}
+	w, ok := l.m[pairKey(u, v)]
+	return w, ok
+}
+
+// WeightOrZero returns the weight of edge (u,v), or 0 when the edge is
+// absent, without reporting existence — the single-load fast path for
+// probe loops (like BAH's) that already treat zero-weight and missing
+// edges identically.
+func (l *PairLookup) WeightOrZero(u, v NodeID) float64 {
+	if l.dense != nil {
+		return l.dense[int(u)*l.n2+int(v)]
+	}
+	return l.m[pairKey(u, v)]
+}
+
+// DenseMatrix exposes the dense weight matrix (row-major over V1, row
+// stride N2, absent edges 0) when this lookup is dense-backed, else nil.
+// Probe loops hot enough to care index it directly. Callers must not
+// modify it.
+func (l *PairLookup) DenseMatrix() ([]float64, int) {
+	return l.dense, l.n2
+}
+
+// PairWeights returns the graph's constant-time pair index, building it
+// on first use. The index is cached on the (immutable) graph, so
+// repeated Match calls — e.g. a 20-point BAH threshold sweep — share one
+// build instead of paying O(|E|) each.
+func (g *Bipartite) PairWeights() *PairLookup {
+	g.pairOnce.Do(func() {
+		l := &PairLookup{n2: g.n2}
+		if cells := g.n1 * g.n2; cells > 0 && cells <= denseLookupEntries {
+			l.dense = make([]float64, cells)
+			l.bits = make([]uint64, (cells+63)/64)
+			for _, e := range g.edges {
+				idx := int(e.U)*g.n2 + int(e.V)
+				l.dense[idx] = e.W
+				l.bits[idx>>6] |= 1 << (uint(idx) & 63)
+			}
+		} else {
+			l.m = make(map[int64]float64, len(g.edges))
+			for _, e := range g.edges {
+				l.m[pairKey(e.U, e.V)] = e.W
+			}
+		}
+		g.pair = l
+	})
+	return g.pair
+}
+
 // WeightLookup returns a constant-time weight lookup table for graphs
-// where repeated random-pair probes are needed (e.g. the BAH matcher).
+// where repeated random-pair probes are needed. The backing index is
+// built once per graph and shared across calls. It is the functional
+// convenience form of PairWeights, which hot loops (like BAH's) use
+// directly to avoid the closure call.
 func (g *Bipartite) WeightLookup() WeightFunc {
-	m := make(map[int64]float64, len(g.edges))
-	for _, e := range g.edges {
-		m[pairKey(e.U, e.V)] = e.W
-	}
-	return func(u, v NodeID) (float64, bool) {
-		w, ok := m[pairKey(u, v)]
-		return w, ok
-	}
+	return g.PairWeights().Weight
 }
 
 // WeightFunc reports the weight of a (u,v) pair and whether the edge exists.
@@ -294,6 +449,15 @@ func (g *Bipartite) Threshold(t float64) *Bipartite {
 // min-max normalization, as applied to every similarity graph in the
 // paper's experimental setup (Section 5). If all weights are equal, they
 // all become 1.
+//
+// The rescaling is strictly monotonic, so the descending-weight
+// permutation (and with it the CSR adjacency) carries over from g
+// unchanged and the rebuild sort is skipped. Rounding can collapse two
+// distinct weights onto the same normalized value, which would make the
+// inherited permutation disagree with a from-scratch sort on its
+// (U,V) tie-break; the exact comparator is therefore re-verified over
+// the transformed weights, falling back to a full rebuild on the first
+// violation.
 func (g *Bipartite) NormalizeMinMax() *Bipartite {
 	edges := make([]Edge, len(g.edges))
 	span := g.maxW - g.minW
@@ -304,7 +468,49 @@ func (g *Bipartite) NormalizeMinMax() *Bipartite {
 		}
 		edges[i] = Edge{U: e.U, V: e.V, W: w}
 	}
-	return newBipartite(g.n1, g.n2, edges)
+	if !sortedByWeight(edges, g.byWeight) {
+		return newBipartite(g.n1, g.n2, edges)
+	}
+	out := &Bipartite{
+		n1: g.n1, n2: g.n2, edges: edges,
+		off1: g.off1, off2: g.off2, adj1: g.adj1, adj2: g.adj2,
+		byWeight: g.byWeight,
+	}
+	out.minW, out.maxW = math.Inf(1), math.Inf(-1)
+	for _, e := range edges {
+		if e.W < out.minW {
+			out.minW = e.W
+		}
+		if e.W > out.maxW {
+			out.maxW = e.W
+		}
+	}
+	if len(edges) == 0 {
+		out.minW, out.maxW = 0, 0
+	}
+	return out
+}
+
+// sortedByWeight reports whether perm orders edges exactly as
+// newBipartite's byWeight comparator would: descending weight with
+// (U,V)-ascending tie-breaks.
+func sortedByWeight(edges []Edge, perm []int32) bool {
+	for k := 1; k < len(perm); k++ {
+		prev, cur := edges[perm[k-1]], edges[perm[k]]
+		switch {
+		case prev.W > cur.W:
+		case prev.W < cur.W:
+			return false
+		case prev.U < cur.U:
+		case prev.U > cur.U:
+			return false
+		default:
+			if prev.V >= cur.V {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // AvgAdjWeight1 returns the average weight of edges incident to node u of

@@ -438,3 +438,151 @@ func TestPropertyEdgeListRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// randomTestGraph builds a random graph, optionally with duplicate adds
+// and equal weights, for exercising the caches.
+func randomTestGraph(seed int64, n1, n2, edges int) *Bipartite {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n1, n2)
+	for k := 0; k < edges; k++ {
+		w := rng.Float64()
+		if k%7 == 0 {
+			w = 0.5 // exercise weight ties
+		}
+		b.Add(int32(rng.Intn(n1)), int32(rng.Intn(n2)), w)
+	}
+	return b.MustBuild()
+}
+
+// PairWeights must agree with Weight on every cell, in both the dense
+// and the map representation.
+func TestPairLookupMatchesWeight(t *testing.T) {
+	dense := randomTestGraph(3, 20, 30, 150)
+	big := randomTestGraph(4, 1<<11, 1<<10, 500) // n1*n2 > denseLookupEntries -> map
+	for name, g := range map[string]*Bipartite{"dense": dense, "map": big} {
+		l := g.PairWeights()
+		if name == "dense" && l.dense == nil {
+			t.Fatalf("small graph did not get a dense lookup")
+		}
+		if name == "map" && l.dense != nil {
+			t.Fatalf("big graph got a dense lookup")
+		}
+		for _, e := range g.Edges() {
+			w, ok := l.Weight(e.U, e.V)
+			if !ok || w != e.W {
+				t.Fatalf("%s: Weight(%d,%d) = %v,%v, want %v,true", name, e.U, e.V, w, ok, e.W)
+			}
+			if wz := l.WeightOrZero(e.U, e.V); wz != e.W {
+				t.Fatalf("%s: WeightOrZero(%d,%d) = %v, want %v", name, e.U, e.V, wz, e.W)
+			}
+		}
+		// Probe some absent pairs.
+		for u := NodeID(0); u < 5; u++ {
+			for v := NodeID(0); v < 5; v++ {
+				want, wantOK := g.Weight(u, v)
+				got, ok := l.Weight(u, v)
+				if got != want || ok != wantOK {
+					t.Fatalf("%s: Weight(%d,%d) = %v,%v, want %v,%v", name, u, v, got, ok, want, wantOK)
+				}
+			}
+		}
+		if l2 := g.PairWeights(); l2 != l {
+			t.Fatalf("%s: PairWeights not cached", name)
+		}
+	}
+}
+
+// The structural-reuse NormalizeMinMax must equal a from-scratch rebuild
+// of the rescaled edges, including adjacency order and byWeight ties.
+func TestNormalizeMinMaxMatchesRebuild(t *testing.T) {
+	cases := []*Bipartite{
+		randomTestGraph(5, 15, 25, 120),
+		NewBuilder(3, 3).MustBuild(), // empty
+		func() *Bipartite { // all weights equal: everything becomes 1
+			b := NewBuilder(4, 4)
+			b.Add(0, 1, 0.3)
+			b.Add(2, 3, 0.3)
+			b.Add(1, 0, 0.3)
+			return b.MustBuild()
+		}(),
+		func() *Bipartite { // negative weights
+			b := NewBuilder(3, 3)
+			b.Add(0, 0, -2)
+			b.Add(1, 1, 0)
+			b.Add(2, 2, 2)
+			return b.MustBuild()
+		}(),
+	}
+	for i, g := range cases {
+		fast := g.NormalizeMinMax()
+		span := g.MaxWeight() - g.MinWeight()
+		rb := NewBuilder(g.N1(), g.N2())
+		for _, e := range g.Edges() {
+			w := 1.0
+			if span > 0 {
+				w = (e.W - g.MinWeight()) / span
+			}
+			rb.Add(e.U, e.V, w)
+		}
+		want := rb.MustBuild()
+		if fast.Checksum() != want.Checksum() {
+			t.Fatalf("case %d: normalized checksum differs from rebuild", i)
+		}
+		for u := 0; u < g.N1(); u++ {
+			fa, wa := fast.AdjList1(NodeID(u))
+			ga, gw := want.AdjList1(NodeID(u))
+			if len(fa) != len(ga) {
+				t.Fatalf("case %d: adjacency length differs at node %d", i, u)
+			}
+			for k := range fa {
+				if fa[k] != ga[k] || wa[k] != gw[k] {
+					t.Fatalf("case %d: adjacency differs at node %d entry %d", i, u, k)
+				}
+			}
+		}
+		if err := fast.Validate(); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+	}
+}
+
+// AdjList must mirror Adj exactly.
+func TestAdjListsMatchAdjacency(t *testing.T) {
+	g := randomTestGraph(6, 30, 20, 200)
+	for u := 0; u < g.N1(); u++ {
+		opp, ws := g.AdjList1(NodeID(u))
+		adj := g.Adj1(NodeID(u))
+		if len(opp) != len(adj) {
+			t.Fatalf("node %d: AdjList1 has %d entries, Adj1 %d", u, len(opp), len(adj))
+		}
+		for k, ei := range adj {
+			if e := g.Edge(ei); opp[k] != e.V || ws[k] != e.W {
+				t.Fatalf("node %d entry %d: (%d,%v), want (%d,%v)", u, k, opp[k], ws[k], e.V, e.W)
+			}
+		}
+	}
+	for v := 0; v < g.N2(); v++ {
+		opp, ws := g.AdjList2(NodeID(v))
+		adj := g.Adj2(NodeID(v))
+		for k, ei := range adj {
+			if e := g.Edge(ei); opp[k] != e.U || ws[k] != e.W {
+				t.Fatalf("node %d entry %d: (%d,%v), want (%d,%v)", v, k, opp[k], ws[k], e.U, e.W)
+			}
+		}
+	}
+}
+
+func TestBuilderReserve(t *testing.T) {
+	b := NewBuilder(10, 10)
+	b.Reserve(64)
+	for i := 0; i < 10; i++ {
+		b.Add(int32(i), int32(9-i), float64(i+1))
+	}
+	g := b.MustBuild()
+	if g.NumEdges() != 10 {
+		t.Fatalf("edges = %d, want 10", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

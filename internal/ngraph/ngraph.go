@@ -9,20 +9,26 @@
 // operator (a running average of edge weights), and graphs are compared
 // with the containment, value, normalized value and overall similarities
 // of Giannakopoulos et al.
+//
+// Edges are stored as parallel key/weight slices sorted by edge key, so
+// every comparison is an allocation-free merge join with a canonical
+// (deterministic) summation order — the earlier map representation both
+// hashed per probe and summed weight ratios in random iteration order.
 package ngraph
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/ccer-go/ccer/internal/strsim"
 	"github.com/ccer-go/ccer/internal/vector"
 )
 
 // Graph is an n-gram graph: an undirected weighted graph over gram ids.
-// Edges are keyed by the ordered gram-id pair.
+// Edges are keyed by the ordered gram-id pair and held sorted by key.
 type Graph struct {
-	edges map[uint64]float64
+	keys []uint64
+	ws   []float64
 }
 
 // NumEdges returns the size |G| of the graph.
@@ -30,7 +36,7 @@ func (g *Graph) NumEdges() int {
 	if g == nil {
 		return 0
 	}
-	return len(g.edges)
+	return len(g.keys)
 }
 
 func edgeKey(a, b int32) uint64 {
@@ -61,6 +67,28 @@ func (v *Vocab) ID(gram string) int32 {
 // Size returns the number of interned grams.
 func (v *Vocab) Size() int { return len(v.ids) }
 
+// fromKeys finalizes a graph from an edge-key sequence with possibly
+// repeated keys; each occurrence counts one co-occurrence, so the
+// weight of an edge is its run length after sorting.
+func fromKeys(keys []uint64) *Graph {
+	if len(keys) == 0 {
+		return &Graph{}
+	}
+	slices.Sort(keys)
+	g := &Graph{keys: keys[:0], ws: make([]float64, 0, len(keys))}
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		k := keys[i]
+		g.keys = append(g.keys, k)
+		g.ws = append(g.ws, float64(j-i))
+		i = j
+	}
+	return g
+}
+
 // FromValue builds the n-gram graph of a single textual value under the
 // given mode: nodes are the value's n-grams and every pair of grams whose
 // window distance is at most n is connected, with the edge weight counting
@@ -72,20 +100,20 @@ func FromValue(vocab *Vocab, mode vector.Mode, value string) *Graph {
 	} else {
 		grams = vector.TokenNGrams(strsim.Tokenize(value), mode.N)
 	}
-	g := &Graph{edges: make(map[uint64]float64)}
 	ids := make([]int32, len(grams))
 	for i, gram := range grams {
 		ids[i] = vocab.ID(gram)
 	}
+	var keys []uint64
 	for i := range ids {
 		for d := 1; d <= mode.N && i+d < len(ids); d++ {
 			if ids[i] == ids[i+d] {
 				continue // no self loops
 			}
-			g.edges[edgeKey(ids[i], ids[i+d])]++
+			keys = append(keys, edgeKey(ids[i], ids[i+d]))
 		}
 	}
-	return g
+	return fromKeys(keys)
 }
 
 // Merge combines per-value graphs into a single entity graph using the
@@ -95,17 +123,55 @@ func FromValue(vocab *Vocab, mode vector.Mode, value string) *Graph {
 // contain the edge, following JInsect's incremental update with learning
 // factor 1/i).
 func Merge(graphs []*Graph) *Graph {
-	merged := &Graph{edges: make(map[uint64]float64)}
-	seen := make(map[uint64]int)
+	live := graphs[:0:0]
+	total := 0
 	for _, g := range graphs {
-		if g == nil {
-			continue
+		if g != nil && len(g.keys) > 0 {
+			live = append(live, g)
+			total += len(g.keys)
 		}
-		for k, w := range g.edges {
-			seen[k]++
-			old := merged.edges[k]
-			merged.edges[k] = old + (w-old)/float64(seen[k])
+	}
+	if len(live) == 0 {
+		return &Graph{}
+	}
+	if len(live) == 1 {
+		return &Graph{keys: append([]uint64(nil), live[0].keys...),
+			ws: append([]float64(nil), live[0].ws...)}
+	}
+	// Sort all (key, graph-order, weight) triples and fold each key run
+	// with the incremental average in graph order — the same weight
+	// sequence the per-graph walk sees, without a hash map.
+	type kow struct {
+		k   uint64
+		ord int32
+		w   float64
+	}
+	all := make([]kow, 0, total)
+	for ord, g := range live {
+		for i, k := range g.keys {
+			all = append(all, kow{k, int32(ord), g.ws[i]})
 		}
+	}
+	slices.SortFunc(all, func(a, b kow) int {
+		switch {
+		case a.k < b.k:
+			return -1
+		case a.k > b.k:
+			return 1
+		default:
+			return int(a.ord) - int(b.ord)
+		}
+	})
+	merged := &Graph{keys: make([]uint64, 0, total), ws: make([]float64, 0, total)}
+	for i := 0; i < len(all); {
+		j := i + 1
+		w := all[i].w
+		for ; j < len(all) && all[j].k == all[i].k; j++ {
+			w += (all[j].w - w) / float64(j-i+1)
+		}
+		merged.keys = append(merged.keys, all[i].k)
+		merged.ws = append(merged.ws, w)
+		i = j
 	}
 	return merged
 }
@@ -119,6 +185,29 @@ func FromEntity(vocab *Vocab, mode vector.Mode, values []string) *Graph {
 	return Merge(graphs)
 }
 
+// common walks the sorted edge lists of both graphs in one merge join,
+// returning the number of shared edges and the Σ min(w)/max(w) weight
+// ratio over them. The ascending-key order makes the float summation
+// canonical.
+func common(a, b *Graph) (int, float64) {
+	i, j, n := 0, 0, 0
+	ratio := 0.0
+	for i < len(a.keys) && j < len(b.keys) {
+		switch {
+		case a.keys[i] < b.keys[j]:
+			i++
+		case a.keys[i] > b.keys[j]:
+			j++
+		default:
+			n++
+			ratio += math.Min(a.ws[i], b.ws[j]) / math.Max(a.ws[i], b.ws[j])
+			i++
+			j++
+		}
+	}
+	return n, ratio
+}
+
 // Containment estimates the portion of common edges, ignoring weights:
 // |Gi ∩ Gj| / min(|Gi|, |Gj|).
 func Containment(a, b *Graph) float64 {
@@ -128,17 +217,8 @@ func Containment(a, b *Graph) float64 {
 	if a.NumEdges() == 0 || b.NumEdges() == 0 {
 		return 0
 	}
-	small, large := a, b
-	if small.NumEdges() > large.NumEdges() {
-		small, large = large, small
-	}
-	common := 0
-	for k := range small.edges {
-		if _, ok := large.edges[k]; ok {
-			common++
-		}
-	}
-	return float64(common) / float64(small.NumEdges())
+	n, _ := common(a, b)
+	return float64(n) / float64(min2(a.NumEdges(), b.NumEdges()))
 }
 
 // Value extends containment with weights:
@@ -150,7 +230,8 @@ func Value(a, b *Graph) float64 {
 	if a.NumEdges() == 0 || b.NumEdges() == 0 {
 		return 0
 	}
-	return weightRatioSum(a, b) / float64(max2(a.NumEdges(), b.NumEdges()))
+	_, ratio := common(a, b)
+	return ratio / float64(max2(a.NumEdges(), b.NumEdges()))
 }
 
 // NormalizedValue mitigates size imbalance by dividing by the smaller
@@ -162,27 +243,13 @@ func NormalizedValue(a, b *Graph) float64 {
 	if a.NumEdges() == 0 || b.NumEdges() == 0 {
 		return 0
 	}
-	return weightRatioSum(a, b) / float64(min2(a.NumEdges(), b.NumEdges()))
+	_, ratio := common(a, b)
+	return ratio / float64(min2(a.NumEdges(), b.NumEdges()))
 }
 
 // Overall is the average of containment, value and normalized value.
 func Overall(a, b *Graph) float64 {
 	return (Containment(a, b) + Value(a, b) + NormalizedValue(a, b)) / 3
-}
-
-func weightRatioSum(a, b *Graph) float64 {
-	small, large := a, b
-	swap := small.NumEdges() > large.NumEdges()
-	if swap {
-		small, large = large, small
-	}
-	s := 0.0
-	for k, ws := range small.edges {
-		if wl, ok := large.edges[k]; ok {
-			s += math.Min(ws, wl) / math.Max(ws, wl)
-		}
-	}
-	return s
 }
 
 // Measure names for graph models (Appendix B, category 3).
@@ -217,8 +284,8 @@ func Sim(measure string, a, b *Graph) float64 {
 	}
 }
 
-// AllSims computes all four graph measures in a single pass over the
-// smaller graph's edges, returned in Measures() order: containment,
+// AllSims computes all four graph measures in a single merge join over
+// the sorted edge lists, returned in Measures() order: containment,
 // value, normalized value, overall.
 func AllSims(a, b *Graph) [4]float64 {
 	if a.NumEdges() == 0 && b.NumEdges() == 0 {
@@ -227,38 +294,35 @@ func AllSims(a, b *Graph) [4]float64 {
 	if a.NumEdges() == 0 || b.NumEdges() == 0 {
 		return [4]float64{}
 	}
-	small, large := a, b
-	if small.NumEdges() > large.NumEdges() {
+	n, ratio := common(a, b)
+	small, large := a.NumEdges(), b.NumEdges()
+	if small > large {
 		small, large = large, small
 	}
-	common := 0
-	ratio := 0.0
-	for k, ws := range small.edges {
-		if wl, ok := large.edges[k]; ok {
-			common++
-			ratio += math.Min(ws, wl) / math.Max(ws, wl)
-		}
-	}
-	cos := float64(common) / float64(small.NumEdges())
-	vs := ratio / float64(large.NumEdges())
-	ns := ratio / float64(small.NumEdges())
+	cos := float64(n) / float64(small)
+	vs := ratio / float64(large)
+	ns := ratio / float64(small)
 	return [4]float64{cos, vs, ns, (cos + vs + ns) / 3}
 }
 
 // GramIDs returns the sorted node ids of the graph's edges; used to build
 // inverted indexes for candidate generation.
 func (g *Graph) GramIDs() []int32 {
-	seen := make(map[int32]bool)
-	for k := range g.edges {
-		seen[int32(k>>32)] = true
-		seen[int32(uint32(k))] = true
+	if g.NumEdges() == 0 {
+		return nil
 	}
-	ids := make([]int32, 0, len(seen))
-	for id := range seen {
-		ids = append(ids, id)
+	ids := make([]int32, 0, 2*len(g.keys))
+	for _, k := range g.keys {
+		ids = append(ids, int32(k>>32), int32(uint32(k)))
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	slices.Sort(ids)
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 func min2(a, b int) int {

@@ -100,15 +100,12 @@ func TestMergeRunningAverage(t *testing.T) {
 	v := NewVocab()
 	// Same single edge in both graphs with weights 1 and 3: merged = 2.
 	g1 := FromValue(v, tokenMode(1), "a b")
-	g2 := &Graph{edges: map[uint64]float64{}}
-	for k := range g1.edges {
-		g2.edges[k] = 3
-	}
+	g2 := &Graph{keys: append([]uint64(nil), g1.keys...), ws: []float64{3}}
 	merged := Merge([]*Graph{g1, g2})
 	if merged.NumEdges() != 1 {
 		t.Fatalf("merged edges = %d, want 1", merged.NumEdges())
 	}
-	for _, w := range merged.edges {
+	for _, w := range merged.ws {
 		approx(t, w, 2, "merged weight")
 	}
 	// Merging with nil graphs is a no-op.

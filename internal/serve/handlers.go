@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -14,12 +15,20 @@ import (
 	"github.com/ccer-go/ccer/internal/datagen"
 	"github.com/ccer-go/ccer/internal/eval"
 	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/par"
 	"github.com/ccer-go/ccer/internal/strsim"
 )
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
@@ -79,6 +88,11 @@ type metricsResponse struct {
 	JobsDone            int     `json:"jobs_done"`
 	JobsFailed          int     `json:"jobs_failed"`
 	JobsCancelled       int     `json:"jobs_cancelled"`
+	// Per-dataset similarity-graph generation timing: cumulative build
+	// nanoseconds and build count, so the corpus-build fast path's
+	// throughput is observable on the resident service.
+	GenerateNSTotal map[string]int64 `json:"generate_ns_total,omitempty"`
+	GeneratesTotal  map[string]int64 `json:"generates_total,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -87,8 +101,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
+	genNanos, genCount := s.gen.snapshot()
 	jobs := s.jobs.Counts()
 	writeJSON(w, http.StatusOK, metricsResponse{
+		GenerateNSTotal:     genNanos,
+		GeneratesTotal:      genCount,
 		UptimeSeconds:       time.Since(s.started).Seconds(),
 		RequestsTotal:       s.stats.requests.Load(),
 		ErrorsTotal:         s.stats.errors.Load(),
@@ -179,11 +196,13 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad generate request: %v", err)
 			return
 		}
-		e, err := generateGraph(req, s.cfg.MaxGraphNodes)
+		start := time.Now()
+		e, err := generateGraph(req, s.cfg.MaxGraphNodes, s.cfg.Parallelism)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		s.gen.record(e.Dataset, time.Since(start))
 		entry = e
 	} else {
 		// Anything else is the graph.WriteEdgeList wire format.
@@ -207,8 +226,11 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 // generateGraph builds a stored graph entry from a generation request:
 // synthetic task -> schema-based texts -> string similarity graph,
 // min-max normalized, with the task's ground truth attached. maxNodes
-// caps the generated collection sizes (<= 0 means no cap).
-func generateGraph(req generateRequest, maxNodes int) (*GraphEntry, error) {
+// caps the generated collection sizes (<= 0 means no cap). The pairwise
+// similarity loop fans its rows over parallelism workers (par.Workers
+// semantics) with slot-ordered assembly, so the graph is identical at
+// any setting.
+func generateGraph(req generateRequest, maxNodes, parallelism int) (*GraphEntry, error) {
 	spec, err := datagen.SpecByID(req.Dataset)
 	if err != nil {
 		return nil, err
@@ -247,18 +269,31 @@ func generateGraph(req generateRequest, maxNodes int) (*GraphEntry, error) {
 	task := spec.Generate(seed, scale)
 	texts1 := task.V1.AttrTexts(attrs...)
 	texts2 := task.V2.AttrTexts(attrs...)
-	b := graph.NewBuilder(len(texts1), len(texts2))
-	for i, t1 := range texts1 {
+	type edge struct {
+		j int32
+		w float64
+	}
+	rows := make([][]edge, len(texts1))
+	par.For(len(texts1), par.Workers(parallelism), nil, func(_, i int) {
+		t1 := texts1[i]
 		if t1 == "" {
-			continue
+			return
 		}
+		var row []edge
 		for j, t2 := range texts2 {
 			if t2 == "" {
 				continue
 			}
 			if w := sim(t1, t2); w > req.MinSim && w > 0 {
-				b.Add(int32(i), int32(j), w)
+				row = append(row, edge{int32(j), w})
 			}
+		}
+		rows[i] = row
+	})
+	b := graph.NewBuilder(len(texts1), len(texts2))
+	for i, row := range rows {
+		for _, e := range row {
+			b.Add(int32(i), e.j, e.w)
 		}
 	}
 	g, err := b.Build()

@@ -118,14 +118,16 @@ type sweepRespJSON struct {
 }
 
 type metricsJSON struct {
-	RequestsTotal      int64   `json:"requests_total"`
-	GraphsStored       int     `json:"graphs_stored"`
-	MatchRequestsTotal int64   `json:"match_requests_total"`
-	CacheHitsTotal     int64   `json:"cache_hits_total"`
-	CacheMissesTotal   int64   `json:"cache_misses_total"`
-	CacheHitRate       float64 `json:"cache_hit_rate"`
-	JobsLive           int     `json:"jobs_live"`
-	JobsDone           int     `json:"jobs_done"`
+	RequestsTotal      int64            `json:"requests_total"`
+	GraphsStored       int              `json:"graphs_stored"`
+	MatchRequestsTotal int64            `json:"match_requests_total"`
+	CacheHitsTotal     int64            `json:"cache_hits_total"`
+	CacheMissesTotal   int64            `json:"cache_misses_total"`
+	CacheHitRate       float64          `json:"cache_hit_rate"`
+	JobsLive           int              `json:"jobs_live"`
+	JobsDone           int              `json:"jobs_done"`
+	GenerateNSTotal    map[string]int64 `json:"generate_ns_total"`
+	GeneratesTotal     map[string]int64 `json:"generates_total"`
 }
 
 // generateD2 stores the reference D2 graph under the given name.
@@ -340,9 +342,13 @@ func TestSweepCancelQueuedJob(t *testing.T) {
 	_, ts := newTestServer(t, serve.Config{JobWorkers: 1, Parallelism: 1})
 	generateD2(t, ts.URL, "d2")
 
+	// The repeat count keeps the heavy sweep on the worker for seconds
+	// even with the fast-path matchers, so the victim is reliably still
+	// queued when the cancel lands (both jobs are cancelled before the
+	// test returns, so no test actually waits that long).
 	var heavy, victim sweepRespJSON
 	doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{
-		"graph": "d2", "repeats": 50,
+		"graph": "d2", "repeats": 5000,
 	}, &heavy)
 	doJSON(t, http.MethodPost, ts.URL+"/v1/sweeps", map[string]any{"graph": "d2"}, &victim)
 
@@ -552,5 +558,60 @@ func TestBodyLimit(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("oversized upload: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestGenerationMetrics(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	generateD2(t, ts.URL, "a")
+	generateD2(t, ts.URL, "b")
+
+	var m metricsJSON
+	doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m)
+	if m.GeneratesTotal["D2"] != 2 {
+		t.Fatalf("generates_total[D2] = %d, want 2", m.GeneratesTotal["D2"])
+	}
+	if m.GenerateNSTotal["D2"] <= 0 {
+		t.Fatalf("generate_ns_total[D2] = %d, want > 0", m.GenerateNSTotal["D2"])
+	}
+}
+
+func TestPprofDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable without EnablePprof: status %d", resp.StatusCode)
+	}
+}
+
+func TestPprofEnabled(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{EnablePprof: true})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index does not list profiles")
+	}
+}
+
+// The row-parallel generation path must emit a graph byte-identical to
+// the serial one.
+func TestGenerateParallelChecksumIdentical(t *testing.T) {
+	_, serial := newTestServer(t, serve.Config{Parallelism: 1})
+	_, parallel := newTestServer(t, serve.Config{Parallelism: 8})
+	a := generateD2(t, serial.URL, "g")
+	b := generateD2(t, parallel.URL, "g")
+	if a.Checksum != b.Checksum {
+		t.Fatalf("checksums differ: serial %s vs parallel %s", a.Checksum, b.Checksum)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +44,11 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (edge-list uploads dominate).
 	// 0 means 32 MiB.
 	MaxBodyBytes int64
+	// EnablePprof mounts the net/http/pprof endpoints under
+	// /debug/pprof/. Off by default: the profiles expose internals and
+	// cost CPU while sampling, so production deployments should gate
+	// them behind operator intent (a flag on cmd/erserve).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +87,42 @@ type counters struct {
 	sweepsCreated atomic.Int64
 }
 
+// genStats accumulates similarity-graph generation timing per dataset,
+// so the corpus-build fast path's effect is observable on /metrics of a
+// resident service.
+type genStats struct {
+	mu    sync.Mutex
+	nanos map[string]int64
+	count map[string]int64
+}
+
+func (s *genStats) record(dataset string, d time.Duration) {
+	s.mu.Lock()
+	if s.nanos == nil {
+		s.nanos = map[string]int64{}
+		s.count = map[string]int64{}
+	}
+	s.nanos[dataset] += int64(d)
+	s.count[dataset]++
+	s.mu.Unlock()
+}
+
+// snapshot returns copies of the per-dataset cumulative nanoseconds and
+// build counts.
+func (s *genStats) snapshot() (nanos, count map[string]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nanos = make(map[string]int64, len(s.nanos))
+	count = make(map[string]int64, len(s.count))
+	for k, v := range s.nanos {
+		nanos[k] = v
+	}
+	for k, v := range s.count {
+		count[k] = v
+	}
+	return nanos, count
+}
+
 // Server is the resident ER matching service: a graph store, a result
 // cache and a sweep job queue behind an HTTP JSON API. Create one with
 // New, mount Handler on an http.Server, and Close it on shutdown.
@@ -91,6 +133,7 @@ type Server struct {
 	jobs    *JobQueue
 	mux     *http.ServeMux
 	stats   counters
+	gen     genStats
 	started time.Time
 }
 

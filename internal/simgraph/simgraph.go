@@ -7,6 +7,16 @@
 // pair with similarity above zero becomes an edge, and all graphs are
 // min-max normalized.
 //
+// Generation is the front half of every experiment run and of the
+// erserve generation path, so it is built for throughput: per-entity
+// representations (token profiles, q-gram profiles, sparse vectors,
+// n-gram graphs, embeddings) are precomputed once and shared across all
+// measures of a family; token and bag measures enumerate candidate
+// pairs through inverted indexes instead of dense double loops; and the
+// per-row kernels fan out over the shared internal/par pool with
+// slot-ordered assembly, so the output is deterministic and identical
+// at any worker count.
+//
 // The package also applies the first of the paper's cleaning rules
 // (dropping graphs in which no matching pair has a positive weight); the
 // F-measure-based rules need matching results and live in internal/exp.
@@ -15,12 +25,12 @@ package simgraph
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"github.com/ccer-go/ccer/internal/dataset"
 	"github.com/ccer-go/ccer/internal/embed"
 	"github.com/ccer-go/ccer/internal/graph"
 	"github.com/ccer-go/ccer/internal/ngraph"
+	"github.com/ccer-go/ccer/internal/par"
 	"github.com/ccer-go/ccer/internal/strsim"
 	"github.com/ccer-go/ccer/internal/vector"
 )
@@ -72,6 +82,11 @@ type Options struct {
 	// KeepNoMatchGraphs disables the cleaning rule that drops graphs in
 	// which every matching pair has zero weight.
 	KeepNoMatchGraphs bool
+	// Parallelism is the number of workers the per-row generation
+	// kernels fan out over (internal/par semantics: 0 means all CPUs,
+	// anything below 1 means serial). Output is deterministic and
+	// identical at any setting.
+	Parallelism int
 }
 
 func (o Options) families() []Family {
@@ -101,37 +116,70 @@ var (
 	}
 )
 
+// rowEdge is one output of a row kernel: the opposite-side node and the
+// weight, tagged with the measure it belongs to. Rows are assembled into
+// per-measure builders in slot order, so the edge set never depends on
+// worker scheduling.
+type rowEdge struct {
+	k   int32 // measure index
+	opp int32 // opposite-side node
+	w   float64
+}
+
+// reserveRows sizes each measure's builder for the edges the assembled
+// rows are about to Add, avoiding repeated growth.
+func reserveRows(builders []*graph.Builder, rows [][]rowEdge) {
+	counts := make([]int, len(builders))
+	for _, row := range rows {
+		for _, e := range row {
+			counts[e.k]++
+		}
+	}
+	for k, b := range builders {
+		b.Reserve(counts[k])
+	}
+}
+
+// sealRow stores an exact-size copy of the worker's row buffer in the
+// slot and hands the buffer back for reuse, so per-row appends grow one
+// buffer per worker instead of reallocating per row.
+func sealRow(slot *[]rowEdge, buf []rowEdge) []rowEdge {
+	if len(buf) > 0 {
+		*slot = append(make([]rowEdge, 0, len(buf)), buf...)
+	}
+	return buf[:0]
+}
+
 // Generate builds the similarity-graph corpus for the task. keyAttrs are
 // the schema-based attributes (Spec.KeyAttrs for generated datasets).
 //
-// Generation runs the weight families concurrently — every similarity
-// function is pure, and only the matching step is ever timed — while the
-// output order stays deterministic (families in taxonomy order, graphs
-// in function order within each family).
+// Every similarity function is pure and only the matching step is ever
+// timed, so generation parallelizes freely: each family's pairwise
+// kernel fans its rows over the shared worker pool and the output order
+// stays deterministic (families in taxonomy order, graphs in function
+// order within each family, identical edges at any parallelism).
 func Generate(task *dataset.Task, keyAttrs []string, opts Options) []SimGraph {
-	families := opts.families()
-	slots := make([][]SimGraph, len(families))
-	var wg sync.WaitGroup
-	for i, f := range families {
-		wg.Add(1)
-		go func(i int, f Family) {
-			defer wg.Done()
-			switch f {
-			case SBSyn:
-				slots[i] = schemaBasedSyntactic(task, keyAttrs)
-			case SASyn:
-				slots[i] = schemaAgnosticSyntactic(task)
-			case SBSem:
-				slots[i] = semantic(task, keyAttrs, opts, SBSem)
-			case SASem:
-				slots[i] = semantic(task, nil, opts, SASem)
-			}
-		}(i, f)
-	}
-	wg.Wait()
+	workers := par.Workers(opts.Parallelism)
+	var models []embed.Model
 	var out []SimGraph
-	for _, s := range slots {
-		out = append(out, s...)
+	for _, f := range opts.families() {
+		switch f {
+		case SBSyn:
+			out = append(out, schemaBasedSyntactic(task, keyAttrs, workers)...)
+		case SASyn:
+			out = append(out, schemaAgnosticSyntactic(task, workers)...)
+		case SBSem, SASem:
+			if models == nil {
+				// One token-vector cache pair serves both semantic
+				// families; embeddings are unchanged by it.
+				models = embed.CachedModels()
+			}
+			if f == SBSem {
+				out = append(out, semantic(task, keyAttrs, opts, SBSem, workers, models)...)
+			} else {
+				out = append(out, semantic(task, nil, opts, SASem, workers, models)...)
+			}
+		}
 	}
 	if !opts.KeepNoMatchGraphs {
 		out = filterNoMatchGraphs(out, task.GT)
@@ -144,83 +192,116 @@ func Generate(task *dataset.Task, keyAttrs []string, opts Options) []SimGraph {
 func filterNoMatchGraphs(graphs []SimGraph, gt *dataset.GroundTruth) []SimGraph {
 	kept := graphs[:0:0]
 	for _, sg := range graphs {
-		ok := false
-		for _, p := range gt.Pairs {
-			if _, exists := sg.G.Weight(p[0], p[1]); exists {
-				ok = true
-				break
-			}
-		}
-		if ok {
+		if hasMatchEdge(sg.G, gt) {
 			kept = append(kept, sg)
 		}
 	}
 	return kept
 }
 
-// schemaBasedSyntactic applies the 16 string measures to each key
-// attribute, computing all measures per pair in one pass over the
-// pre-tokenized values.
-func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string) []SimGraph {
-	charFuncs := strsim.CharMeasures()
-	tokenFuncs := map[string]strsim.TokenFunc{
-		"Cosine":             strsim.CosineTokens,
-		"BlockDistance":      strsim.BlockDistance,
-		"Dice":               strsim.Dice,
-		"SimonWhite":         strsim.SimonWhite,
-		"OverlapCoefficient": strsim.OverlapCoefficient,
-		"Euclidean":          strsim.EuclideanTokens,
-		"Jaccard":            strsim.Jaccard,
-		"GeneralizedJaccard": strsim.GeneralizedJaccard,
-		"MongeElkan":         strsim.MongeElkan,
+// hasMatchEdge reports whether any ground-truth pair is an edge of g,
+// scanning whichever side of the check is smaller: sparse graphs walk
+// their own edge set against the GT lookup, dense ones probe the GT
+// pairs against the adjacency lists. Either direction exits on the first
+// hit. A nil gt panics (as the seed implementation did) rather than
+// silently classifying every graph as no-match.
+func hasMatchEdge(g *graph.Bipartite, gt *dataset.GroundTruth) bool {
+	if g.NumEdges() < gt.Len() {
+		for _, e := range g.Edges() {
+			if gt.IsMatch(e.U, e.V) {
+				return true
+			}
+		}
+		return false
 	}
+	for _, p := range gt.Pairs {
+		if _, exists := g.Weight(p[0], p[1]); exists {
+			return true
+		}
+	}
+	return false
+}
+
+// schemaBasedSyntactic applies the 16 string measures to each key
+// attribute: character measures over precomputed rune slices and q-gram
+// profiles, token measures as one merge join per pair over precomputed
+// token profiles, rows fanned over the worker pool.
+func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string, workers int) []SimGraph {
+	numChar := len(charMeasureNames)
+	numMeasures := numChar + len(tokenMeasureNames)
 
 	var out []SimGraph
 	n1, n2 := task.V1.Len(), task.V2.Len()
 	for _, attr := range keyAttrs {
 		texts1 := task.V1.AttrTexts(attr)
 		texts2 := task.V2.AttrTexts(attr)
-		tokens1 := tokenizeAll(texts1)
-		tokens2 := tokenizeAll(texts2)
+		prof1 := strsim.ProfileAll(tokenizeAll(texts1))
+		prof2 := strsim.ProfileAll(tokenizeAll(texts2))
+		qp1 := qgramProfiles(texts1)
+		qp2 := qgramProfiles(texts2)
+		runes1 := strsim.RunesAll(texts1)
+		runes2 := strsim.RunesAll(texts2)
 
-		numMeasures := len(charMeasureNames) + len(tokenMeasureNames)
-		builders := make([]*graph.Builder, numMeasures)
-		for k := range builders {
-			builders[k] = graph.NewBuilder(n1, n2)
+		// Character measures as (i, j) kernels over the precomputed
+		// representations, in charMeasureNames order.
+		seq := func(f func(a, b []rune) float64) func(i, j int) float64 {
+			return func(i, j int) float64 { return f(runes1[i], runes2[j]) }
+		}
+		charFns := []func(i, j int) float64{
+			seq(strsim.LevenshteinSeq),
+			seq(strsim.DamerauLevenshteinSeq),
+			seq(strsim.JaroSeq),
+			seq(strsim.NeedlemanWunschSeq),
+			func(i, j int) float64 { return qp1[i].Distance(qp2[j]) },
+			seq(strsim.LongestCommonSubstringSeq),
+			seq(strsim.LongestCommonSubsequenceSeq),
 		}
 
-		for i := 0; i < n1; i++ {
+		rows := make([][]rowEdge, n1)
+		rowBufs := make([][]rowEdge, workers)
+		swCaches := make([]*strsim.SWCache, workers)
+		for w := range swCaches {
+			swCaches[w] = strsim.NewSWCache()
+		}
+		par.For(n1, workers, nil, func(w, i int) {
 			if texts1[i] == "" {
-				continue
+				return
 			}
+			row := rowBufs[w][:0]
 			for j := 0; j < n2; j++ {
 				if texts2[j] == "" {
 					continue
 				}
-				k := 0
-				for _, name := range charMeasureNames {
-					if sim := charFuncs[name](texts1[i], texts2[j]); sim > 0 {
-						builders[k].Add(int32(i), int32(j), sim)
+				for k := range charFns {
+					if sim := charFns[k](i, j); sim > 0 {
+						row = append(row, rowEdge{int32(k), int32(j), sim})
 					}
-					k++
 				}
-				for _, name := range tokenMeasureNames {
-					if sim := tokenFuncs[name](tokens1[i], tokens2[j]); sim > 0 {
-						builders[k].Add(int32(i), int32(j), sim)
+				sims := strsim.TokenSims(prof1[i], prof2[j], swCaches[w])
+				for k, sim := range sims {
+					if sim > 0 {
+						row = append(row, rowEdge{int32(numChar + k), int32(j), sim})
 					}
-					k++
 				}
 			}
-		}
+			rowBufs[w] = sealRow(&rows[i], row)
+		})
 
-		k := 0
-		for _, name := range charMeasureNames {
-			out = appendGraph(out, task.Name, SBSyn, attr+"/"+name, builders[k])
-			k++
+		builders := make([]*graph.Builder, numMeasures)
+		for k := range builders {
+			builders[k] = graph.NewBuilder(n1, n2)
 		}
-		for _, name := range tokenMeasureNames {
+		reserveRows(builders, rows)
+		for i, row := range rows {
+			for _, e := range row {
+				builders[e.k].Add(int32(i), e.opp, e.w)
+			}
+		}
+		for k, name := range charMeasureNames {
 			out = appendGraph(out, task.Name, SBSyn, attr+"/"+name, builders[k])
-			k++
+		}
+		for k, name := range tokenMeasureNames {
+			out = appendGraph(out, task.Name, SBSyn, attr+"/"+name, builders[numChar+k])
 		}
 	}
 	return out
@@ -234,58 +315,81 @@ func tokenizeAll(texts []string) [][]string {
 	return out
 }
 
-// schemaAgnosticSyntactic produces the 36 bag-model graphs and 24
-// n-gram-graph-model graphs of Section 4, one representation model per
-// goroutine.
-func schemaAgnosticSyntactic(task *dataset.Task) []SimGraph {
-	modes := vector.Modes()
-	slots := make([][]SimGraph, len(modes))
-	var wg sync.WaitGroup
-	for i, mode := range modes {
-		wg.Add(1)
-		go func(i int, mode vector.Mode) {
-			defer wg.Done()
-			slots[i] = schemaAgnosticMode(task, mode)
-		}(i, mode)
-	}
-	wg.Wait()
-	var out []SimGraph
-	for _, s := range slots {
-		out = append(out, s...)
+func qgramProfiles(texts []string) []*strsim.QGramProfile {
+	out := make([]*strsim.QGramProfile, len(texts))
+	for i, t := range texts {
+		out[i] = strsim.NewQGramProfile(t, 3)
 	}
 	return out
 }
 
+// schemaAgnosticSyntactic produces the 36 bag-model graphs and 24
+// n-gram-graph-model graphs of Section 4. Representation models run in
+// order; within each model the candidate rows fan over the worker pool.
+func schemaAgnosticSyntactic(task *dataset.Task, workers int) []SimGraph {
+	var out []SimGraph
+	for _, mode := range vector.Modes() {
+		out = append(out, schemaAgnosticMode(task, mode, workers)...)
+	}
+	return out
+}
+
+// rowScratch is the per-worker reusable state of a candidate-row kernel.
+type rowScratch struct {
+	bits []uint64
+	buf  []int32
+	row  []rowEdge
+}
+
 // schemaAgnosticMode builds the 6 bag graphs and 4 n-gram-graph graphs of
 // one representation model.
-func schemaAgnosticMode(task *dataset.Task, mode vector.Mode) []SimGraph {
+func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int) []SimGraph {
 	texts1 := task.V1.Texts()
 	texts2 := task.V2.Texts()
 	n1, n2 := len(texts1), len(texts2)
 	var out []SimGraph
 
-	// Bag models: all 6 measures in one pass over candidate pairs.
+	// Bag models: all 6 measures in one merge join per candidate pair,
+	// candidates enumerated per collection-2 row through the space's
+	// inverted index with a reusable bitset.
 	space := vector.NewSpace(mode, texts1, texts2)
-	c1, c2 := space.CacheTFIDF()
-	cands := space.CandidatePairs()
+	space.CacheTFIDF() // materialize the per-entity caches before fanning out
+	bagRows := make([][]rowEdge, n2)
+	scratch := make([]rowScratch, workers)
+	for w := range scratch {
+		scratch[w].bits = make([]uint64, (n1+63)/64)
+	}
+	par.For(n2, workers, nil, func(w, j int) {
+		s := &scratch[w]
+		s.buf = space.Candidates(j, s.bits, s.buf)
+		row := s.row[:0]
+		for _, i := range s.buf {
+			sims := space.AllSims(int(i), j)
+			for k, sim := range sims {
+				if sim > 0 {
+					row = append(row, rowEdge{int32(k), i, sim})
+				}
+			}
+		}
+		s.row = sealRow(&bagRows[j], row)
+	})
 	bagBuilders := make([]*graph.Builder, 6)
 	for k := range bagBuilders {
 		bagBuilders[k] = graph.NewBuilder(n1, n2)
 	}
-	for _, p := range cands {
-		sims := space.AllSims(int(p[0]), int(p[1]), c1, c2)
-		for k, sim := range sims {
-			if sim > 0 {
-				bagBuilders[k].Add(p[0], p[1], sim)
-			}
+	reserveRows(bagBuilders, bagRows)
+	for j, row := range bagRows {
+		for _, e := range row {
+			bagBuilders[e.k].Add(e.opp, int32(j), e.w)
 		}
 	}
 	for k, name := range vector.Measures() {
 		out = appendGraph(out, task.Name, SASyn, mode.String()+"/"+name, bagBuilders[k])
 	}
 
-	// N-gram graph models: per-value graphs merged per entity, all 4
-	// measures in one pass over pairs sharing at least one gram.
+	// N-gram graph models: per-value graphs merged per entity once, all
+	// 4 measures in one merge join over pairs sharing at least one gram,
+	// enumerated through CSR postings over collection 1.
 	vocab := ngraph.NewVocab()
 	graphs1 := make([]*ngraph.Graph, n1)
 	for i, p := range task.V1.Profiles {
@@ -295,16 +399,41 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode) []SimGraph {
 	for j, p := range task.V2.Profiles {
 		graphs2[j] = ngraph.FromEntity(vocab, mode, p.Values())
 	}
+	ids2 := make([][]int32, n2)
+	for j, g := range graphs2 {
+		ids2[j] = g.GramIDs()
+	}
+	// Inverted index over the gram nodes of collection 1's graphs: a
+	// pair sharing no gram node shares no edge, so the posting union
+	// per row is a superset of all non-zero graph similarities.
+	ids1 := make([][]int32, n1)
+	for i, g := range graphs1 {
+		ids1[i] = g.GramIDs()
+	}
+	postOff, postIDs := vector.BuildPostings(ids1, vocab.Size())
+	gramRows := make([][]rowEdge, n2)
+	par.For(n2, workers, nil, func(w, j int) {
+		s := &scratch[w]
+		s.buf = vector.UnionCandidates(ids2[j], postOff, postIDs, s.bits, s.buf)
+		row := s.row[:0]
+		for _, i := range s.buf {
+			sims := ngraph.AllSims(graphs1[i], graphs2[j])
+			for k, sim := range sims {
+				if sim > 0 {
+					row = append(row, rowEdge{int32(k), i, sim})
+				}
+			}
+		}
+		s.row = sealRow(&gramRows[j], row)
+	})
 	gBuilders := make([]*graph.Builder, 4)
 	for k := range gBuilders {
 		gBuilders[k] = graph.NewBuilder(n1, n2)
 	}
-	for _, p := range gramCandidates(graphs1, graphs2) {
-		sims := ngraph.AllSims(graphs1[p[0]], graphs2[p[1]])
-		for k, sim := range sims {
-			if sim > 0 {
-				gBuilders[k].Add(p[0], p[1], sim)
-			}
+	reserveRows(gBuilders, gramRows)
+	for j, row := range gramRows {
+		for _, e := range row {
+			gBuilders[e.k].Add(e.opp, int32(j), e.w)
 		}
 	}
 	for k, name := range ngraph.Measures() {
@@ -313,36 +442,10 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode) []SimGraph {
 	return out
 }
 
-// gramCandidates returns the pairs of entities whose n-gram graphs share
-// at least one gram node — a superset of the pairs with a shared edge,
-// hence of all non-zero graph similarities.
-func gramCandidates(graphs1, graphs2 []*ngraph.Graph) [][2]int32 {
-	index := make(map[int32][]int32)
-	for i, g := range graphs1 {
-		for _, id := range g.GramIDs() {
-			index[id] = append(index[id], int32(i))
-		}
-	}
-	seen := make(map[int64]bool)
-	var pairs [][2]int32
-	for j, g := range graphs2 {
-		for _, id := range g.GramIDs() {
-			for _, i := range index[id] {
-				key := int64(i)<<32 | int64(j)
-				if !seen[key] {
-					seen[key] = true
-					pairs = append(pairs, [2]int32{i, int32(j)})
-				}
-			}
-		}
-	}
-	return pairs
-}
-
 // semantic produces embedding-based graphs: schema-based when keyAttrs is
 // non-empty (one set per attribute) or schema-agnostic on the full
 // profile texts.
-func semantic(task *dataset.Task, keyAttrs []string, opts Options, family Family) []SimGraph {
+func semantic(task *dataset.Task, keyAttrs []string, opts Options, family Family, workers int, models []embed.Model) []SimGraph {
 	type scope struct {
 		prefix         string
 		texts1, texts2 []string
@@ -359,44 +462,86 @@ func semantic(task *dataset.Task, keyAttrs []string, opts Options, family Family
 
 	var out []SimGraph
 	for _, sc := range scopes {
-		for _, model := range embed.Models() {
+		for _, model := range models {
 			out = append(out, semanticGraphs(task.Name, family,
-				sc.prefix+model.Name(), model, sc.texts1, sc.texts2, opts)...)
+				sc.prefix+model.Name(), model, sc.texts1, sc.texts2, opts, workers)...)
 		}
 	}
 	return out
 }
 
-func semanticGraphs(ds string, family Family, prefix string, model embed.Model, texts1, texts2 []string, opts Options) []SimGraph {
+// entityVecs holds the semantic representations of one collection: the
+// text embedding plus the (truncated) token vectors for the relaxed Word
+// Mover's similarity. Both derive from one TokenVectors pass per entity.
+type entityVecs struct {
+	emb    [][]float64
+	normSq []float64
+	tv     [][][]float64
+	tw     [][]float64
+}
+
+func semanticVecs(model embed.Model, texts []string, maxTokens int) entityVecs {
+	ev := entityVecs{
+		emb:    make([][]float64, len(texts)),
+		normSq: make([]float64, len(texts)),
+		tv:     make([][][]float64, len(texts)),
+		tw:     make([][]float64, len(texts)),
+	}
+	for i, t := range texts {
+		v, w := model.TokenVectors(t)
+		ev.emb[i] = embed.EmbedTokens(model.Dim(), v, w)
+		ev.normSq[i] = embed.NormSq(ev.emb[i])
+		if len(v) > maxTokens {
+			v, w = v[:maxTokens], w[:maxTokens]
+		}
+		ev.tv[i] = v
+		ev.tw[i] = w
+	}
+	return ev
+}
+
+func semanticGraphs(ds string, family Family, prefix string, model embed.Model, texts1, texts2 []string, opts Options, workers int) []SimGraph {
 	n1, n2 := len(texts1), len(texts2)
 
-	// Cache embeddings and (truncated) token vectors once per entity.
-	emb1 := embedAll(model, texts1)
-	emb2 := embedAll(model, texts2)
-	tv1, tw1 := tokenVecsAll(model, texts1, opts.maxWMDTokens())
-	tv2, tw2 := tokenVecsAll(model, texts2, opts.maxWMDTokens())
+	// One TokenVectors pass per entity feeds both the text embedding and
+	// the truncated token vectors (the seed recomputed them separately).
+	ev1 := semanticVecs(model, texts1, opts.maxWMDTokens())
+	ev2 := semanticVecs(model, texts2, opts.maxWMDTokens())
+
+	rows := make([][]rowEdge, n1)
+	rowBufs := make([][]rowEdge, workers)
+	par.For(n1, workers, nil, func(w, i int) {
+		if texts1[i] == "" {
+			return
+		}
+		row := rowBufs[w][:0]
+		for j := 0; j < n2; j++ {
+			if texts2[j] == "" {
+				continue
+			}
+			cos, euc := embed.CosineEuclidean(ev1.emb[i], ev2.emb[j],
+				ev1.normSq[i], ev2.normSq[j])
+			if cos > 0 {
+				row = append(row, rowEdge{0, int32(j), cos})
+			}
+			if euc > 0 {
+				row = append(row, rowEdge{1, int32(j), euc})
+			}
+			if sim := relaxedWMS(ev1.tv[i], ev1.tw[i], ev2.tv[j], ev2.tw[j]); sim > 0 {
+				row = append(row, rowEdge{2, int32(j), sim})
+			}
+		}
+		rowBufs[w] = sealRow(&rows[i], row)
+	})
 
 	builders := [3]*graph.Builder{}
 	for k := range builders {
 		builders[k] = graph.NewBuilder(n1, n2)
 	}
-	for i := 0; i < n1; i++ {
-		if texts1[i] == "" {
-			continue
-		}
-		for j := 0; j < n2; j++ {
-			if texts2[j] == "" {
-				continue
-			}
-			if sim := embed.CosineSim(emb1[i], emb2[j]); sim > 0 {
-				builders[0].Add(int32(i), int32(j), sim)
-			}
-			if sim := embed.EuclideanSim(emb1[i], emb2[j]); sim > 0 {
-				builders[1].Add(int32(i), int32(j), sim)
-			}
-			if sim := relaxedWMS(tv1[i], tw1[i], tv2[j], tw2[j]); sim > 0 {
-				builders[2].Add(int32(i), int32(j), sim)
-			}
+	reserveRows(builders[:], rows)
+	for i, row := range rows {
+		for _, e := range row {
+			builders[e.k].Add(int32(i), e.opp, e.w)
 		}
 	}
 	var out []SimGraph
@@ -404,28 +549,6 @@ func semanticGraphs(ds string, family Family, prefix string, model embed.Model, 
 		out = appendGraph(out, ds, family, prefix+"/"+name, builders[k])
 	}
 	return out
-}
-
-func embedAll(model embed.Model, texts []string) [][]float64 {
-	out := make([][]float64, len(texts))
-	for i, t := range texts {
-		out[i] = model.Embed(t)
-	}
-	return out
-}
-
-func tokenVecsAll(model embed.Model, texts []string, maxTokens int) ([][][]float64, [][]float64) {
-	vecs := make([][][]float64, len(texts))
-	ws := make([][]float64, len(texts))
-	for i, t := range texts {
-		v, w := model.TokenVectors(t)
-		if len(v) > maxTokens {
-			v, w = v[:maxTokens], w[:maxTokens]
-		}
-		vecs[i] = v
-		ws[i] = w
-	}
-	return vecs, ws
 }
 
 // relaxedWMS mirrors embed.WordMoversSim over pre-computed token vectors.

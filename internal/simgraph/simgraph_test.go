@@ -6,6 +6,7 @@ import (
 
 	"github.com/ccer-go/ccer/internal/datagen"
 	"github.com/ccer-go/ccer/internal/dataset"
+	"github.com/ccer-go/ccer/internal/graph"
 )
 
 func testTask(t *testing.T) *dataset.Task {
@@ -164,5 +165,59 @@ func TestSemanticGraphsAreDenser(t *testing.T) {
 		if sg.G.Density() < 0.9 {
 			t.Fatalf("%s: density %.2f, want ~1.0", sg.Name, sg.G.Density())
 		}
+	}
+}
+
+// Row-parallel generation must be byte-identical to serial generation at
+// any worker count (run under -race in CI, this also exercises the
+// kernels' goroutine safety).
+func TestRowParallelByteIdentical(t *testing.T) {
+	task := testTask(t)
+	serial := Generate(task, []string{"name"}, Options{Parallelism: 1, KeepNoMatchGraphs: true})
+	parallel := Generate(task, []string{"name"}, Options{Parallelism: 8, KeepNoMatchGraphs: true})
+	if len(serial) != len(parallel) {
+		t.Fatalf("parallel emitted %d graphs, serial %d", len(parallel), len(serial))
+	}
+	for k := range serial {
+		if serial[k].Name != parallel[k].Name {
+			t.Fatalf("graph %d name %q vs %q", k, parallel[k].Name, serial[k].Name)
+		}
+		if serial[k].G.Checksum() != parallel[k].G.Checksum() {
+			t.Fatalf("%s: parallel checksum differs from serial", serial[k].Name)
+		}
+	}
+}
+
+// The no-match cleaning rule must drop exactly the graphs in which no
+// ground-truth pair has an edge, whichever side of the early-exit check
+// (edge scan vs GT scan) gets used.
+func TestFilterNoMatchGraphs(t *testing.T) {
+	gt := dataset.NewGroundTruth([][2]int32{{0, 0}, {1, 1}})
+	build := func(edges [][3]float64) *graph.Bipartite {
+		b := graph.NewBuilder(3, 3)
+		for _, e := range edges {
+			b.Add(int32(e[0]), int32(e[1]), e[2])
+		}
+		return b.MustBuild()
+	}
+	gMatch := build([][3]float64{{0, 0, 0.9}, {2, 1, 0.4}})                                                         // edge on GT pair (0,0)
+	gNoMatch := build([][3]float64{{0, 1, 0.9}, {2, 2, 0.8}})                                                       // edges, none on GT pairs
+	gDenseMatch := build([][3]float64{{0, 0, 1}, {0, 1, 1}, {0, 2, 1}, {1, 0, 1}, {1, 1, 1}, {2, 0, 1}, {2, 2, 1}}) // more edges than GT pairs
+	in := []SimGraph{
+		{Name: "match", G: gMatch},
+		{Name: "nomatch", G: gNoMatch},
+		{Name: "densematch", G: gDenseMatch},
+	}
+	kept := filterNoMatchGraphs(in, gt)
+	if len(kept) != 2 || kept[0].Name != "match" || kept[1].Name != "densematch" {
+		names := make([]string, len(kept))
+		for i, sg := range kept {
+			names[i] = sg.Name
+		}
+		t.Fatalf("kept %v, want [match densematch]", names)
+	}
+	// Empty ground truth keeps nothing (no pair can have positive weight).
+	if got := filterNoMatchGraphs(in, dataset.NewGroundTruth(nil)); len(got) != 0 {
+		t.Fatalf("empty GT kept %d graphs, want 0", len(got))
 	}
 }

@@ -7,7 +7,9 @@
 // All exported similarity functions return values in [0,1], where 1 means
 // identical inputs. Distances are exposed separately where they are useful
 // on their own. Strings are compared as sequences of runes, so multi-byte
-// text behaves correctly.
+// text behaves correctly. The string functions are thin wrappers over the
+// *Seq rune-slice variants in charseq.go; pairwise kernels precompute the
+// rune slices (RunesAll) and call those directly.
 package strsim
 
 import "unicode/utf8"
@@ -18,131 +20,31 @@ type Func func(a, b string) float64
 // Levenshtein returns the normalized Levenshtein similarity:
 // 1 - dist/max(|a|,|b|).
 func Levenshtein(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	return normDist(LevenshteinDistance(a, b), len(ra), len(rb))
+	return LevenshteinSeq([]rune(a), []rune(b))
 }
 
 // LevenshteinDistance returns the minimum number of insertions, deletions
 // and substitutions transforming a into b.
 func LevenshteinDistance(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 {
-		return len(rb)
-	}
-	if len(rb) == 0 {
-		return len(ra)
-	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
+	return LevenshteinDistanceSeq([]rune(a), []rune(b))
 }
 
 // DamerauLevenshtein returns the normalized Damerau-Levenshtein
 // similarity, which additionally allows transpositions of adjacent
 // characters (restricted edit distance).
 func DamerauLevenshtein(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	return normDist(DamerauLevenshteinDistance(a, b), len(ra), len(rb))
+	return DamerauLevenshteinSeq([]rune(a), []rune(b))
 }
 
 // DamerauLevenshteinDistance returns the restricted Damerau-Levenshtein
 // edit distance (insert, delete, substitute, transpose adjacent).
 func DamerauLevenshteinDistance(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 {
-		return len(rb)
-	}
-	if len(rb) == 0 {
-		return len(ra)
-	}
-	width := len(rb) + 1
-	two := make([]int, width)  // row i-2
-	prev := make([]int, width) // row i-1
-	cur := make([]int, width)  // row i
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
-				if v := two[j-2] + 1; v < cur[j] {
-					cur[j] = v
-				}
-			}
-		}
-		two, prev, cur = prev, cur, two
-	}
-	return prev[len(rb)]
+	return DamerauLevenshteinDistanceSeq([]rune(a), []rune(b))
 }
 
 // Jaro returns the Jaro similarity of a and b.
 func Jaro(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 && len(rb) == 0 {
-		return 1
-	}
-	if len(ra) == 0 || len(rb) == 0 {
-		return 0
-	}
-	window := max2(len(ra), len(rb))/2 - 1
-	if window < 0 {
-		window = 0
-	}
-	matchA := make([]bool, len(ra))
-	matchB := make([]bool, len(rb))
-	matches := 0
-	for i := range ra {
-		lo := max2(0, i-window)
-		hi := min2(len(rb)-1, i+window)
-		for j := lo; j <= hi; j++ {
-			if !matchB[j] && ra[i] == rb[j] {
-				matchA[i], matchB[j] = true, true
-				matches++
-				break
-			}
-		}
-	}
-	if matches == 0 {
-		return 0
-	}
-	// Count transpositions among matched characters.
-	transpositions := 0
-	j := 0
-	for i := range ra {
-		if !matchA[i] {
-			continue
-		}
-		for !matchB[j] {
-			j++
-		}
-		if ra[i] != rb[j] {
-			transpositions++
-		}
-		j++
-	}
-	m := float64(matches)
-	t := float64(transpositions) / 2
-	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-t)/m) / 3
+	return JaroSeq([]rune(a), []rune(b))
 }
 
 // Needleman-Wunsch scoring used by the paper (and Simmetrics):
@@ -158,140 +60,26 @@ const (
 // is rescaled by the worst possible score for the input lengths, giving
 // 1 for identical strings and 0 for a worst-case alignment.
 func NeedlemanWunsch(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	maxLen := max2(len(ra), len(rb))
-	if maxLen == 0 {
-		return 1
-	}
-	// nwScore is the (non-positive) maximum alignment score; its negation
-	// is the minimum alignment cost, which never exceeds 2*maxLen because
-	// mismatching everything costs at most that. This is Simmetrics'
-	// normalization: 1 - cost / (maxLen * |gap|).
-	return 1 + nwScore(ra, rb)/(-nwGap*float64(maxLen))
-}
-
-func nwScore(ra, rb []rune) float64 {
-	prev := make([]float64, len(rb)+1)
-	cur := make([]float64, len(rb)+1)
-	for j := 1; j <= len(rb); j++ {
-		prev[j] = float64(j) * nwGap
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = float64(i) * nwGap
-		for j := 1; j <= len(rb); j++ {
-			sub := nwMismatch
-			if ra[i-1] == rb[j-1] {
-				sub = nwMatch
-			}
-			best := prev[j-1] + sub
-			if v := prev[j] + nwGap; v > best {
-				best = v
-			}
-			if v := cur[j-1] + nwGap; v > best {
-				best = v
-			}
-			cur[j] = best
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
+	return NeedlemanWunschSeq([]rune(a), []rune(b))
 }
 
 // QGramsDistance returns the q-grams similarity: block (L1) distance over
 // padded trigram profiles, normalized by the total number of trigrams
 // (1 - dist/total). This is Simmetrics' QGramsDistance with q=3 and
-// boundary padding.
+// boundary padding. It is a thin wrapper over QGramProfile; callers that
+// compare one string against many should precompute the profiles.
 func QGramsDistance(a, b string) float64 {
-	pa := qgramProfile(a, 3)
-	pb := qgramProfile(b, 3)
-	total := 0
-	dist := 0
-	for g, ca := range pa {
-		cb := pb[g]
-		dist += abs(ca - cb)
-		total += ca + cb
-	}
-	for g, cb := range pb {
-		if _, seen := pa[g]; !seen {
-			dist += cb
-			total += cb
-		}
-	}
-	if total == 0 {
-		return 1
-	}
-	return 1 - float64(dist)/float64(total)
-}
-
-// qgramProfile counts the padded character q-grams of s.
-func qgramProfile(s string, q int) map[string]int {
-	if s == "" {
-		return nil
-	}
-	pad := ""
-	for i := 0; i < q-1; i++ {
-		pad += "#"
-	}
-	padded := []rune(pad + s + pad)
-	profile := make(map[string]int)
-	for i := 0; i+q <= len(padded); i++ {
-		profile[string(padded[i:i+q])]++
-	}
-	return profile
+	return NewQGramProfile(a, 3).Distance(NewQGramProfile(b, 3))
 }
 
 // LongestCommonSubstring returns |lcsstr(a,b)| / max(|a|,|b|).
 func LongestCommonSubstring(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 && len(rb) == 0 {
-		return 1
-	}
-	if len(ra) == 0 || len(rb) == 0 {
-		return 0
-	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	best := 0
-	for i := 1; i <= len(ra); i++ {
-		for j := 1; j <= len(rb); j++ {
-			if ra[i-1] == rb[j-1] {
-				cur[j] = prev[j-1] + 1
-				if cur[j] > best {
-					best = cur[j]
-				}
-			} else {
-				cur[j] = 0
-			}
-		}
-		prev, cur = cur, prev
-	}
-	return float64(best) / float64(max2(len(ra), len(rb)))
+	return LongestCommonSubstringSeq([]rune(a), []rune(b))
 }
 
 // LongestCommonSubsequence returns |lcsseq(a,b)| / max(|a|,|b|).
 func LongestCommonSubsequence(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 && len(rb) == 0 {
-		return 1
-	}
-	if len(ra) == 0 || len(rb) == 0 {
-		return 0
-	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for i := 1; i <= len(ra); i++ {
-		for j := 1; j <= len(rb); j++ {
-			if ra[i-1] == rb[j-1] {
-				cur[j] = prev[j-1] + 1
-			} else if prev[j] >= cur[j-1] {
-				cur[j] = prev[j]
-			} else {
-				cur[j] = cur[j-1]
-			}
-		}
-		prev, cur = cur, prev
-	}
-	return float64(prev[len(rb)]) / float64(max2(len(ra), len(rb)))
+	return LongestCommonSubsequenceSeq([]rune(a), []rune(b))
 }
 
 // Smith-Waterman scoring used as the Monge-Elkan secondary measure
@@ -306,40 +94,7 @@ const (
 // similarity: best local alignment score divided by min(|a|,|b|) (the
 // maximum achievable score).
 func SmithWaterman(a, b string) float64 {
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 && len(rb) == 0 {
-		return 1
-	}
-	if len(ra) == 0 || len(rb) == 0 {
-		return 0
-	}
-	prev := make([]float64, len(rb)+1)
-	cur := make([]float64, len(rb)+1)
-	best := 0.0
-	for i := 1; i <= len(ra); i++ {
-		for j := 1; j <= len(rb); j++ {
-			sub := swMismatch
-			if ra[i-1] == rb[j-1] {
-				sub = swMatch
-			}
-			v := prev[j-1] + sub
-			if w := prev[j] + swGap; w > v {
-				v = w
-			}
-			if w := cur[j-1] + swGap; w > v {
-				v = w
-			}
-			if v < 0 {
-				v = 0
-			}
-			cur[j] = v
-			if v > best {
-				best = v
-			}
-		}
-		prev, cur = cur, prev
-	}
-	return best / float64(min2(len(ra), len(rb))) / swMatch
+	return SmithWatermanSeq([]rune(a), []rune(b))
 }
 
 // RuneLen returns the number of runes in s.
@@ -368,10 +123,3 @@ func max2(a, b int) int {
 }
 
 func min3(a, b, c int) int { return min2(min2(a, b), c) }
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
-}

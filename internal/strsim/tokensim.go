@@ -1,7 +1,6 @@
 package strsim
 
 import (
-	"math"
 	"strings"
 	"unicode"
 )
@@ -17,201 +16,63 @@ func Tokenize(s string) []string {
 	})
 }
 
-// counts builds a multiset from tokens.
-func counts(tokens []string) map[string]int {
-	m := make(map[string]int, len(tokens))
-	for _, t := range tokens {
-		m[t]++
-	}
-	return m
-}
+// The string-slice token measures are thin wrappers over the profile
+// implementations in profile.go: each builds the two TokenProfiles and
+// delegates, producing bit-identical values to the historical
+// map[string]int implementations (every accumulator is integer-valued,
+// so the merge-join reorder is exact). Hot paths that compare one entity
+// against many should build profiles once and use the profile methods
+// (or TokenSims) directly.
 
 // CosineTokens returns the cosine of the angle between the token count
 // vectors of a and b.
 func CosineTokens(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	ca, cb := counts(a), counts(b)
-	dot, na, nb := 0.0, 0.0, 0.0
-	for t, x := range ca {
-		na += float64(x) * float64(x)
-		if y, ok := cb[t]; ok {
-			dot += float64(x) * float64(y)
-		}
-	}
-	for _, y := range cb {
-		nb += float64(y) * float64(y)
-	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+	return NewTokenProfile(a).Cosine(NewTokenProfile(b))
 }
 
 // BlockDistance returns the normalized L1 (Manhattan) similarity between
 // the token count vectors: 1 - ||a-b||₁ / (|a|+|b|).
 func BlockDistance(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	ca, cb := counts(a), counts(b)
-	dist := 0
-	for t, x := range ca {
-		dist += abs(x - cb[t])
-	}
-	for t, y := range cb {
-		if _, ok := ca[t]; !ok {
-			dist += y
-		}
-	}
-	return 1 - float64(dist)/float64(len(a)+len(b))
+	return NewTokenProfile(a).BlockDistance(NewTokenProfile(b))
 }
 
 // EuclideanTokens returns the normalized Euclidean similarity between the
 // token count vectors: 1 - ||a-b||₂ / sqrt(||a||₂² + ||b||₂²).
 func EuclideanTokens(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	ca, cb := counts(a), counts(b)
-	sq, na, nb := 0.0, 0.0, 0.0
-	for t, x := range ca {
-		d := float64(x - cb[t])
-		sq += d * d
-		na += float64(x) * float64(x)
-	}
-	for t, y := range cb {
-		if _, ok := ca[t]; !ok {
-			sq += float64(y) * float64(y)
-		}
-		nb += float64(y) * float64(y)
-	}
-	maxD := math.Sqrt(na + nb)
-	if maxD == 0 {
-		return 1
-	}
-	return 1 - math.Sqrt(sq)/maxD
+	return NewTokenProfile(a).Euclidean(NewTokenProfile(b))
 }
 
 // Jaccard returns |A∩B| / |A∪B| over token sets.
 func Jaccard(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	ca, cb := counts(a), counts(b)
-	inter := 0
-	for t := range ca {
-		if _, ok := cb[t]; ok {
-			inter++
-		}
-	}
-	union := len(ca) + len(cb) - inter
-	if union == 0 {
-		return 1
-	}
-	return float64(inter) / float64(union)
+	return NewTokenProfile(a).Jaccard(NewTokenProfile(b))
 }
 
 // GeneralizedJaccard returns Σmin(count) / Σmax(count) over token
 // multisets.
 func GeneralizedJaccard(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	ca, cb := counts(a), counts(b)
-	minSum, maxSum := 0, 0
-	for t, x := range ca {
-		y := cb[t]
-		minSum += min2(x, y)
-		maxSum += max2(x, y)
-	}
-	for t, y := range cb {
-		if _, ok := ca[t]; !ok {
-			maxSum += y
-		}
-	}
-	if maxSum == 0 {
-		return 1
-	}
-	return float64(minSum) / float64(maxSum)
+	return NewTokenProfile(a).GeneralizedJaccard(NewTokenProfile(b))
 }
 
 // Dice returns 2|A∩B| / (|A|+|B|) over token sets.
 func Dice(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	ca, cb := counts(a), counts(b)
-	inter := 0
-	for t := range ca {
-		if _, ok := cb[t]; ok {
-			inter++
-		}
-	}
-	den := len(ca) + len(cb)
-	if den == 0 {
-		return 1
-	}
-	return 2 * float64(inter) / float64(den)
+	return NewTokenProfile(a).Dice(NewTokenProfile(b))
 }
 
 // SimonWhite is Dice over multisets: 2·Σmin(count) / (|a|+|b|).
 func SimonWhite(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	ca, cb := counts(a), counts(b)
-	inter := 0
-	for t, x := range ca {
-		inter += min2(x, cb[t])
-	}
-	den := len(a) + len(b)
-	if den == 0 {
-		return 1
-	}
-	return 2 * float64(inter) / float64(den)
+	return NewTokenProfile(a).SimonWhite(NewTokenProfile(b))
 }
 
 // OverlapCoefficient returns |A∩B| / min(|A|,|B|) over token sets.
 func OverlapCoefficient(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	ca, cb := counts(a), counts(b)
-	inter := 0
-	for t := range ca {
-		if _, ok := cb[t]; ok {
-			inter++
-		}
-	}
-	return float64(inter) / float64(min2(len(ca), len(cb)))
+	return NewTokenProfile(a).OverlapCoefficient(NewTokenProfile(b))
 }
 
 // MongeElkan returns the Monge-Elkan similarity: the average, over tokens
 // of a, of the best Smith-Waterman similarity against tokens of b. It is
 // asymmetric by definition; SymmetricMongeElkan averages both directions.
 func MongeElkan(a, b []string) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	sum := 0.0
-	for _, wa := range a {
-		best := 0.0
-		for _, wb := range b {
-			if s := SmithWaterman(wa, wb); s > best {
-				best = s
-			}
-		}
-		sum += best
-	}
-	return sum / float64(len(a))
+	return NewTokenProfile(a).MongeElkan(NewTokenProfile(b), nil)
 }
 
 // SymmetricMongeElkan averages MongeElkan in both directions.

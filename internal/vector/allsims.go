@@ -2,28 +2,25 @@ package vector
 
 import "math"
 
-// CacheTFIDF precomputes the TF-IDF vectors of both collections, so that
-// corpus generation does not rebuild them per pair.
+// CacheTFIDF returns the memoized TF-IDF vectors of both collections,
+// building them on first use. Kept for callers that want the raw
+// vectors; AllSims reads the cache internally. The returned slices
+// alias the Space's cache and must not be modified — mutating them
+// would corrupt every subsequent Sim/AllSims/TFIDF on this Space.
 func (s *Space) CacheTFIDF() (c1, c2 []Vec) {
-	c1 = make([]Vec, len(s.docs1))
-	for i := range s.docs1 {
-		c1[i] = s.TFIDF(1, i)
-	}
-	c2 = make([]Vec, len(s.docs2))
-	for j := range s.docs2 {
-		c2[j] = s.TFIDF(2, j)
-	}
-	return c1, c2
+	s.ensureCache()
+	return s.tfidf1, s.tfidf2
 }
 
 // AllSims computes all six bag measures for the pair (i, j) in a single
 // merge-join over the two sparse vectors, returning them in Measures()
 // order: ARCS, CosineTF, CosineTFIDF, Jaccard, GeneralizedJaccardTF,
-// GeneralizedJaccardTFIDF. tfidf1 and tfidf2 are the caches from
-// CacheTFIDF.
-func (s *Space) AllSims(i, j int, tfidf1, tfidf2 []Vec) [6]float64 {
+// GeneralizedJaccardTFIDF. The TF-IDF vectors and all four norms come
+// from the per-entity cache, so the pair cost is exactly one merge join.
+func (s *Space) AllSims(i, j int) [6]float64 {
+	s.ensureCache()
 	a, b := s.docs1[i], s.docs2[j]
-	wa, wb := tfidf1[i], tfidf2[j] // same IDs as a and b, different weights
+	wa, wb := s.tfidf1[i], s.tfidf2[j] // same IDs as a and b, different weights
 
 	var (
 		arcs           float64
@@ -68,10 +65,10 @@ func (s *Space) AllSims(i, j int, tfidf1, tfidf2 []Vec) [6]float64 {
 		}
 		out[0] = arcs
 	}
-	if na, nb := a.Norm(), b.Norm(); na > 0 && nb > 0 {
+	if na, nb := s.tfNorm1[i], s.tfNorm2[j]; na > 0 && nb > 0 {
 		out[1] = dotTF / (na * nb)
 	}
-	if na, nb := wa.Norm(), wb.Norm(); na > 0 && nb > 0 {
+	if na, nb := s.wNorm1[i], s.wNorm2[j]; na > 0 && nb > 0 {
 		out[2] = dotIDF / (na * nb)
 	}
 	if union := a.Len() + b.Len() - inter; union > 0 {

@@ -14,7 +14,8 @@ package vector
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"github.com/ccer-go/ccer/internal/strsim"
 )
@@ -202,6 +203,19 @@ type Space struct {
 	// joint IDF over both collections (for TF-IDF weighting).
 	df1, df2 []int32
 	idf      []float64
+
+	// Memoized per-entity derived representations, built at most once
+	// (Sim historically recomputed the TF-IDF vectors on every pair).
+	cacheOnce        sync.Once
+	tfidf1, tfidf2   []Vec
+	tfNorm1, tfNorm2 []float64 // L2 norms of the TF vectors
+	wNorm1, wNorm2   []float64 // L2 norms of the TF-IDF vectors
+
+	// Memoized inverted index over collection 1 (CSR postings), used by
+	// candidate enumeration.
+	postOnce sync.Once
+	postOff  []int32
+	postIDs  []int32
 }
 
 // NewSpace builds the space from the schema-agnostic texts of the two
@@ -231,29 +245,35 @@ func NewSpace(mode Mode, texts1, texts2 []string) *Space {
 
 func (s *Space) addAll(texts []string, df *[]int32) []Vec {
 	docs := make([]Vec, len(texts))
+	var ids []int32 // reusable per-entity gram-id scratch
 	for i, text := range texts {
 		grams := s.Mode.Grams(text)
-		counts := make(map[int32]float64, len(grams))
+		ids = ids[:0]
 		for _, g := range grams {
 			id, ok := s.vocab[g]
 			if !ok {
 				id = int32(len(s.vocab))
 				s.vocab[g] = id
 			}
-			counts[id]++
+			ids = append(ids, id)
 		}
-		v := Vec{IDs: make([]int32, 0, len(counts)), Ws: make([]float64, 0, len(counts))}
-		for id := range counts {
-			v.IDs = append(v.IDs, id)
-		}
-		sort.Slice(v.IDs, func(a, b int) bool { return v.IDs[a] < v.IDs[b] })
+		// Sort + run-length encode instead of a per-entity count map.
+		slices.Sort(ids)
+		v := Vec{}
 		norm := float64(len(grams))
-		for _, id := range v.IDs {
-			v.Ws = append(v.Ws, counts[id]/norm) // normalized TF
+		for k := 0; k < len(ids); {
+			j := k + 1
+			for j < len(ids) && ids[j] == ids[k] {
+				j++
+			}
+			id := ids[k]
+			v.IDs = append(v.IDs, id)
+			v.Ws = append(v.Ws, float64(j-k)/norm) // normalized TF
 			for int(id) >= len(*df) {
 				*df = append(*df, 0)
 			}
 			(*df)[id]++
+			k = j
 		}
 		docs[i] = v
 	}
@@ -274,14 +294,48 @@ func (s *Space) TF(collection, i int) Vec {
 	return s.docs2[i]
 }
 
-// TFIDF returns the TF-IDF weighted vector of entity i.
+// TFIDF returns the TF-IDF weighted vector of entity i, served from the
+// per-entity cache (built on first use).
 func (s *Space) TFIDF(collection, i int) Vec {
-	tf := s.TF(collection, i)
+	s.ensureCache()
+	if collection == 1 {
+		return s.tfidf1[i]
+	}
+	return s.tfidf2[i]
+}
+
+// tfidfOf materializes one TF-IDF vector; ensureCache calls it per
+// entity exactly once.
+func (s *Space) tfidfOf(tf Vec) Vec {
 	v := Vec{IDs: tf.IDs, Ws: make([]float64, len(tf.Ws))}
 	for k, id := range tf.IDs {
 		v.Ws[k] = tf.Ws[k] * s.idf[id]
 	}
 	return v
+}
+
+// ensureCache builds the memoized TF-IDF vectors and the TF/TF-IDF norms
+// of every entity. It runs at most once per Space (sync.Once), so both
+// the corpus fast path and ad-hoc Sim callers share one materialization.
+func (s *Space) ensureCache() {
+	s.cacheOnce.Do(func() {
+		s.tfidf1 = make([]Vec, len(s.docs1))
+		s.tfNorm1 = make([]float64, len(s.docs1))
+		s.wNorm1 = make([]float64, len(s.docs1))
+		for i, d := range s.docs1 {
+			s.tfidf1[i] = s.tfidfOf(d)
+			s.tfNorm1[i] = d.Norm()
+			s.wNorm1[i] = s.tfidf1[i].Norm()
+		}
+		s.tfidf2 = make([]Vec, len(s.docs2))
+		s.tfNorm2 = make([]float64, len(s.docs2))
+		s.wNorm2 = make([]float64, len(s.docs2))
+		for j, d := range s.docs2 {
+			s.tfidf2[j] = s.tfidfOf(d)
+			s.tfNorm2[j] = d.Norm()
+			s.wNorm2[j] = s.tfidf2[j].Norm()
+		}
+	})
 }
 
 // ARCS sums log2 / log(DF1(k)·DF2(k)) over the grams shared by entity i
@@ -339,49 +393,126 @@ func Measures() []string {
 }
 
 // Sim computes the named measure between entity i of collection 1 and
-// entity j of collection 2. It panics on an unknown measure name, which
-// indicates a programming error in the caller's configuration.
+// entity j of collection 2, using the memoized per-entity TF-IDF vectors
+// and norms (values are bit-identical to recomputing them per pair). It
+// panics on an unknown measure name, which indicates a programming error
+// in the caller's configuration.
 func (s *Space) Sim(measure string, i, j int) float64 {
+	s.ensureCache()
 	switch measure {
 	case MeasureARCS:
 		return s.ARCS(i, j)
 	case MeasureCosineTF:
-		return Cosine(s.docs1[i], s.docs2[j])
+		return cosineNormed(s.docs1[i], s.docs2[j], s.tfNorm1[i], s.tfNorm2[j])
 	case MeasureCosineTFIDF:
-		return Cosine(s.TFIDF(1, i), s.TFIDF(2, j))
+		return cosineNormed(s.tfidf1[i], s.tfidf2[j], s.wNorm1[i], s.wNorm2[j])
 	case MeasureJaccard:
 		return JaccardSet(s.docs1[i], s.docs2[j])
 	case MeasureGenJacTF:
 		return GeneralizedJaccard(s.docs1[i], s.docs2[j])
 	case MeasureGenJacTFIDF:
-		return GeneralizedJaccard(s.TFIDF(1, i), s.TFIDF(2, j))
+		return GeneralizedJaccard(s.tfidf1[i], s.tfidf2[j])
 	default:
 		panic("vector: unknown measure " + measure)
 	}
 }
 
-// CandidatePairs returns all (i, j) pairs that share at least one gram,
-// via an inverted index over collection 1. Pairs that share nothing have
-// similarity zero under every bag measure, so this enumerates exactly the
-// graph's potential edges.
-func (s *Space) CandidatePairs() [][2]int32 {
-	index := make(map[int32][]int32) // gram id -> entities of collection 1
-	for i, v := range s.docs1 {
-		for _, id := range v.IDs {
-			index[id] = append(index[id], int32(i))
+// cosineNormed is Cosine with the norms precomputed.
+func cosineNormed(a, b Vec, na, nb float64) float64 {
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// BuildPostings builds a CSR inverted index over per-item id lists:
+// ids[off[g]:off[g+1]] lists, in ascending item order, the items whose
+// list contains id g. size is the id-space size; every id must be in
+// [0, size).
+func BuildPostings(lists [][]int32, size int) (off, ids []int32) {
+	off = make([]int32, size+1)
+	for _, l := range lists {
+		for _, id := range l {
+			off[id+1]++
 		}
 	}
-	var pairs [][2]int32
-	seen := make(map[int64]bool)
-	for j, v := range s.docs2 {
-		for _, id := range v.IDs {
-			for _, i := range index[id] {
-				key := int64(i)<<32 | int64(j)
-				if !seen[key] {
-					seen[key] = true
-					pairs = append(pairs, [2]int32{i, int32(j)})
-				}
+	for g := 0; g < size; g++ {
+		off[g+1] += off[g]
+	}
+	ids = make([]int32, off[size])
+	next := append([]int32(nil), off[:size]...)
+	for i, l := range lists {
+		for _, id := range l {
+			ids[next[id]] = int32(i)
+			next[id]++
+		}
+	}
+	return off, ids
+}
+
+// UnionCandidates appends to dst the distinct items posted under any of
+// the query ids, in ascending order. bits must be a zeroed bitset with
+// at least one bit per item; it is cleared again before returning, so
+// one allocation serves a whole enumeration loop.
+func UnionCandidates(query, off, post []int32, bits []uint64, dst []int32) []int32 {
+	dst = dst[:0]
+	for _, id := range query {
+		for _, i := range post[off[id]:off[id+1]] {
+			if bits[i>>6]&(1<<(uint(i)&63)) == 0 {
+				bits[i>>6] |= 1 << (uint(i) & 63)
+				dst = append(dst, i)
 			}
+		}
+	}
+	for _, i := range dst {
+		bits[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	slices.Sort(dst)
+	return dst
+}
+
+// postings builds (once) the CSR inverted index over collection 1:
+// postIDs[postOff[g]:postOff[g+1]] lists, in ascending order, the
+// entities whose vectors contain gram g.
+func (s *Space) postings() {
+	s.postOnce.Do(func() {
+		lists := make([][]int32, len(s.docs1))
+		for i, v := range s.docs1 {
+			lists[i] = v.IDs
+		}
+		s.postOff, s.postIDs = BuildPostings(lists, len(s.vocab))
+	})
+}
+
+// Candidates appends to dst the collection-1 entities sharing at least
+// one gram with entity j of collection 2, in ascending order. bits must
+// be a zeroed bitset with at least N1 bits; it is cleared again before
+// returning, so one allocation serves a whole enumeration loop. Passing
+// nil bits (and nil dst) is valid but allocates per call.
+func (s *Space) Candidates(j int, bits []uint64, dst []int32) []int32 {
+	s.postings()
+	if bits == nil {
+		bits = make([]uint64, (len(s.docs1)+63)/64)
+	}
+	return UnionCandidates(s.docs2[j].IDs, s.postOff, s.postIDs, bits, dst)
+}
+
+// CandidatePairs returns all (i, j) pairs that share at least one gram,
+// via the inverted index over collection 1. Pairs that share nothing
+// have similarity zero under every bag measure, so this enumerates
+// exactly the graph's potential edges. Pairs come back grouped by j with
+// i ascending; deduplication uses a reusable bitset instead of a
+// per-call hash set. It is the one-shot convenience over Candidates,
+// which per-row kernels (internal/simgraph) call directly to reuse the
+// bitset and emit rows in place.
+func (s *Space) CandidatePairs() [][2]int32 {
+	bits := make([]uint64, (len(s.docs1)+63)/64)
+	var buf []int32
+	var pairs [][2]int32
+	for j := range s.docs2 {
+		buf = s.Candidates(j, bits, buf)
+		for _, i := range buf {
+			pairs = append(pairs, [2]int32{i, int32(j)})
 		}
 	}
 	return pairs

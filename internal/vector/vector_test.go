@@ -225,16 +225,49 @@ func TestPropertyMeasureRange(t *testing.T) {
 func TestAllSimsConsistent(t *testing.T) {
 	for _, mode := range Modes() {
 		s := newTestSpace(mode)
-		c1, c2 := s.CacheTFIDF()
 		for i := 0; i < s.N1(); i++ {
 			for j := 0; j < s.N2(); j++ {
-				all := s.AllSims(i, j, c1, c2)
+				all := s.AllSims(i, j)
 				for k, m := range Measures() {
 					want := s.Sim(m, i, j)
 					if math.Abs(all[k]-want) > 1e-12 {
 						t.Fatalf("%s AllSims[%s](%d,%d) = %v, want %v", mode, m, i, j, all[k], want)
 					}
 				}
+			}
+		}
+	}
+}
+
+// The memoized TF-IDF vectors must equal a from-scratch materialization,
+// and CandidatePairs must come back grouped by j with i ascending and
+// free of duplicates.
+func TestCacheAndCandidateOrder(t *testing.T) {
+	s := newTestSpace(Mode{Char: true, N: 3})
+	c1, c2 := s.CacheTFIDF()
+	for i := range c1 {
+		tf := s.TF(1, i)
+		for k, id := range tf.IDs {
+			want := tf.Ws[k] * s.idf[id]
+			if c1[i].Ws[k] != want {
+				t.Fatalf("tfidf1[%d][%d] = %v, want %v", i, k, c1[i].Ws[k], want)
+			}
+		}
+	}
+	if len(c2) != s.N2() {
+		t.Fatalf("tfidf2 has %d entries, want %d", len(c2), s.N2())
+	}
+	pairs := s.CandidatePairs()
+	seen := map[[2]int32]bool{}
+	for k, p := range pairs {
+		if seen[p] {
+			t.Fatalf("duplicate candidate pair %v", p)
+		}
+		seen[p] = true
+		if k > 0 {
+			prev := pairs[k-1]
+			if prev[1] > p[1] || (prev[1] == p[1] && prev[0] >= p[0]) {
+				t.Fatalf("candidate pairs out of order: %v before %v", prev, p)
 			}
 		}
 	}
