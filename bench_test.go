@@ -77,6 +77,40 @@ func BenchmarkSimGraphGenerate(b *testing.B) {
 	}
 }
 
+// BenchmarkSimGraphGenerateWorkers is BenchmarkSimGraphGenerate across
+// worker counts: the many-core scaling run of the row-parallel
+// generation kernels (output is byte-identical at any setting, so the
+// sub-benchmarks measure pure scheduling behaviour).
+func BenchmarkSimGraphGenerateWorkers(b *testing.B) {
+	spec, err := datagen.SpecByID("D1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := spec.Generate(42, 0.02)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				simgraph.Generate(task, spec.KeyAttrs, simgraph.Options{Parallelism: workers})
+			}
+		})
+	}
+}
+
+// BenchmarkCorpusBuildWorkers is BenchmarkCorpusBuild across worker
+// counts (generation + sweeps + cleaning for D1).
+func BenchmarkCorpusBuildWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Datasets = []string{"D1"}
+			cfg.Parallelism = workers
+			for i := 0; i < b.N; i++ {
+				exp.BuildCorpus(cfg)
+			}
+		})
+	}
+}
+
 func BenchmarkTable2(b *testing.B) {
 	c := corpus(b)
 	b.ResetTimer()

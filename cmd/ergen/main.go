@@ -3,17 +3,23 @@
 //
 // Usage:
 //
-//	ergen [-seed N] [-scale F] [-out FILE] <dataset-id>
+//	ergen [-seed N] [-scale F] [-out FILE] [-cpuprofile FILE] <dataset-id>
 //
 // Example:
 //
 //	ergen -seed 7 -scale 0.05 -out d2.json D2
+//
+// -cpuprofile writes a pprof CPU profile of the generation (the
+// counterpart of erserve's -pprof for one-shot runs), so kernel work on
+// the data-generation path can be profiled without standing up the
+// service.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"github.com/ccer-go/ccer/internal/datagen"
 )
@@ -29,6 +35,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "generation seed")
 	scale := flag.Float64("scale", 0.05, "scale vs. the paper's Table 2 sizes")
 	out := flag.String("out", "", "output file (default stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of generation to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		ids := make([]string, 0, 10)
@@ -40,6 +47,17 @@ func run() error {
 	spec, err := datagen.SpecByID(flag.Arg(0))
 	if err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	task := spec.Generate(*seed, *scale)
 

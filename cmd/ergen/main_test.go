@@ -42,6 +42,25 @@ func TestErgenWritesTask(t *testing.T) {
 	}
 }
 
+func TestErgenCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d1.json")
+	prof := filepath.Join(dir, "cpu.prof")
+	if err := runWithArgs(t, "-scale", "0.02", "-out", out, "-cpuprofile", prof, "D1"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(prof)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("profile file is empty")
+	}
+	if err := runWithArgs(t, "-cpuprofile", "/nonexistent-dir/p.prof", "-out", filepath.Join(dir, "x.json"), "D1"); err == nil {
+		t.Fatal("unwritable profile path accepted")
+	}
+}
+
 func TestErgenErrors(t *testing.T) {
 	if err := runWithArgs(t); err == nil {
 		t.Fatal("missing dataset id accepted")

@@ -96,7 +96,7 @@ func (b *Builder) Build() (*Bipartite, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	edges := dedupeMax(b.edges)
+	edges := dedupeMax(b.edges, b.n1)
 	return newBipartite(b.n1, b.n2, edges), nil
 }
 
@@ -109,27 +109,25 @@ func (b *Builder) MustBuild() *Bipartite {
 	return g
 }
 
-func dedupeMax(edges []Edge) []Edge {
-	es := append([]Edge(nil), edges...)
-	if len(es) < 2 {
-		return es
+func dedupeMax(edges []Edge, n1 int) []Edge {
+	if len(edges) < 2 {
+		return edges
 	}
 	// The schema-based and semantic generation kernels emit edges
 	// already strictly (U,V)-ordered (U-rows in order, V ascending, no
-	// duplicates); detecting that skips both the sort and the dedupe
-	// scan. The bag and n-gram-graph kernels assemble V-major and still
-	// take the sort below, exactly as a from-scratch build would.
-	sorted := true
-	for i := 1; i < len(es); i++ {
-		if es[i-1].U > es[i].U ||
-			(es[i-1].U == es[i].U && es[i-1].V >= es[i].V) {
-			sorted = false
-			break
-		}
+	// duplicates); detecting that skips the copy, the sort and the
+	// dedupe scan. The bag and n-gram-graph kernels assemble V-major
+	// (strictly (V,U)-ordered), which a stable counting transpose turns
+	// into the same canonical order in O(|E|+n1) instead of a
+	// comparison sort. Anything else takes the generic sort+dedupe over
+	// a copy, exactly as a from-scratch build would.
+	if isSortedUV(edges) {
+		return edges
 	}
-	if sorted {
-		return es
+	if out, ok := transposeVMajor(edges, n1); ok {
+		return out
 	}
+	es := append([]Edge(nil), edges...)
 	slices.SortFunc(es, func(a, b Edge) int {
 		switch {
 		case a.U != b.U:
@@ -153,6 +151,46 @@ func dedupeMax(edges []Edge) []Edge {
 		out = append(out, e)
 	}
 	return out
+}
+
+// isSortedUV reports whether edges are strictly (U,V)-ascending (which
+// also implies no duplicate pairs), the canonical edge-list order.
+func isSortedUV(es []Edge) bool {
+	for i := 1; i < len(es); i++ {
+		if es[i-1].U > es[i].U ||
+			(es[i-1].U == es[i].U && es[i-1].V >= es[i].V) {
+			return false
+		}
+	}
+	return true
+}
+
+// transposeVMajor converts a strictly (V,U)-ascending edge list (the
+// assembly order of the V-major row kernels) into canonical (U,V)
+// order with a stable counting sort on U. Strict (V,U) order rules out
+// duplicate pairs, and stability keeps V ascending within each U, so
+// the result is exactly what the generic sort+dedupe would produce.
+// Returns ok=false when the input is not strictly V-major.
+func transposeVMajor(es []Edge, n1 int) ([]Edge, bool) {
+	for i := 1; i < len(es); i++ {
+		if es[i-1].V > es[i].V ||
+			(es[i-1].V == es[i].V && es[i-1].U >= es[i].U) {
+			return nil, false
+		}
+	}
+	next := make([]int32, n1+1)
+	for _, e := range es {
+		next[e.U+1]++
+	}
+	for u := 0; u < n1; u++ {
+		next[u+1] += next[u]
+	}
+	out := make([]Edge, len(es))
+	for _, e := range es {
+		out[next[e.U]] = e
+		next[e.U]++
+	}
+	return out, true
 }
 
 // Bipartite is an immutable weighted bipartite similarity graph.
@@ -194,19 +232,30 @@ func newBipartite(n1, n2 int, edges []Edge) *Bipartite {
 	for i := range g.byWeight {
 		g.byWeight[i] = int32(i)
 	}
-	slices.SortFunc(g.byWeight, func(x, y int32) int {
-		ei, ej := edges[x], edges[y]
-		switch {
-		case ei.W > ej.W:
-			return -1
-		case ei.W < ej.W:
-			return 1
-		case ei.U != ej.U:
-			return int(ei.U) - int(ej.U)
-		default:
-			return int(ei.V) - int(ej.V)
-		}
-	})
+	// The permutation's comparator is (W descending, then U, V
+	// ascending). Edge lists from Build/Threshold/NormalizeMinMax are
+	// already (U,V)-ascending, so the identity permutation realizes the
+	// tie-break and any STABLE descending-weight sort produces exactly
+	// the comparator's order — which lets large graphs use an LSD radix
+	// sort over the weight bits instead of an O(E log E) comparison
+	// sort with a closure per compare.
+	if len(edges) >= radixMinEdges && isSortedUV(edges) {
+		radixSortByWeightDesc(edges, g.byWeight)
+	} else {
+		slices.SortFunc(g.byWeight, func(x, y int32) int {
+			ei, ej := edges[x], edges[y]
+			switch {
+			case ei.W > ej.W:
+				return -1
+			case ei.W < ej.W:
+				return 1
+			case ei.U != ej.U:
+				return int(ei.U) - int(ej.U)
+			default:
+				return int(ei.V) - int(ej.V)
+			}
+		})
+	}
 
 	g.off1 = make([]int32, n1+1)
 	g.off2 = make([]int32, n2+1)
@@ -247,6 +296,74 @@ func newBipartite(n1, n2 int, edges []Edge) *Bipartite {
 		g.minW, g.maxW = 0, 0
 	}
 	return g
+}
+
+// radixMinEdges is the edge count above which the by-weight permutation
+// uses the radix sort; below it the per-pass histogram overhead loses to
+// the comparison sort.
+const radixMinEdges = 256
+
+// radixSortByWeightDesc stably sorts idx (the identity permutation over
+// edges) by strictly descending edge weight: 8 LSD counting passes over
+// a monotone uint64 transform of the weight bits, skipping passes whose
+// byte is constant (common: similarity weights share sign and most
+// exponent bits). Stability plus (U,V)-ascending input order reproduces
+// the full (W desc, U asc, V asc) comparator order bit for bit; -0 is
+// mapped onto +0 so the two compare equal, as the comparator says.
+func radixSortByWeightDesc(edges []Edge, idx []int32) {
+	keys := make([]uint64, len(edges))
+	var counts [8][256]int32
+	for i, e := range edges {
+		w := e.W
+		if w == 0 {
+			w = 0 // collapses -0 onto +0
+		}
+		b := math.Float64bits(w)
+		if b>>63 != 0 {
+			b = ^b
+		} else {
+			b |= 1 << 63
+		}
+		k := ^b // ascending key order == descending weight order
+		keys[i] = k
+		counts[0][k&0xff]++
+		counts[1][k>>8&0xff]++
+		counts[2][k>>16&0xff]++
+		counts[3][k>>24&0xff]++
+		counts[4][k>>32&0xff]++
+		counts[5][k>>40&0xff]++
+		counts[6][k>>48&0xff]++
+		counts[7][k>>56&0xff]++
+	}
+	n := int32(len(edges))
+	src, dst := idx, make([]int32, len(idx))
+	for p := 0; p < 8; p++ {
+		c := &counts[p]
+		shift := uint(8 * p)
+		constant := false
+		sum := int32(0)
+		for b := 0; b < 256; b++ {
+			if c[b] == n {
+				constant = true
+				break
+			}
+			cnt := c[b]
+			c[b] = sum
+			sum += cnt
+		}
+		if constant {
+			continue // every key shares this byte; the pass is a no-op
+		}
+		for _, i := range src {
+			b := keys[i] >> shift & 0xff
+			dst[c[b]] = i
+			c[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &idx[0] {
+		copy(idx, src)
+	}
 }
 
 // N1 returns the number of nodes in the first collection.

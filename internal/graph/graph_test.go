@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"slices"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -584,5 +585,133 @@ func TestBuilderReserve(t *testing.T) {
 	}
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// comparatorByWeight is the reference (W desc, U asc, V asc) permutation
+// sort the radix path must reproduce bit for bit.
+func comparatorByWeight(edges []Edge) []int32 {
+	idx := make([]int32, len(edges))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(x, y int32) int {
+		ei, ej := edges[x], edges[y]
+		switch {
+		case ei.W > ej.W:
+			return -1
+		case ei.W < ej.W:
+			return 1
+		case ei.U != ej.U:
+			return int(ei.U) - int(ej.U)
+		default:
+			return int(ei.V) - int(ej.V)
+		}
+	})
+	return idx
+}
+
+func TestRadixByWeightMatchesComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 256 + rng.Intn(2000)
+		// (U,V)-ascending unique pairs with heavy weight ties (quantized
+		// weights) plus exact duplicates of magnitude classes.
+		edges := make([]Edge, 0, n)
+		u, v := int32(0), int32(0)
+		for len(edges) < n {
+			v += int32(1 + rng.Intn(3))
+			if v > 1000 {
+				u++
+				v = int32(rng.Intn(3))
+			}
+			w := float64(rng.Intn(16)) / 15
+			if rng.Intn(10) == 0 {
+				w = 0 // exercise the -0/+0 collapse alongside zeros
+			}
+			edges = append(edges, Edge{U: u, V: v, W: w})
+		}
+		if !isSortedUV(edges) {
+			t.Fatal("test construction broken: edges not (U,V)-sorted")
+		}
+		want := comparatorByWeight(edges)
+		got := make([]int32, len(edges))
+		for i := range got {
+			got[i] = int32(i)
+		}
+		radixSortByWeightDesc(edges, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: permutation diverges at %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRadixByWeightNegativeZero(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	edges := make([]Edge, 0, 300)
+	for i := 0; i < 300; i++ {
+		w := 0.0
+		if i%2 == 0 {
+			w = negZero
+		}
+		edges = append(edges, Edge{U: int32(i / 10), V: int32(i % 10), W: w})
+	}
+	want := comparatorByWeight(edges)
+	got := make([]int32, len(edges))
+	for i := range got {
+		got[i] = int32(i)
+	}
+	radixSortByWeightDesc(edges, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("-0/+0 tie-break diverges at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+// V-major assembled builders (the bag/gram kernels' order) must produce
+// graphs byte-identical to the same edges added in arbitrary order.
+func TestBuildVMajorMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n1, n2 := 1+rng.Intn(40), 1+rng.Intn(40)
+		type pair struct{ u, v int32 }
+		seen := map[pair]float64{}
+		for k := 0; k < rng.Intn(200); k++ {
+			seen[pair{int32(rng.Intn(n1)), int32(rng.Intn(n2))}] = rng.Float64()
+		}
+		// V-major order.
+		bv := NewBuilder(n1, n2)
+		for v := 0; v < n2; v++ {
+			for u := 0; u < n1; u++ {
+				if w, ok := seen[pair{int32(u), int32(v)}]; ok {
+					bv.Add(int32(u), int32(v), w)
+				}
+			}
+		}
+		// Shuffled order (generic sort path).
+		type triple struct {
+			u, v int32
+			w    float64
+		}
+		var ts []triple
+		for p, w := range seen {
+			ts = append(ts, triple{p.u, p.v, w})
+		}
+		rng.Shuffle(len(ts), func(i, j int) { ts[i], ts[j] = ts[j], ts[i] })
+		bs := NewBuilder(n1, n2)
+		for _, e := range ts {
+			bs.Add(e.u, e.v, e.w)
+		}
+		gv, gs := bv.MustBuild(), bs.MustBuild()
+		if gv.Checksum() != gs.Checksum() {
+			t.Fatalf("trial %d: V-major build checksum %016x != generic %016x",
+				trial, gv.Checksum(), gs.Checksum())
+		}
+		if err := gv.Validate(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"github.com/ccer-go/ccer/internal/eval"
 	"github.com/ccer-go/ccer/internal/graph"
 	"github.com/ccer-go/ccer/internal/par"
+	"github.com/ccer-go/ccer/internal/simgraph"
 	"github.com/ccer-go/ccer/internal/strsim"
 )
 
@@ -31,8 +32,10 @@ func (s *Server) routes() {
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleGraphCreate)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphList)
-	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
-	s.mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleGraphDelete)
+	// {name...} (not {name}): family-mode generation stores graphs
+	// under "<base>/<attr>/<measure>", so names span path segments.
+	s.mux.HandleFunc("GET /v1/graphs/{name...}", s.handleGraphGet)
+	s.mux.HandleFunc("DELETE /v1/graphs/{name...}", s.handleGraphDelete)
 	s.mux.HandleFunc("POST /v1/match", s.handleMatch)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepCreate)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
@@ -88,11 +91,16 @@ type metricsResponse struct {
 	JobsDone            int     `json:"jobs_done"`
 	JobsFailed          int     `json:"jobs_failed"`
 	JobsCancelled       int     `json:"jobs_cancelled"`
-	// Per-dataset similarity-graph generation timing: cumulative build
-	// nanoseconds and build count, so the corpus-build fast path's
-	// throughput is observable on the resident service.
-	GenerateNSTotal map[string]int64 `json:"generate_ns_total,omitempty"`
-	GeneratesTotal  map[string]int64 `json:"generates_total,omitempty"`
+	// Similarity-graph generation timing: cumulative build nanoseconds
+	// and build counts keyed by dataset and, separately, by weight
+	// family (single-measure generation counts under SB-SYN, the family
+	// its string measures belong to), so the corpus-build fast path's
+	// throughput — and the character-kernel share inside SB-SYN — is
+	// observable on the resident service.
+	GenerateNSTotal       map[string]int64 `json:"generate_ns_total,omitempty"`
+	GeneratesTotal        map[string]int64 `json:"generates_total,omitempty"`
+	GenerateFamilyNSTotal map[string]int64 `json:"generate_family_ns_total,omitempty"`
+	GeneratesFamilyTotal  map[string]int64 `json:"generates_family_total,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -101,31 +109,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
-	genNanos, genCount := s.gen.snapshot()
+	genNanos, genCount, famNanos, famCount := s.gen.snapshot()
 	jobs := s.jobs.Counts()
 	writeJSON(w, http.StatusOK, metricsResponse{
-		GenerateNSTotal:     genNanos,
-		GeneratesTotal:      genCount,
-		UptimeSeconds:       time.Since(s.started).Seconds(),
-		RequestsTotal:       s.stats.requests.Load(),
-		ErrorsTotal:         s.stats.errors.Load(),
-		GraphsStored:        s.store.Len(),
-		GraphsCreatedTotal:  s.stats.graphsCreated.Load(),
-		MatchRequestsTotal:  s.stats.matchRequests.Load(),
-		MatchingsRunTotal:   s.stats.matchingsRun.Load(),
-		SweepsCreatedTotal:  s.stats.sweepsCreated.Load(),
-		CacheHitsTotal:      hits,
-		CacheMissesTotal:    misses,
-		CacheEvictionsTotal: evictions,
-		CacheSize:           s.cache.Len(),
-		CacheCapacity:       s.cache.Capacity(),
-		CacheHitRate:        hitRate,
-		JobsQueued:          jobs.Queued,
-		JobsRunning:         jobs.Running,
-		JobsLive:            jobs.Live(),
-		JobsDone:            jobs.Done,
-		JobsFailed:          jobs.Failed,
-		JobsCancelled:       jobs.Cancelled,
+		GenerateNSTotal:       genNanos,
+		GeneratesTotal:        genCount,
+		GenerateFamilyNSTotal: famNanos,
+		GeneratesFamilyTotal:  famCount,
+		UptimeSeconds:         time.Since(s.started).Seconds(),
+		RequestsTotal:         s.stats.requests.Load(),
+		ErrorsTotal:           s.stats.errors.Load(),
+		GraphsStored:          s.store.Len(),
+		GraphsCreatedTotal:    s.stats.graphsCreated.Load(),
+		MatchRequestsTotal:    s.stats.matchRequests.Load(),
+		MatchingsRunTotal:     s.stats.matchingsRun.Load(),
+		SweepsCreatedTotal:    s.stats.sweepsCreated.Load(),
+		CacheHitsTotal:        hits,
+		CacheMissesTotal:      misses,
+		CacheEvictionsTotal:   evictions,
+		CacheSize:             s.cache.Len(),
+		CacheCapacity:         s.cache.Capacity(),
+		CacheHitRate:          hitRate,
+		JobsQueued:            jobs.Queued,
+		JobsRunning:           jobs.Running,
+		JobsLive:              jobs.Live(),
+		JobsDone:              jobs.Done,
+		JobsFailed:            jobs.Failed,
+		JobsCancelled:         jobs.Cancelled,
 	})
 }
 
@@ -177,12 +187,19 @@ type generateRequest struct {
 	// 0 means 0.02 (the erbench default).
 	Scale float64 `json:"scale"`
 	// Measure is the string similarity measure; "" means "Jaccard".
+	// Mutually exclusive with Family.
 	Measure string `json:"measure"`
+	// Family, when set (one of "SB-SYN", "SA-SYN", "SB-SEM", "SA-SEM"),
+	// generates the ENTIRE weight family of the paper's taxonomy via
+	// the similarity-graph corpus kernels and stores every graph under
+	// "<name>/<function>". The response lists all stored graphs.
+	Family string `json:"family"`
 	// Attrs are the attributes compared (schema-based similarity);
 	// empty means the dataset's key attributes.
 	Attrs []string `json:"attrs"`
 	// MinSim drops edges with similarity <= MinSim before min-max
-	// normalization; 0 keeps every positive-similarity pair.
+	// normalization; 0 keeps every positive-similarity pair. Ignored in
+	// family mode (the corpus kernels keep every positive pair).
 	MinSim float64 `json:"min_sim"`
 }
 
@@ -196,13 +213,19 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad generate request: %v", err)
 			return
 		}
+		if req.Family != "" {
+			s.handleFamilyGenerate(w, req)
+			return
+		}
 		start := time.Now()
 		e, err := generateGraph(req, s.cfg.MaxGraphNodes, s.cfg.Parallelism)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		s.gen.record(e.Dataset, time.Since(start))
+		// Every single-measure string similarity is a schema-based
+		// syntactic weight, the paper's SB-SYN family.
+		s.gen.record(e.Dataset, string(simgraph.SBSyn), time.Since(start))
 		entry = e
 	} else {
 		// Anything else is the graph.WriteEdgeList wire format.
@@ -221,6 +244,83 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 	s.store.Put(entry)
 	s.stats.graphsCreated.Add(1)
 	writeJSON(w, http.StatusCreated, infoOf(entry))
+}
+
+// handleFamilyGenerate is the family mode of POST /v1/graphs: one
+// synthetic task, every similarity graph of one weight family via the
+// corpus generation kernels (internal/simgraph), each stored as a
+// versioned entry with the task's ground truth attached — so the full
+// taxonomy-driven workload of the paper can be served and matched
+// without leaving the service. Generation time is recorded under the
+// family, which is where the bit-parallel kernel win shows on /metrics.
+func (s *Server) handleFamilyGenerate(w http.ResponseWriter, req generateRequest) {
+	if req.Measure != "" {
+		writeError(w, http.StatusBadRequest, "measure and family are mutually exclusive")
+		return
+	}
+	var family simgraph.Family
+	for _, f := range simgraph.Families() {
+		if string(f) == req.Family {
+			family = f
+		}
+	}
+	if family == "" {
+		writeError(w, http.StatusBadRequest, "unknown family %q; have %v", req.Family, simgraph.Families())
+		return
+	}
+	spec, err := datagen.SpecByID(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	seed := normSeed(req.Seed)
+	scale := req.Scale
+	if scale == 0 {
+		scale = 0.02
+	}
+	if scale < 0 {
+		writeError(w, http.StatusBadRequest, "negative scale %g", scale)
+		return
+	}
+	if n1, n2 := spec.ScaledSizes(scale); s.cfg.MaxGraphNodes > 0 && n1+n2 > s.cfg.MaxGraphNodes {
+		writeError(w, http.StatusBadRequest,
+			"scale %g yields %d entities, above the cap of %d", scale, n1+n2, s.cfg.MaxGraphNodes)
+		return
+	}
+	attrs := req.Attrs
+	if len(attrs) == 0 {
+		attrs = spec.KeyAttrs
+	}
+	base := req.Name
+	if base == "" {
+		base = spec.ID + "-" + string(family)
+	}
+
+	task := spec.Generate(seed, scale)
+	start := time.Now()
+	graphs := simgraph.Generate(task, attrs, simgraph.Options{
+		Families:          []simgraph.Family{family},
+		KeepNoMatchGraphs: true,
+		Parallelism:       s.cfg.Parallelism,
+	})
+	s.gen.record(spec.ID, string(family), time.Since(start))
+
+	infos := make([]graphInfo, 0, len(graphs))
+	for _, sg := range graphs {
+		e := s.store.Put(&GraphEntry{
+			Name:     base + "/" + sg.Name,
+			Graph:    sg.G,
+			GT:       task.GT,
+			Checksum: sg.G.Checksum(),
+			Source:   "generate",
+			Dataset:  spec.ID,
+			Seed:     seed,
+			Scale:    scale,
+		})
+		infos = append(infos, infoOf(e))
+	}
+	s.stats.graphsCreated.Add(int64(len(infos)))
+	writeJSON(w, http.StatusCreated, map[string]any{"family": string(family), "graphs": infos})
 }
 
 // generateGraph builds a stored graph entry from a generation request:

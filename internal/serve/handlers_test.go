@@ -615,3 +615,89 @@ func TestGenerateParallelChecksumIdentical(t *testing.T) {
 		t.Fatalf("checksums differ: serial %s vs parallel %s", a.Checksum, b.Checksum)
 	}
 }
+
+// Family-mode generation: POST /v1/graphs with "family" builds every
+// graph of one taxonomy family through the corpus kernels, stores each
+// versioned with ground truth, and records per-family timing.
+func TestFamilyGeneration(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	var resp struct {
+		Family string          `json:"family"`
+		Graphs []graphInfoJSON `json:"graphs"`
+	}
+	code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", map[string]any{
+		"name": "corp", "dataset": "D2", "seed": 3, "scale": 0.02, "family": "SB-SYN",
+	}, &resp)
+	if code != http.StatusCreated {
+		t.Fatalf("family generate: status %d", code)
+	}
+	if resp.Family != "SB-SYN" {
+		t.Fatalf("family = %q", resp.Family)
+	}
+	// 16 schema-based string measures per key attribute (D2 has one).
+	if len(resp.Graphs) != 16 {
+		t.Fatalf("graphs = %d, want 16", len(resp.Graphs))
+	}
+	for _, g := range resp.Graphs {
+		if !strings.HasPrefix(g.Name, "corp/") || !g.HasGroundTruth || g.Dataset != "D2" {
+			t.Fatalf("family graph info = %+v", g)
+		}
+	}
+	// Every stored graph is individually retrievable and matchable.
+	var info graphInfoJSON
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/graphs/"+resp.Graphs[0].Name, nil, &info); code != http.StatusOK {
+		t.Fatalf("get family graph: status %d", code)
+	}
+	var mresp matchRespJSON
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/match", map[string]any{
+		"graph": resp.Graphs[0].Name, "algorithms": []string{"UMC"},
+	}, &mresp); code != http.StatusOK {
+		t.Fatalf("match family graph: status %d", code)
+	}
+
+	var m struct {
+		GenerateFamilyNSTotal map[string]int64 `json:"generate_family_ns_total"`
+		GeneratesFamilyTotal  map[string]int64 `json:"generates_family_total"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m)
+	if m.GeneratesFamilyTotal["SB-SYN"] != 1 {
+		t.Fatalf("generates_family_total[SB-SYN] = %d, want 1", m.GeneratesFamilyTotal["SB-SYN"])
+	}
+	if m.GenerateFamilyNSTotal["SB-SYN"] <= 0 {
+		t.Fatalf("generate_family_ns_total[SB-SYN] = %d, want > 0", m.GenerateFamilyNSTotal["SB-SYN"])
+	}
+}
+
+func TestFamilyGenerationErrors(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", map[string]any{
+		"dataset": "D2", "family": "NOPE",
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown family: status %d, want 400", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", map[string]any{
+		"dataset": "D2", "family": "SB-SYN", "measure": "Jaccard",
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("family+measure: status %d, want 400", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", map[string]any{
+		"dataset": "D99", "family": "SB-SYN",
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown dataset: status %d, want 400", code)
+	}
+}
+
+// Single-measure generation is an SB-SYN workload; its timing must land
+// in the family split alongside the dataset split.
+func TestSingleMeasureFamilyMetrics(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	generateD2(t, ts.URL, "one")
+	var m struct {
+		GenerateFamilyNSTotal map[string]int64 `json:"generate_family_ns_total"`
+		GeneratesFamilyTotal  map[string]int64 `json:"generates_family_total"`
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &m)
+	if m.GeneratesFamilyTotal["SB-SYN"] != 1 {
+		t.Fatalf("generates_family_total[SB-SYN] = %d, want 1", m.GeneratesFamilyTotal["SB-SYN"])
+	}
+}

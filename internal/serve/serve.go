@@ -87,40 +87,47 @@ type counters struct {
 	sweepsCreated atomic.Int64
 }
 
-// genStats accumulates similarity-graph generation timing per dataset,
-// so the corpus-build fast path's effect is observable on /metrics of a
-// resident service.
+// genStats accumulates similarity-graph generation timing per dataset
+// AND per weight family (SB-SYN / SA-SYN / SB-SEM / SA-SEM), so the
+// corpus-build fast path's effect — and specifically the character-
+// kernel work inside SB-SYN — is observable on /metrics of a resident
+// service.
 type genStats struct {
-	mu    sync.Mutex
-	nanos map[string]int64
-	count map[string]int64
+	mu       sync.Mutex
+	nanos    map[string]int64
+	count    map[string]int64
+	famNanos map[string]int64
+	famCount map[string]int64
 }
 
-func (s *genStats) record(dataset string, d time.Duration) {
+func (s *genStats) record(dataset, family string, d time.Duration) {
 	s.mu.Lock()
 	if s.nanos == nil {
 		s.nanos = map[string]int64{}
 		s.count = map[string]int64{}
+		s.famNanos = map[string]int64{}
+		s.famCount = map[string]int64{}
 	}
 	s.nanos[dataset] += int64(d)
 	s.count[dataset]++
+	s.famNanos[family] += int64(d)
+	s.famCount[family]++
 	s.mu.Unlock()
 }
 
-// snapshot returns copies of the per-dataset cumulative nanoseconds and
-// build counts.
-func (s *genStats) snapshot() (nanos, count map[string]int64) {
+// snapshot returns copies of the cumulative nanoseconds and build
+// counts, keyed by dataset and by family.
+func (s *genStats) snapshot() (nanos, count, famNanos, famCount map[string]int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	nanos = make(map[string]int64, len(s.nanos))
-	count = make(map[string]int64, len(s.count))
-	for k, v := range s.nanos {
-		nanos[k] = v
+	copyMap := func(m map[string]int64) map[string]int64 {
+		out := make(map[string]int64, len(m))
+		for k, v := range m {
+			out[k] = v
+		}
+		return out
 	}
-	for k, v := range s.count {
-		count[k] = v
-	}
-	return nanos, count
+	return copyMap(s.nanos), copyMap(s.count), copyMap(s.famNanos), copyMap(s.famCount)
 }
 
 // Server is the resident ER matching service: a graph store, a result

@@ -223,9 +223,13 @@ func hasMatchEdge(g *graph.Bipartite, gt *dataset.GroundTruth) bool {
 }
 
 // schemaBasedSyntactic applies the 16 string measures to each key
-// attribute: character measures over precomputed rune slices and q-gram
-// profiles, token measures as one merge join per pair over precomputed
-// token profiles, rows fanned over the worker pool.
+// attribute as row kernels: for each left entity, the bit-parallel
+// pattern state (strsim.CharProfile: PEQ bitmask tables + suffix
+// automaton) is built once and all n2 right rune slices stream through
+// it, amortizing kernel setup across the row the same way TokenSims
+// amortizes token profiles; Jaro and Needleman-Wunsch stay scalar over
+// per-worker integer scratch, q-grams and token measures remain merge
+// joins over precomputed profiles. Rows fan over the worker pool.
 func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string, workers int) []SimGraph {
 	numChar := len(charMeasureNames)
 	numMeasures := numChar + len(tokenMeasureNames)
@@ -239,43 +243,50 @@ func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string, workers int) []
 		prof2 := strsim.ProfileAll(tokenizeAll(texts2))
 		qp1 := qgramProfiles(texts1)
 		qp2 := qgramProfiles(texts2)
-		runes1 := strsim.RunesAll(texts1)
+		cps1 := strsim.CharProfileAll(texts1)
 		runes2 := strsim.RunesAll(texts2)
-
-		// Character measures as (i, j) kernels over the precomputed
-		// representations, in charMeasureNames order.
-		seq := func(f func(a, b []rune) float64) func(i, j int) float64 {
-			return func(i, j int) float64 { return f(runes1[i], runes2[j]) }
-		}
-		charFns := []func(i, j int) float64{
-			seq(strsim.LevenshteinSeq),
-			seq(strsim.DamerauLevenshteinSeq),
-			seq(strsim.JaroSeq),
-			seq(strsim.NeedlemanWunschSeq),
-			func(i, j int) float64 { return qp1[i].Distance(qp2[j]) },
-			seq(strsim.LongestCommonSubstringSeq),
-			seq(strsim.LongestCommonSubsequenceSeq),
-		}
 
 		rows := make([][]rowEdge, n1)
 		rowBufs := make([][]rowEdge, workers)
 		swCaches := make([]*strsim.SWCache, workers)
+		charScr := make([]*strsim.CharScratch, workers)
 		for w := range swCaches {
 			swCaches[w] = strsim.NewSWCache()
+			charScr[w] = strsim.NewCharScratch()
 		}
 		par.For(n1, workers, nil, func(w, i int) {
 			if texts1[i] == "" {
 				return
 			}
+			cp, scr := cps1[i], charScr[w]
+			ra := cp.Runes()
 			row := rowBufs[w][:0]
+			// Measure indexes follow charMeasureNames order.
 			for j := 0; j < n2; j++ {
 				if texts2[j] == "" {
 					continue
 				}
-				for k := range charFns {
-					if sim := charFns[k](i, j); sim > 0 {
-						row = append(row, rowEdge{int32(k), int32(j), sim})
-					}
+				rb := runes2[j]
+				if sim := cp.Levenshtein(rb, scr); sim > 0 {
+					row = append(row, rowEdge{0, int32(j), sim})
+				}
+				if sim := cp.DamerauLevenshtein(rb, scr); sim > 0 {
+					row = append(row, rowEdge{1, int32(j), sim})
+				}
+				if sim := strsim.JaroSeqScratch(ra, rb, scr); sim > 0 {
+					row = append(row, rowEdge{2, int32(j), sim})
+				}
+				if sim := strsim.NeedlemanWunschSeqScratch(ra, rb, scr); sim > 0 {
+					row = append(row, rowEdge{3, int32(j), sim})
+				}
+				if sim := qp1[i].Distance(qp2[j]); sim > 0 {
+					row = append(row, rowEdge{4, int32(j), sim})
+				}
+				if sim := cp.LongestCommonSubstring(rb); sim > 0 {
+					row = append(row, rowEdge{5, int32(j), sim})
+				}
+				if sim := cp.LongestCommonSubsequence(rb, scr); sim > 0 {
+					row = append(row, rowEdge{6, int32(j), sim})
 				}
 				sims := strsim.TokenSims(prof1[i], prof2[j], swCaches[w])
 				for k, sim := range sims {
@@ -508,13 +519,25 @@ func semanticGraphs(ds string, family Family, prefix string, model embed.Model, 
 	ev1 := semanticVecs(model, texts1, opts.maxWMDTokens())
 	ev2 := semanticVecs(model, texts2, opts.maxWMDTokens())
 
+	maxTok2 := 0
+	for _, vecs := range ev2.tv {
+		if len(vecs) > maxTok2 {
+			maxTok2 = len(vecs)
+		}
+	}
 	rows := make([][]rowEdge, n1)
 	rowBufs := make([][]rowEdge, workers)
+	colBests := make([][]float64, workers)
+	for w := range colBests {
+		colBests[w] = make([]float64, maxTok2)
+	}
 	par.For(n1, workers, nil, func(w, i int) {
 		if texts1[i] == "" {
 			return
 		}
 		row := rowBufs[w][:0]
+		colBest := colBests[w]
+		va, wa := ev1.tv[i], ev1.tw[i]
 		for j := 0; j < n2; j++ {
 			if texts2[j] == "" {
 				continue
@@ -527,7 +550,7 @@ func semanticGraphs(ds string, family Family, prefix string, model embed.Model, 
 			if euc > 0 {
 				row = append(row, rowEdge{1, int32(j), euc})
 			}
-			if sim := relaxedWMS(ev1.tv[i], ev1.tw[i], ev2.tv[j], ev2.tw[j]); sim > 0 {
+			if sim := relaxedWMSFused(va, wa, ev2.tv[j], ev2.tw[j], colBest); sim > 0 {
 				row = append(row, rowEdge{2, int32(j), sim})
 			}
 		}
@@ -561,6 +584,56 @@ func relaxedWMS(va [][]float64, wa []float64, vb [][]float64, wb []float64) floa
 		d = d2
 	}
 	return 1 / (1 + d)
+}
+
+// relaxedWMSFused is relaxedWMS computing both directional transport
+// costs from ONE pass over the |va|×|vb| token distance matrix instead
+// of two: iterating (v, u) with u inner tracks each v's row minimum in
+// directional's exact comparison order, and updates each u's column
+// minimum at ascending v — also directional's scan order for the
+// reverse direction, whose distances (u[k]-v[k])² are the bit-exact
+// squares of the negated differences computed here. Halves the
+// quadratic inner work per pair with bit-identical results.
+//
+// colBest is caller scratch of at least len(vb) floats.
+func relaxedWMSFused(va [][]float64, wa []float64, vb [][]float64, wb []float64, colBest []float64) float64 {
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	colBest = colBest[:len(vb)]
+	for t := range colBest {
+		colBest[t] = -1
+	}
+	d1 := 0.0
+	for ti, v := range va {
+		rowBest := -1.0
+		for tj, u := range vb {
+			s := 0.0
+			for k := range v {
+				dd := v[k] - u[k]
+				s += dd * dd
+			}
+			if rowBest < 0 || s < rowBest {
+				rowBest = s
+			}
+			if cb := colBest[tj]; cb < 0 || s < cb {
+				colBest[tj] = s
+			}
+		}
+		if rowBest > 0 {
+			d1 += wa[ti] * math.Sqrt(rowBest)
+		}
+	}
+	d2 := 0.0
+	for tj := range colBest {
+		if cb := colBest[tj]; cb > 0 {
+			d2 += wb[tj] * math.Sqrt(cb)
+		}
+	}
+	if d2 > d1 {
+		d1 = d2
+	}
+	return 1 / (1 + d1)
 }
 
 func directional(from [][]float64, w []float64, to [][]float64) float64 {

@@ -304,3 +304,161 @@ func RunesAll(texts []string) [][]rune {
 	}
 	return out
 }
+
+// The scratch-fed variants below are the row-kernel forms of the
+// measures that stay scalar: same cell-for-cell recurrences, but DP rows
+// above the stack size come from a per-worker CharScratch instead of a
+// fresh allocation, and the alignment scores accumulate in integers.
+// Every Needleman-Wunsch and Smith-Waterman cell is an integer multiple
+// of the score unit (1 for NW; ½ for SW, so cells are scaled by 2), all
+// exactly representable, so integer max/clamp decisions and the final
+// rescaled similarity are bit-identical to the float DPs above.
+
+// JaroSeqScratch is JaroSeq with the match flags drawn from scratch when
+// the strings exceed the stack buffers. scratch may be nil.
+func JaroSeqScratch(ra, rb []rune, scratch *CharScratch) float64 {
+	if len(ra) <= stackRows && len(rb) <= stackRows || scratch == nil {
+		return JaroSeq(ra, rb)
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return JaroSeq(ra, rb)
+	}
+	window := max2(len(ra), len(rb))/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := scratch.flag(0, len(ra))
+	matchB := scratch.flag(1, len(rb))
+	matches := 0
+	for i := range ra {
+		lo := max2(0, i-window)
+		hi := min2(len(rb)-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if !matchB[j] && ra[i] == rb[j] {
+				matchA[i], matchB[j] = true, true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := range ra {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-t)/m) / 3
+}
+
+// NeedlemanWunschSeqScratch is NeedlemanWunschSeq over integer rows
+// (match 0, mismatch -1, gap -2 are all integral) from scratch.
+func NeedlemanWunschSeqScratch(ra, rb []rune, scratch *CharScratch) float64 {
+	maxLen := max2(len(ra), len(rb))
+	if maxLen == 0 {
+		return 1
+	}
+	score := nwScoreInt(ra, rb, scratch)
+	return 1 + float64(score)/(-nwGap*float64(maxLen))
+}
+
+func nwScoreInt(ra, rb []rune, scratch *CharScratch) int {
+	var b1, b2 [stackRows + 1]int
+	var prev, cur []int
+	switch {
+	case len(rb) <= stackRows:
+		prev, cur = b1[:len(rb)+1], b2[:len(rb)+1]
+	case scratch != nil:
+		prev, cur = scratch.row(0, len(rb)+1), scratch.row(1, len(rb)+1)
+	default:
+		prev, cur = make([]int, len(rb)+1), make([]int, len(rb)+1)
+	}
+	const gap, mismatch, match = -2, -1, 0
+	prev[0] = 0
+	for j := 1; j <= len(rb); j++ {
+		prev[j] = j * gap
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i * gap
+		for j := 1; j <= len(rb); j++ {
+			sub := mismatch
+			if ra[i-1] == rb[j-1] {
+				sub = match
+			}
+			best := prev[j-1] + sub
+			if v := prev[j] + gap; v > best {
+				best = v
+			}
+			if v := cur[j-1] + gap; v > best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// SmithWatermanSeqScratch is SmithWatermanSeq over integer rows: cells
+// are scaled by 2 so the gap penalty -0.5 becomes -1, and the best local
+// score is halved back exactly at the end.
+func SmithWatermanSeqScratch(ra, rb []rune, scratch *CharScratch) float64 {
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	var b1, b2 [stackRows + 1]int
+	var prev, cur []int
+	switch {
+	case len(rb) <= stackRows:
+		prev, cur = b1[:len(rb)+1], b2[:len(rb)+1]
+	case scratch != nil:
+		prev, cur = scratch.row(0, len(rb)+1), scratch.row(1, len(rb)+1)
+	default:
+		prev, cur = make([]int, len(rb)+1), make([]int, len(rb)+1)
+	}
+	const gap2, mismatch2, match2 = -1, -4, 2 // 2×(swGap, swMismatch, swMatch)
+	for j := range prev {
+		prev[j] = 0
+	}
+	best := 0
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = 0
+		for j := 1; j <= len(rb); j++ {
+			sub := mismatch2
+			if ra[i-1] == rb[j-1] {
+				sub = match2
+			}
+			v := prev[j-1] + sub
+			if w := prev[j] + gap2; w > v {
+				v = w
+			}
+			if w := cur[j-1] + gap2; w > v {
+				v = w
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return float64(best) / 2 / float64(min2(len(ra), len(rb))) / swMatch
+}

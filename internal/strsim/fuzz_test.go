@@ -61,6 +61,61 @@ func FuzzLevenshteinMetric(f *testing.F) {
 	})
 }
 
+// clipLong keeps fuzz inputs valid UTF-8 but allows them well past the
+// 64-rune machine-word boundary, so the multi-word bit-parallel kernels
+// and the Damerau scalar fallback are fuzzed too (quadratic cost is
+// bounded by the 256-byte cap).
+func clipLong(s string) string {
+	s = strings.ToValidUTF8(s, "")
+	if len(s) > 256 {
+		s = s[:256]
+		s = strings.ToValidUTF8(s, "")
+	}
+	return s
+}
+
+// FuzzBitparVsScalar pins every bit-parallel / automaton / scratch
+// kernel against the retained scalar DP references on arbitrary unicode
+// input, including empty strings and patterns crossing the 64-rune
+// word boundary.
+func FuzzBitparVsScalar(f *testing.F) {
+	f.Add("golden dragon", "golden dragon bistro")
+	f.Add("", "")
+	f.Add("", "x")
+	f.Add("ab", "ba")
+	f.Add("café au lait", "cafe du monde")
+	f.Add(strings.Repeat("abcdefg", 12), strings.Repeat("abcdfeg", 12)) // > 64 runes both sides
+	f.Add(strings.Repeat("日本語", 30), "日本")
+	f.Add("\xff\xfe", "ok")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		a, b = clipLong(a), clipLong(b)
+		ra, rb := []rune(a), []rune(b)
+		p := NewCharProfile(a)
+		scratch := NewCharScratch()
+		if got, want := p.LevenshteinDistance(rb, scratch), LevenshteinDistanceSeq(ra, rb); got != want {
+			t.Fatalf("LevenshteinDistance(%q,%q) = %d, scalar %d", a, b, got, want)
+		}
+		if got, want := p.DamerauLevenshteinDistance(rb, scratch), DamerauLevenshteinDistanceSeq(ra, rb); got != want {
+			t.Fatalf("DamerauLevenshteinDistance(%q,%q) = %d, scalar %d", a, b, got, want)
+		}
+		if got, want := p.LongestCommonSubsequence(rb, scratch), LongestCommonSubsequenceSeq(ra, rb); got != want {
+			t.Fatalf("LongestCommonSubsequence(%q,%q) = %v, scalar %v", a, b, got, want)
+		}
+		if got, want := p.LongestCommonSubstring(rb), LongestCommonSubstringSeq(ra, rb); got != want {
+			t.Fatalf("LongestCommonSubstring(%q,%q) = %v, scalar %v", a, b, got, want)
+		}
+		if got, want := JaroSeqScratch(ra, rb, scratch), JaroSeq(ra, rb); got != want {
+			t.Fatalf("JaroSeqScratch(%q,%q) = %v, scalar %v", a, b, got, want)
+		}
+		if got, want := NeedlemanWunschSeqScratch(ra, rb, scratch), NeedlemanWunschSeq(ra, rb); got != want {
+			t.Fatalf("NeedlemanWunschSeqScratch(%q,%q) = %v, scalar %v", a, b, got, want)
+		}
+		if got, want := SmithWatermanSeqScratch(ra, rb, scratch), SmithWatermanSeq(ra, rb); got != want {
+			t.Fatalf("SmithWatermanSeqScratch(%q,%q) = %v, scalar %v", a, b, got, want)
+		}
+	})
+}
+
 func FuzzTokenize(f *testing.F) {
 	f.Add("Hello, World! 42")
 	f.Add("\x00\xff mixed\tbytes")

@@ -267,11 +267,14 @@ func (a *TokenProfile) OverlapCoefficient(b *TokenProfile) float64 {
 // A nil *SWCache is valid and disables memoization. Not safe for
 // concurrent use; give each worker its own cache.
 type SWCache struct {
-	m map[[2]string]float64
+	m       map[[2]string]float64
+	scratch *CharScratch
 }
 
 // NewSWCache returns an empty Smith-Waterman memo table.
-func NewSWCache() *SWCache { return &SWCache{m: make(map[[2]string]float64)} }
+func NewSWCache() *SWCache {
+	return &SWCache{m: make(map[[2]string]float64), scratch: NewCharScratch()}
+}
 
 func (c *SWCache) sim(a, b string) float64 {
 	if c == nil {
@@ -281,7 +284,10 @@ func (c *SWCache) sim(a, b string) float64 {
 	if s, ok := c.m[k]; ok {
 		return s
 	}
-	s := SmithWaterman(a, b)
+	// The integer-scaled scratch kernel is bit-identical to
+	// SmithWaterman (pinned by the fuzz suite), so memoized and
+	// uncached calls cannot drift.
+	s := SmithWatermanSeqScratch([]rune(a), []rune(b), c.scratch)
 	c.m[k] = s
 	return s
 }

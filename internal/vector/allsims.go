@@ -1,7 +1,5 @@
 package vector
 
-import "math"
-
 // CacheTFIDF returns the memoized TF-IDF vectors of both collections,
 // building them on first use. Kept for callers that want the raw
 // vectors; AllSims reads the cache internally. The returned slices
@@ -41,17 +39,30 @@ func (s *Space) AllSims(i, j int) [6]float64 {
 			maxIDF += wb.Ws[jj]
 			jj++
 		default:
-			id := a.IDs[ii]
+			// Branchy min/max instead of math.Min/Max: the weights are
+			// finite, and even in the ±0 corner the chosen operand sums
+			// to the identical accumulator value, so the measures stay
+			// bit-identical while skipping the calls.
 			inter++
-			dotTF += a.Ws[ii] * b.Ws[jj]
-			dotIDF += wa.Ws[ii] * wb.Ws[jj]
-			minTF += math.Min(a.Ws[ii], b.Ws[jj])
-			maxTF += math.Max(a.Ws[ii], b.Ws[jj])
-			minIDF += math.Min(wa.Ws[ii], wb.Ws[jj])
-			maxIDF += math.Max(wa.Ws[ii], wb.Ws[jj])
-			df1 := math.Max(2, float64(s.df1[id]))
-			df2 := math.Max(2, float64(s.df2[id]))
-			arcs += math.Ln2 / math.Log(df1*df2)
+			x, y := a.Ws[ii], b.Ws[jj]
+			dotTF += x * y
+			if x < y {
+				minTF += x
+				maxTF += y
+			} else {
+				minTF += y
+				maxTF += x
+			}
+			x, y = wa.Ws[ii], wb.Ws[jj]
+			dotIDF += x * y
+			if x < y {
+				minIDF += x
+				maxIDF += y
+			} else {
+				minIDF += y
+				maxIDF += x
+			}
+			arcs += s.arcsW[a.IDs[ii]]
 			ii++
 			jj++
 		}

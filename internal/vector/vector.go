@@ -210,6 +210,7 @@ type Space struct {
 	tfidf1, tfidf2   []Vec
 	tfNorm1, tfNorm2 []float64 // L2 norms of the TF vectors
 	wNorm1, wNorm2   []float64 // L2 norms of the TF-IDF vectors
+	arcsW            []float64 // per-gram ARCS contribution ln2/log(df1·df2)
 
 	// Memoized inverted index over collection 1 (CSR postings), used by
 	// candidate enumeration.
@@ -335,6 +336,15 @@ func (s *Space) ensureCache() {
 			s.tfNorm2[j] = d.Norm()
 			s.wNorm2[j] = s.tfidf2[j].Norm()
 		}
+		// The ARCS contribution of a shared gram depends only on its two
+		// document frequencies; tabulating it once replaces a math.Log
+		// per shared gram per pair with a load of the identical float.
+		s.arcsW = make([]float64, len(s.vocab))
+		for id := range s.arcsW {
+			df1 := math.Max(2, float64(s.df1[id]))
+			df2 := math.Max(2, float64(s.df2[id]))
+			s.arcsW[id] = math.Ln2 / math.Log(df1*df2)
+		}
 	})
 }
 
@@ -349,6 +359,7 @@ func (s *Space) ARCS(i, j int) float64 {
 	if a.Len() == 0 || b.Len() == 0 {
 		return 0
 	}
+	s.ensureCache()
 	ii, jj, sum := 0, 0, 0.0
 	for ii < len(a.IDs) && jj < len(b.IDs) {
 		switch {
@@ -357,10 +368,7 @@ func (s *Space) ARCS(i, j int) float64 {
 		case a.IDs[ii] > b.IDs[jj]:
 			jj++
 		default:
-			id := a.IDs[ii]
-			df1 := math.Max(2, float64(s.df1[id]))
-			df2 := math.Max(2, float64(s.df2[id]))
-			sum += math.Ln2 / math.Log(df1*df2)
+			sum += s.arcsW[a.IDs[ii]]
 			ii++
 			jj++
 		}
