@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ergen [-seed N] [-scale F] [-out FILE] [-cpuprofile FILE] <dataset-id>
+//	ergen [-seed N] [-scale F] [-out FILE] [-cpuprofile FILE] [-stats] <dataset-id>
 //
 // Example:
 //
@@ -13,6 +13,12 @@
 // counterpart of erserve's -pprof for one-shot runs), so kernel work on
 // the data-generation path can be profiled without standing up the
 // service.
+//
+// -stats additionally runs the similarity-graph generation kernels over
+// the task and prints, per weight family, the candidate-filter counters:
+// kernel blocks visited vs. provably skipped by the lossless zero-score
+// filters, and the resulting skip ratio (to stderr; the dataset JSON is
+// unaffected).
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"runtime/pprof"
 
 	"github.com/ccer-go/ccer/internal/datagen"
+	"github.com/ccer-go/ccer/internal/simgraph"
 )
 
 func main() {
@@ -36,6 +43,7 @@ func run() error {
 	scale := flag.Float64("scale", 0.05, "scale vs. the paper's Table 2 sizes")
 	out := flag.String("out", "", "output file (default stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of generation to this file")
+	stats := flag.Bool("stats", false, "run similarity-graph generation and print per-family pairs visited vs. skipped")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		ids := make([]string, 0, 10)
@@ -75,5 +83,18 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "ergen: %s |V1|=%d |V2|=%d matches=%d (key attrs: %v)\n",
 		spec.ID, task.V1.Len(), task.V2.Len(), task.GT.Len(), spec.KeyAttrs)
+
+	if *stats {
+		_, gs := simgraph.GenerateStats(task, spec.KeyAttrs, simgraph.Options{})
+		fmt.Fprintf(os.Stderr, "ergen: candidate-filter stats (lossless zero-score pruning):\n")
+		for _, f := range simgraph.Families() {
+			fs := gs.Of(f)
+			fmt.Fprintf(os.Stderr, "ergen:   %-6s visited=%-10d skipped=%-10d skip-ratio=%.3f\n",
+				f, fs.Visited, fs.Skipped, fs.SkipRatio())
+		}
+		total := gs.Total()
+		fmt.Fprintf(os.Stderr, "ergen:   total  visited=%-10d skipped=%-10d skip-ratio=%.3f\n",
+			total.Visited, total.Skipped, total.SkipRatio())
+	}
 	return nil
 }

@@ -66,6 +66,7 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "workers inside one match batch or sweep grid (0 = all CPUs)")
 	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	repcache := flag.Int("repcache", 2, "cross-build representation cache size in resident datasets (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -73,14 +74,15 @@ func run() error {
 	}
 
 	srv := serve.New(serve.Config{
-		CacheSize:     *cache,
-		JobWorkers:    *jobWorkers,
-		JobQueueDepth: *queueDepth,
-		JobHistory:    *jobHistory,
-		MaxGraphNodes: *maxNodes,
-		Parallelism:   *parallel,
-		MaxBodyBytes:  *maxBody,
-		EnablePprof:   *pprofOn,
+		CacheSize:        *cache,
+		JobWorkers:       *jobWorkers,
+		JobQueueDepth:    *queueDepth,
+		JobHistory:       *jobHistory,
+		MaxGraphNodes:    *maxNodes,
+		Parallelism:      *parallel,
+		MaxBodyBytes:     *maxBody,
+		EnablePprof:      *pprofOn,
+		RepCacheDatasets: *repcache,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

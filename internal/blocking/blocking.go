@@ -25,9 +25,10 @@ type Block struct {
 	V2  []int32
 }
 
-// Comparisons returns the number of cross-pairs the block generates.
+// Comparisons returns the number of cross-pairs the block generates,
+// saturating at MaxInt64 for pathological blocks instead of overflowing.
 func (b Block) Comparisons() int64 {
-	return int64(len(b.V1)) * int64(len(b.V2))
+	return mulSat64(int64(len(b.V1)), int64(len(b.V2)))
 }
 
 // TokenBlocking builds one block per token appearing in any attribute
@@ -55,9 +56,20 @@ func keyBlocks(c1, c2 *dataset.Collection, keys func(dataset.Profile) []string) 
 	}
 	index := map[string]*sides{}
 	add := func(c *dataset.Collection, side int) {
+		var seen map[string]bool
 		for i, p := range c.Profiles {
-			seen := map[string]bool{}
-			for _, k := range keys(p) {
+			ks := keys(p)
+			if len(ks) == 0 {
+				// Profiles whose attributes are all empty produce no
+				// blocking keys at all — in particular no ""-keyed block
+				// that would pair every key-less entity with every other.
+				continue
+			}
+			clear(seen)
+			if seen == nil {
+				seen = make(map[string]bool, len(ks))
+			}
+			for _, k := range ks {
 				if k == "" || seen[k] {
 					continue
 				}

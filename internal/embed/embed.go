@@ -54,12 +54,25 @@ type Model interface {
 // configurations (dimension or bias), since the key does not encode
 // them.
 type VecCache struct {
-	mu sync.RWMutex
-	m  map[string][]float64
+	mu  sync.RWMutex
+	m   map[string][]float64
+	max int // 0 = unbounded (per-build scope); > 0 evicts at the bound
 }
 
-// NewVecCache returns an empty vector cache.
+// NewVecCache returns an empty, unbounded vector cache — the right
+// shape for caches scoped to one corpus build.
 func NewVecCache() *VecCache { return &VecCache{m: make(map[string][]float64)} }
+
+// NewBoundedVecCache returns a cache that evicts (arbitrary) entries
+// once it holds max vectors, for caches that persist for a process
+// lifetime (embed.RepCache): the values are pure functions of their
+// keys, so eviction never changes results, only recompute cost.
+func NewBoundedVecCache(max int) *VecCache {
+	if max < 1 {
+		max = 1
+	}
+	return &VecCache{m: make(map[string][]float64, max), max: max}
+}
 
 // get returns the cached vector for key, or nil.
 func (c *VecCache) get(key string) []float64 {
@@ -78,6 +91,14 @@ func (c *VecCache) put(key string, v []float64) []float64 {
 		return v
 	}
 	c.mu.Lock()
+	if c.max > 0 && len(c.m) >= c.max {
+		for k := range c.m {
+			delete(c.m, k)
+			if len(c.m) < c.max {
+				break
+			}
+		}
+	}
 	c.m[key] = v
 	c.mu.Unlock()
 	return v
@@ -131,6 +152,14 @@ type FastTextLike struct {
 	// Cache, when non-nil, memoizes per-token vectors across texts (the
 	// same token hashes to the same vector regardless of context).
 	Cache *VecCache
+	// GramCache, when non-nil, memoizes the hashed character n-gram
+	// vectors that token vectors sum: distinct tokens share most of
+	// their 3..5-gram windows, so interning the per-gram vectors removes
+	// the bulk of the hashing on a token-vector MISS. Values are
+	// bit-identical with or without it (each gram still hashes through
+	// hashVec exactly once). Must not be shared with the token Cache
+	// (an interior gram can equal a whole token).
+	GramCache *VecCache
 }
 
 // Name implements Model.
@@ -144,6 +173,19 @@ func (m FastTextLike) Dim() int {
 	return m.Dimension
 }
 
+func (m FastTextLike) gramVec(gram string, buf []float64) []float64 {
+	if m.GramCache == nil {
+		hashVec(gram, buf)
+		return buf
+	}
+	if v := m.GramCache.get(gram); v != nil {
+		return v
+	}
+	v := make([]float64, len(buf))
+	hashVec(gram, v)
+	return m.GramCache.put(gram, v)
+}
+
 func (m FastTextLike) tokenVec(token string, buf []float64) []float64 {
 	if v := m.Cache.get(token); v != nil {
 		return v
@@ -154,8 +196,7 @@ func (m FastTextLike) tokenVec(token string, buf []float64) []float64 {
 	count := 0
 	for n := 3; n <= 5; n++ {
 		for i := 0; i+n <= len(r); i++ {
-			hashVec(string(r[i:i+n]), buf)
-			addScaled(v, buf, 1)
+			addScaled(v, m.gramVec(string(r[i:i+n]), buf), 1)
 			count++
 		}
 	}
@@ -167,7 +208,13 @@ func (m FastTextLike) tokenVec(token string, buf []float64) []float64 {
 
 // TokenVectors implements Model.
 func (m FastTextLike) TokenVectors(text string) ([][]float64, []float64) {
-	tokens := strsim.Tokenize(text)
+	return m.TokenVectorsTokens(strsim.Tokenize(text))
+}
+
+// TokenVectorsTokens is TokenVectors over a pre-tokenized text
+// (strsim.Tokenize order), the shared-tokenization fast path of
+// BuildReps.
+func (m FastTextLike) TokenVectorsTokens(tokens []string) ([][]float64, []float64) {
 	if len(tokens) == 0 {
 		return nil, nil
 	}
@@ -224,6 +271,11 @@ type ContextualLike struct {
 	// Cache, when non-nil, memoizes per-(token, context-window) vectors
 	// across texts.
 	Cache *VecCache
+	// TokenCache, when non-nil, memoizes the context-free token hash
+	// component, which every context of the same token shares. Values
+	// are bit-identical with or without it. Must not be shared with
+	// Cache (keys are raw tokens in both).
+	TokenCache *VecCache
 }
 
 // Name implements Model.
@@ -259,7 +311,11 @@ func (m ContextualLike) sharedBias() []float64 {
 
 // TokenVectors implements Model.
 func (m ContextualLike) TokenVectors(text string) ([][]float64, []float64) {
-	tokens := strsim.Tokenize(text)
+	return m.TokenVectorsTokens(strsim.Tokenize(text))
+}
+
+// TokenVectorsTokens is TokenVectors over a pre-tokenized text.
+func (m ContextualLike) TokenVectorsTokens(tokens []string) ([][]float64, []float64) {
 	if len(tokens) == 0 {
 		return nil, nil
 	}
@@ -281,8 +337,18 @@ func (m ContextualLike) TokenVectors(text string) ([][]float64, []float64) {
 			vecs[i] = v
 		} else {
 			v := make([]float64, d)
-			hashVec(t, buf)
-			addScaled(v, buf, 1)
+			if m.TokenCache != nil {
+				base := m.TokenCache.get(t)
+				if base == nil {
+					base = make([]float64, d)
+					hashVec(t, base)
+					base = m.TokenCache.put(t, base)
+				}
+				addScaled(v, base, 1)
+			} else {
+				hashVec(t, buf)
+				addScaled(v, buf, 1)
+			}
 			hashVec(ctx, buf)
 			addScaled(v, buf, 0.5) // contextual component
 			normalize(v)
@@ -342,10 +408,21 @@ func NormSq(v []float64) float64 {
 
 // CosineEuclidean returns CosineSim and EuclideanSim of a and b in one
 // pass over the dimensions, given the entities' precomputed squared
-// norms. Values are bit-identical to the standalone functions.
+// norms. Values are bit-identical to the standalone functions: the
+// unroll accumulates both sums in plain index order.
 func CosineEuclidean(a, b []float64, na, nb float64) (cos, euc float64) {
+	b = b[:len(a)]
 	dot, sq := 0.0, 0.0
-	for i := range a {
+	i := 0
+	for ; i+2 <= len(a); i += 2 {
+		dot += a[i] * b[i]
+		d0 := a[i] - b[i]
+		sq += d0 * d0
+		dot += a[i+1] * b[i+1]
+		d1 := a[i+1] - b[i+1]
+		sq += d1 * d1
+	}
+	for ; i < len(a); i++ {
 		dot += a[i] * b[i]
 		d := a[i] - b[i]
 		sq += d * d
@@ -406,15 +483,17 @@ func Models() []Model {
 	return []Model{FastTextLike{}, ContextualLike{}}
 }
 
-// CachedModels is Models with a fresh token-vector cache attached to
-// each model. Embeddings are unchanged (the models are pure); repeated
-// tokens across a collection are hashed once instead of per entity. The
-// caches live as long as the returned models, so callers should scope
-// them to one corpus build.
+// CachedModels is Models with fresh token-vector (and gram-/token-
+// component) caches attached to each model. Embeddings are unchanged
+// (the models are pure); repeated tokens across a collection are hashed
+// once instead of per entity, and distinct tokens share their hashed
+// n-gram windows. The caches live as long as the returned models, so
+// callers should scope them to one corpus build (or hold them in an
+// embed.RepCache for cross-build reuse).
 func CachedModels() []Model {
 	return []Model{
-		FastTextLike{Cache: NewVecCache()},
-		ContextualLike{Cache: NewVecCache()},
+		FastTextLike{Cache: NewVecCache(), GramCache: NewVecCache()},
+		ContextualLike{Cache: NewVecCache(), TokenCache: NewVecCache()},
 	}
 }
 

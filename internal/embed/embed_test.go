@@ -253,3 +253,97 @@ func TestCosineEuclideanFused(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildRepsMatchesPerEntityCalls pins BuildReps (with and without
+// shared tokenization, with and without a RepCache) against per-entity
+// Embed/TokenVectors.
+func TestBuildRepsMatchesPerEntityCalls(t *testing.T) {
+	texts := []string{"golden dragon bistro", "", "a", "harbor grill house", "!!!", "café 日本"}
+	const maxTokens = 2
+	for _, m := range CachedModels() {
+		want := struct {
+			emb [][]float64
+			tv  [][][]float64
+			tw  [][]float64
+		}{}
+		for _, txt := range texts {
+			want.emb = append(want.emb, m.Embed(txt))
+			v, w := m.TokenVectors(txt)
+			if len(v) > maxTokens {
+				v, w = v[:maxTokens], w[:maxTokens]
+			}
+			want.tv = append(want.tv, v)
+			want.tw = append(want.tw, w)
+		}
+		cache := NewRepCache(4)
+		for pass := 0; pass < 2; pass++ {
+			for _, reps := range []*EntityReps{
+				BuildReps(m, texts, nil, maxTokens),
+				BuildReps(m, texts, TokenizeAll(texts), maxTokens),
+				cache.Reps(m, texts, TokenizeAll(texts), maxTokens),
+			} {
+				for i := range texts {
+					if len(reps.Emb[i]) != len(want.emb[i]) {
+						t.Fatalf("%s: emb dim mismatch at %d", m.Name(), i)
+					}
+					for k := range want.emb[i] {
+						if reps.Emb[i][k] != want.emb[i][k] {
+							t.Fatalf("%s: emb[%d][%d] %v != %v", m.Name(), i, k, reps.Emb[i][k], want.emb[i][k])
+						}
+					}
+					if reps.NormSq[i] != NormSq(want.emb[i]) {
+						t.Fatalf("%s: normSq[%d]", m.Name(), i)
+					}
+					if len(reps.TV[i]) != len(want.tv[i]) || len(reps.TW[i]) != len(want.tw[i]) {
+						t.Fatalf("%s: token vec count mismatch at %d", m.Name(), i)
+					}
+					for ti := range want.tv[i] {
+						if reps.TW[i][ti] != want.tw[i][ti] {
+							t.Fatalf("%s: tw[%d][%d]", m.Name(), i, ti)
+						}
+						for k := range want.tv[i][ti] {
+							if reps.TV[i][ti][k] != want.tv[i][ti][k] {
+								t.Fatalf("%s: tv[%d][%d][%d]", m.Name(), i, ti, k)
+							}
+						}
+					}
+				}
+			}
+		}
+		hits, misses, _ := cache.Stats()
+		if misses != 1 || hits != 1 {
+			t.Fatalf("%s: cache hits/misses = %d/%d, want 1/1", m.Name(), hits, misses)
+		}
+	}
+}
+
+// TestRepCacheEviction: the cache stays within its entry bound and
+// rebuilt entries are byte-identical.
+func TestRepCacheEviction(t *testing.T) {
+	cache := NewRepCache(2)
+	m := cache.Models()[0]
+	collections := [][]string{
+		{"alpha beta"}, {"gamma delta"}, {"epsilon zeta"}, {"alpha beta"},
+	}
+	var first *EntityReps
+	for i, texts := range collections {
+		reps := cache.Reps(m, texts, nil, 6)
+		if i == 0 {
+			first = reps
+		}
+		if cache.Len() > 2 {
+			t.Fatalf("cache grew to %d entries", cache.Len())
+		}
+	}
+	// "alpha beta" was evicted and rebuilt: values identical.
+	again := cache.Reps(m, collections[0], nil, 6)
+	for k := range first.Emb[0] {
+		if first.Emb[0][k] != again.Emb[0][k] {
+			t.Fatal("rebuilt reps differ")
+		}
+	}
+	_, _, evictions := cache.Stats()
+	if evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}

@@ -1,0 +1,139 @@
+package embed
+
+import (
+	"github.com/ccer-go/ccer/internal/repcache"
+	"github.com/ccer-go/ccer/internal/strsim"
+)
+
+// EntityReps holds the per-entity semantic representations of one
+// collection under one model: the text embedding with its squared norm
+// (for the fused cosine/Euclidean kernel) and the maxTokens-truncated
+// token vectors with their weights (for the relaxed Word Mover's
+// similarity). One TokenVectors pass per entity feeds both. All slices
+// are shared and must be treated as immutable.
+type EntityReps struct {
+	Emb    [][]float64
+	NormSq []float64
+	TV     [][][]float64
+	TW     [][]float64
+}
+
+// tokenVectorizer is the pre-tokenized fast path both concrete models
+// implement: callers that already hold strsim.Tokenize(text) skip the
+// model's internal tokenization pass.
+type tokenVectorizer interface {
+	TokenVectorsTokens(tokens []string) ([][]float64, []float64)
+}
+
+// BuildReps builds the semantic representations of a collection. tokens,
+// when non-nil, must be strsim.Tokenize of each text (entries may be
+// nil for token-less texts); it lets the caller share one tokenization
+// across models. The result is identical to per-entity Model.Embed +
+// Model.TokenVectors.
+func BuildReps(m Model, texts []string, tokens [][]string, maxTokens int) *EntityReps {
+	r := &EntityReps{
+		Emb:    make([][]float64, len(texts)),
+		NormSq: make([]float64, len(texts)),
+		TV:     make([][][]float64, len(texts)),
+		TW:     make([][]float64, len(texts)),
+	}
+	tv, fast := m.(tokenVectorizer)
+	for i, t := range texts {
+		var v [][]float64
+		var w []float64
+		if tokens != nil && fast {
+			v, w = tv.TokenVectorsTokens(tokens[i])
+		} else {
+			v, w = m.TokenVectors(t)
+		}
+		r.Emb[i] = EmbedTokens(m.Dim(), v, w)
+		r.NormSq[i] = NormSq(r.Emb[i])
+		if len(v) > maxTokens {
+			v, w = v[:maxTokens], w[:maxTokens]
+		}
+		r.TV[i] = v
+		r.TW[i] = w
+	}
+	return r
+}
+
+// TokenizeAll tokenizes every text once, the shared input of BuildReps
+// across models.
+func TokenizeAll(texts []string) [][]string {
+	out := make([][]string, len(texts))
+	for i, t := range texts {
+		out[i] = strsim.Tokenize(t)
+	}
+	return out
+}
+
+// RepCache is the cross-build semantic representation cache: it owns a
+// persistent pair of token-vector-cached models (so repeated tokens hash
+// once per process, not once per build) and memoizes whole per-
+// collection EntityReps by content hash of the texts. Safe for
+// concurrent use; a resident service shares one across requests.
+type RepCache struct {
+	models []Model
+	reps   *repcache.Cache[*EntityReps]
+}
+
+// NewRepCache returns a cache bounded to maxEntries resident EntityReps
+// (maxEntries < 1 means 1). The persistent models use BOUNDED token-
+// vector caches (unlike the build-scoped CachedModels): a resident
+// service sees an unbounded stream of distinct tokens and context
+// windows, and these caches must not grow with it. The bound scales
+// with maxEntries; eviction only ever costs recompute, never changes a
+// vector.
+func NewRepCache(maxEntries int) *RepCache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	vecBound := 1 << 15 * maxEntries
+	return &RepCache{
+		models: []Model{
+			FastTextLike{Cache: NewBoundedVecCache(vecBound), GramCache: NewBoundedVecCache(vecBound)},
+			ContextualLike{Cache: NewBoundedVecCache(vecBound), TokenCache: NewBoundedVecCache(vecBound)},
+		},
+		reps: repcache.New[*EntityReps](maxEntries),
+	}
+}
+
+// Models returns the cache's persistent models, in Models() order.
+func (c *RepCache) Models() []Model {
+	if c == nil {
+		return CachedModels()
+	}
+	return c.models
+}
+
+// Reps returns the representations of the texts under the model,
+// building them on a miss. tokens follows BuildReps. The key hashes the
+// model name, maxTokens and the full text contents.
+func (c *RepCache) Reps(m Model, texts []string, tokens [][]string, maxTokens int) *EntityReps {
+	if c == nil {
+		return BuildReps(m, texts, tokens, maxTokens)
+	}
+	h := repcache.NewHasher(0x5eed ^ uint64(maxTokens)<<8 ^ uint64(m.Dim())<<32)
+	h.String(m.Name())
+	h.Strings(texts)
+	reps, _ := c.reps.GetOrBuild(h.Key(), func() *EntityReps {
+		return BuildReps(m, texts, tokens, maxTokens)
+	})
+	return reps
+}
+
+// Stats returns the reps cache's cumulative hits, misses and evictions.
+func (c *RepCache) Stats() (hits, misses, evictions int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.reps.Stats()
+}
+
+// Len returns the resident entry count.
+func (c *RepCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.reps.Len()
+}

@@ -51,6 +51,14 @@ type Config struct {
 	// Run-time measurements pick up scheduler noise under parallelism,
 	// so use 1 when timing.
 	Parallelism int
+	// DenseGeneration routes similarity-graph generation through the
+	// dense reference path (no candidate pruning); output is byte-
+	// identical — it exists for equivalence runs.
+	DenseGeneration bool
+	// RepCaches, when non-nil, lets repeated corpus builds share the
+	// cross-build representation caches (byte-identical output; the
+	// caches are pure-function memoization).
+	RepCaches *simgraph.RepCaches
 }
 
 func (c Config) scale() float64 {
@@ -126,6 +134,9 @@ type Corpus struct {
 	Tasks map[string]*dataset.Task
 	// Graphs holds the cleaned corpus with per-algorithm sweep results.
 	Graphs []GraphResult
+	// GenStats aggregates the generation candidate-filter counters
+	// (pairs visited vs. provably skipped) across all datasets.
+	GenStats simgraph.GenStats
 	// Dropped counts graphs removed by each cleaning rule.
 	DroppedNoisy, DroppedDupes int
 }
@@ -184,8 +195,17 @@ func BuildCorpusCtx(ctx context.Context, cfg Config) (*Corpus, error) {
 		task := spec.Generate(cfg.Seed, cfg.scale())
 		corpus.Specs[id] = spec
 		corpus.Tasks[id] = task
-		graphs := simgraph.Generate(task, spec.KeyAttrs,
-			simgraph.Options{Families: cfg.Families, Parallelism: cfg.Parallelism})
+		graphs, gstats := simgraph.GenerateStats(task, spec.KeyAttrs,
+			simgraph.Options{
+				Families:    cfg.Families,
+				Parallelism: cfg.Parallelism,
+				Dense:       cfg.DenseGeneration,
+				Caches:      cfg.RepCaches,
+			})
+		for _, f := range simgraph.Families() {
+			fs := gstats.Of(f)
+			corpus.GenStats.Add(f, fs.Visited, fs.Skipped)
+		}
 		for _, sg := range graphs {
 			corpus.Graphs = append(corpus.Graphs, GraphResult{
 				Graph:    sg,

@@ -18,6 +18,7 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node within one side of a bipartite graph.
@@ -109,6 +110,40 @@ func (b *Builder) MustBuild() *Bipartite {
 	return g
 }
 
+// BuildNormalized is Build followed by NormalizeMinMax, fused: the
+// min-max rescale is applied to the deduplicated edge list BEFORE the
+// graph is assembled, so the CSR adjacency and the by-weight permutation
+// are computed once instead of built, verified and rebuilt. The result
+// is bit-identical to Build().NormalizeMinMax(): the rescale maps each
+// weight through the same expression, and the by-weight comparator
+// (W descending, U, V ascending) is total, so whichever route computes
+// the permutation arrives at the same order. Like Build, it takes
+// ownership of the accumulated edges; the builder must not be reused.
+func (b *Builder) BuildNormalized() (*Bipartite, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	edges := dedupeMax(b.edges, b.n1)
+	minW, maxW := math.Inf(1), math.Inf(-1)
+	for _, e := range edges {
+		if e.W < minW {
+			minW = e.W
+		}
+		if e.W > maxW {
+			maxW = e.W
+		}
+	}
+	span := maxW - minW
+	for i := range edges {
+		w := 1.0
+		if span > 0 {
+			w = (edges[i].W - minW) / span
+		}
+		edges[i].W = w
+	}
+	return newBipartite(b.n1, b.n2, edges), nil
+}
+
 func dedupeMax(edges []Edge, n1 int) []Edge {
 	if len(edges) < 2 {
 		return edges
@@ -198,6 +233,17 @@ type Bipartite struct {
 	n1, n2 int
 	edges  []Edge
 
+	// The matching indexes — the by-weight permutation and the CSR
+	// adjacency — are built lazily on first use (indexOnce): similarity-
+	// graph generation produces hundreds of graphs whose only consumers
+	// may be checksumming, serialization or the cleaning filter, none of
+	// which need them, while the matchers that do pay the build exactly
+	// once per (immutable) graph. indexBuilt flips after the arrays are
+	// fully written, so lock-free observers (indexed) never see a
+	// half-visible index.
+	indexOnce  sync.Once
+	indexBuilt atomic.Bool
+
 	// CSR adjacency. adj1[off1[u]:off1[u+1]] are indices into edges for
 	// node u of V1, sorted by descending weight (ties broken by opposite
 	// node id, ascending, for determinism). Same for the V2 side.
@@ -227,7 +273,41 @@ type Bipartite struct {
 
 func newBipartite(n1, n2 int, edges []Edge) *Bipartite {
 	g := &Bipartite{n1: n1, n2: n2, edges: edges}
+	g.minW, g.maxW = math.Inf(1), math.Inf(-1)
+	for _, e := range edges {
+		if e.W < g.minW {
+			g.minW = e.W
+		}
+		if e.W > g.maxW {
+			g.maxW = e.W
+		}
+	}
+	if len(edges) == 0 {
+		g.minW, g.maxW = 0, 0
+	}
+	return g
+}
 
+// ensureIndex materializes the by-weight permutation and the CSR
+// adjacency, at most once per graph.
+func (g *Bipartite) ensureIndex() {
+	g.indexOnce.Do(g.buildIndex)
+}
+
+// setIndex installs prebuilt index arrays (the NormalizeMinMax reuse
+// path), consuming the once so they are never rebuilt.
+func (g *Bipartite) setIndex(off1, off2, adj1, adj2, byWeight []int32) {
+	g.indexOnce.Do(func() {
+		g.off1, g.off2 = off1, off2
+		g.adj1, g.adj2 = adj1, adj2
+		g.byWeight = byWeight
+		g.indexBuilt.Store(true)
+	})
+}
+
+func (g *Bipartite) buildIndex() {
+	edges := g.edges
+	n1, n2 := g.n1, g.n2
 	g.byWeight = make([]int32, len(edges))
 	for i := range g.byWeight {
 		g.byWeight[i] = int32(i)
@@ -282,20 +362,7 @@ func newBipartite(n1, n2 int, edges []Edge) *Bipartite {
 		g.adj2[next2[e.V]] = ei
 		next2[e.V]++
 	}
-
-	g.minW, g.maxW = math.Inf(1), math.Inf(-1)
-	for _, e := range edges {
-		if e.W < g.minW {
-			g.minW = e.W
-		}
-		if e.W > g.maxW {
-			g.maxW = e.W
-		}
-	}
-	if len(edges) == 0 {
-		g.minW, g.maxW = 0, 0
-	}
-	return g
+	g.indexBuilt.Store(true)
 }
 
 // radixMinEdges is the edge count above which the by-weight permutation
@@ -384,13 +451,18 @@ func (g *Bipartite) Edge(i int32) Edge { return g.edges[i] }
 // Edges returns the underlying edge slice. Callers must not modify it.
 func (g *Bipartite) Edges() []Edge { return g.edges }
 
-// EdgesByWeight returns edge indices in descending weight order.
-// Callers must not modify the returned slice.
-func (g *Bipartite) EdgesByWeight() []int32 { return g.byWeight }
+// EdgesByWeight returns edge indices in descending weight order,
+// building the index on first use. Callers must not modify the
+// returned slice.
+func (g *Bipartite) EdgesByWeight() []int32 {
+	g.ensureIndex()
+	return g.byWeight
+}
 
 // buildAdjCache materializes the adjacency-ordered weight and
 // opposite-node arrays.
 func (g *Bipartite) buildAdjCache() {
+	g.ensureIndex()
 	g.adjCacheOnce.Do(func() {
 		g.adjW1 = make([]float64, len(g.adj1))
 		g.adjOpp1 = make([]int32, len(g.adj1))
@@ -424,17 +496,29 @@ func (g *Bipartite) AdjList2(v NodeID) (opp []int32, ws []float64) {
 
 // Adj1 returns the edge indices incident to node u of V1 in descending
 // weight order. Callers must not modify the returned slice.
-func (g *Bipartite) Adj1(u NodeID) []int32 { return g.adj1[g.off1[u]:g.off1[u+1]] }
+func (g *Bipartite) Adj1(u NodeID) []int32 {
+	g.ensureIndex()
+	return g.adj1[g.off1[u]:g.off1[u+1]]
+}
 
 // Adj2 returns the edge indices incident to node v of V2 in descending
 // weight order. Callers must not modify the returned slice.
-func (g *Bipartite) Adj2(v NodeID) []int32 { return g.adj2[g.off2[v]:g.off2[v+1]] }
+func (g *Bipartite) Adj2(v NodeID) []int32 {
+	g.ensureIndex()
+	return g.adj2[g.off2[v]:g.off2[v+1]]
+}
 
 // Degree1 returns the degree of node u of V1.
-func (g *Bipartite) Degree1(u NodeID) int { return int(g.off1[u+1] - g.off1[u]) }
+func (g *Bipartite) Degree1(u NodeID) int {
+	g.ensureIndex()
+	return int(g.off1[u+1] - g.off1[u])
+}
 
 // Degree2 returns the degree of node v of V2.
-func (g *Bipartite) Degree2(v NodeID) int { return int(g.off2[v+1] - g.off2[v]) }
+func (g *Bipartite) Degree2(v NodeID) int {
+	g.ensureIndex()
+	return int(g.off2[v+1] - g.off2[v])
+}
 
 // MinWeight returns the smallest edge weight (0 for an empty graph).
 func (g *Bipartite) MinWeight() float64 { return g.minW }
@@ -585,28 +669,26 @@ func (g *Bipartite) NormalizeMinMax() *Bipartite {
 		}
 		edges[i] = Edge{U: e.U, V: e.V, W: w}
 	}
-	if !sortedByWeight(edges, g.byWeight) {
-		return newBipartite(g.n1, g.n2, edges)
-	}
-	out := &Bipartite{
-		n1: g.n1, n2: g.n2, edges: edges,
-		off1: g.off1, off2: g.off2, adj1: g.adj1, adj2: g.adj2,
-		byWeight: g.byWeight,
-	}
-	out.minW, out.maxW = math.Inf(1), math.Inf(-1)
-	for _, e := range edges {
-		if e.W < out.minW {
-			out.minW = e.W
+	if g.indexed() {
+		// The source graph's index is already built: verify it orders
+		// the transformed weights exactly as the comparator would and
+		// inherit it; rebuild from scratch on the first violation.
+		if !sortedByWeight(edges, g.byWeight) {
+			return newBipartite(g.n1, g.n2, edges)
 		}
-		if e.W > out.maxW {
-			out.maxW = e.W
-		}
+		out := newBipartite(g.n1, g.n2, edges)
+		out.setIndex(g.off1, g.off2, g.adj1, g.adj2, g.byWeight)
+		return out
 	}
-	if len(edges) == 0 {
-		out.minW, out.maxW = 0, 0
-	}
-	return out
+	return newBipartite(g.n1, g.n2, edges)
 }
+
+// indexed reports whether the matching indexes have been materialized,
+// without building them. The atomic flag is stored only after every
+// index array is fully written, so a true here (followed by the
+// release/acquire pair of the atomic) guarantees the arrays are safe to
+// read even when another goroutine raced the build.
+func (g *Bipartite) indexed() bool { return g.indexBuilt.Load() }
 
 // sortedByWeight reports whether perm orders edges exactly as
 // newBipartite's byWeight comparator would: descending weight with
@@ -673,6 +755,7 @@ func (g *Bipartite) Density() float64 {
 // Validate checks structural invariants. It is used by property tests and
 // returns nil on a well-formed graph.
 func (g *Bipartite) Validate() error {
+	g.ensureIndex()
 	if len(g.adj1) != len(g.edges) || len(g.adj2) != len(g.edges) {
 		return errors.New("graph: adjacency size mismatch")
 	}

@@ -715,3 +715,42 @@ func TestBuildVMajorMatchesGeneric(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildNormalizedMatchesTwoStep pins the fused build+normalize
+// against Build().NormalizeMinMax() on random edge sets (duplicates,
+// ties, single-weight graphs, empty graphs): identical checksums,
+// by-weight order and adjacency.
+func TestBuildNormalizedMatchesTwoStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 200; iter++ {
+		n1, n2 := rng.Intn(8)+1, rng.Intn(8)+1
+		e := rng.Intn(30)
+		ba, bb := NewBuilder(n1, n2), NewBuilder(n1, n2)
+		for k := 0; k < e; k++ {
+			u, v := int32(rng.Intn(n1)), int32(rng.Intn(n2))
+			w := float64(rng.Intn(5)) / 4 // ties and repeated weights
+			if rng.Intn(4) == 0 {
+				w = 0.5 // constant-weight graphs exercise the span==0 path
+			}
+			ba.Add(u, v, w)
+			bb.Add(u, v, w)
+		}
+		fused, err := ba.BuildNormalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		twoStep := bb.MustBuild().NormalizeMinMax()
+		if fused.Checksum() != twoStep.Checksum() {
+			t.Fatalf("iter %d: checksum %016x != %016x", iter, fused.Checksum(), twoStep.Checksum())
+		}
+		fw, tw := fused.EdgesByWeight(), twoStep.EdgesByWeight()
+		for k := range tw {
+			if fused.Edge(fw[k]) != twoStep.Edge(tw[k]) {
+				t.Fatalf("iter %d: by-weight order diverges at %d", iter, k)
+			}
+		}
+		if err := fused.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -17,7 +17,6 @@
 package ngraph
 
 import (
-	"math"
 	"slices"
 
 	"github.com/ccer-go/ccer/internal/strsim"
@@ -46,26 +45,81 @@ func edgeKey(a, b int32) uint64 {
 	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }
 
-// Vocab interns gram strings to dense ids shared by a set of graphs.
+// Vocab interns grams to dense ids shared by a set of graphs. Grams
+// reach it either as strings (ID) or — on FromValue's allocation-free
+// fast paths — as rune windows and token-id tuples; the key equivalences
+// coincide with string equality of the gram strings, so ids are assigned
+// in the same first-occurrence order either way. A single Vocab serves
+// one representation mode (as the generation pipeline uses it); mixing
+// the string path and a fast path for the same gram is not supported.
 type Vocab struct {
-	ids map[string]int32
+	ids   map[string]int32
+	char  map[[4]rune]int32 // char n-gram windows, n <= 4, noRune-padded
+	tokID map[string]int32  // token -> token id for tuple keys
+	tok   map[[3]int32]int32
+	size  int
 }
 
+// noRune pads short gram-window keys; it never occurs in decoded text.
+const noRune rune = -1
+
 // NewVocab returns an empty vocabulary.
-func NewVocab() *Vocab { return &Vocab{ids: make(map[string]int32)} }
+func NewVocab() *Vocab { return &Vocab{} }
 
 // ID interns the gram and returns its id.
 func (v *Vocab) ID(gram string) int32 {
+	if v.ids == nil {
+		v.ids = make(map[string]int32)
+	}
 	id, ok := v.ids[gram]
 	if !ok {
-		id = int32(len(v.ids))
+		id = int32(v.size)
 		v.ids[gram] = id
+		v.size++
+	}
+	return id
+}
+
+func (v *Vocab) charID(key [4]rune) int32 {
+	if v.char == nil {
+		v.char = make(map[[4]rune]int32)
+	}
+	id, ok := v.char[key]
+	if !ok {
+		id = int32(v.size)
+		v.char[key] = id
+		v.size++
+	}
+	return id
+}
+
+func (v *Vocab) tokenID(tok string) int32 {
+	if v.tokID == nil {
+		v.tokID = make(map[string]int32)
+	}
+	id, ok := v.tokID[tok]
+	if !ok {
+		id = int32(len(v.tokID))
+		v.tokID[tok] = id
+	}
+	return id
+}
+
+func (v *Vocab) tupleID(key [3]int32) int32 {
+	if v.tok == nil {
+		v.tok = make(map[[3]int32]int32)
+	}
+	id, ok := v.tok[key]
+	if !ok {
+		id = int32(v.size)
+		v.tok[key] = id
+		v.size++
 	}
 	return id
 }
 
 // Size returns the number of interned grams.
-func (v *Vocab) Size() int { return len(v.ids) }
+func (v *Vocab) Size() int { return v.size }
 
 // fromKeys finalizes a graph from an edge-key sequence with possibly
 // repeated keys; each occurrence counts one co-occurrence, so the
@@ -94,26 +148,85 @@ func fromKeys(keys []uint64) *Graph {
 // window distance is at most n is connected, with the edge weight counting
 // co-occurrences.
 func FromValue(vocab *Vocab, mode vector.Mode, value string) *Graph {
-	var grams []string
-	if mode.Char {
-		grams = vector.CharNGrams(value, mode.N)
-	} else {
-		grams = vector.TokenNGrams(strsim.Tokenize(value), mode.N)
+	return fromValueScratch(vocab, mode, value, nil).graph()
+}
+
+// valueScratch carries the reusable per-entity buffers of the FromValue
+// hot path.
+type valueScratch struct {
+	ids  []int32
+	tids []int32
+	rs   []rune
+	keys []uint64
+}
+
+func (s *valueScratch) graph() *Graph {
+	return fromKeys(append([]uint64(nil), s.keys...))
+}
+
+// fromValueScratch extracts the value's gram ids into scratch without
+// allocating gram strings where the mode allows it (char n <= 4, token
+// n <= 3 — all of Modes()), then the co-occurrence edge keys. The gram
+// id assignment matches the string path exactly (see Vocab).
+func fromValueScratch(vocab *Vocab, mode vector.Mode, value string, s *valueScratch) *valueScratch {
+	if s == nil {
+		s = &valueScratch{}
 	}
-	ids := make([]int32, len(grams))
-	for i, gram := range grams {
-		ids[i] = vocab.ID(gram)
-	}
-	var keys []uint64
-	for i := range ids {
-		for d := 1; d <= mode.N && i+d < len(ids); d++ {
-			if ids[i] == ids[i+d] {
-				continue // no self loops
+	s.ids = s.ids[:0]
+	switch {
+	case mode.Char && mode.N <= 4:
+		s.rs = append(s.rs[:0], []rune(value)...)
+		if len(s.rs) > 0 {
+			key := [4]rune{noRune, noRune, noRune, noRune}
+			if len(s.rs) <= mode.N {
+				copy(key[:], s.rs)
+				s.ids = append(s.ids, vocab.charID(key))
+			} else {
+				for i := 0; i+mode.N <= len(s.rs); i++ {
+					copy(key[:], s.rs[i:i+mode.N])
+					s.ids = append(s.ids, vocab.charID(key))
+				}
 			}
-			keys = append(keys, edgeKey(ids[i], ids[i+d]))
+		}
+	case !mode.Char && mode.N <= 3:
+		toks := strsim.Tokenize(value)
+		if len(toks) > 0 {
+			s.tids = s.tids[:0]
+			for _, tok := range toks {
+				s.tids = append(s.tids, vocab.tokenID(tok))
+			}
+			key := [3]int32{-1, -1, -1}
+			if len(s.tids) <= mode.N {
+				copy(key[:], s.tids)
+				s.ids = append(s.ids, vocab.tupleID(key))
+			} else {
+				for i := 0; i+mode.N <= len(s.tids); i++ {
+					copy(key[:], s.tids[i:i+mode.N])
+					s.ids = append(s.ids, vocab.tupleID(key))
+				}
+			}
+		}
+	default:
+		var grams []string
+		if mode.Char {
+			grams = vector.CharNGrams(value, mode.N)
+		} else {
+			grams = vector.TokenNGrams(strsim.Tokenize(value), mode.N)
+		}
+		for _, gram := range grams {
+			s.ids = append(s.ids, vocab.ID(gram))
 		}
 	}
-	return fromKeys(keys)
+	s.keys = s.keys[:0]
+	for i := range s.ids {
+		for d := 1; d <= mode.N && i+d < len(s.ids); d++ {
+			if s.ids[i] == s.ids[i+d] {
+				continue // no self loops
+			}
+			s.keys = append(s.keys, edgeKey(s.ids[i], s.ids[i+d]))
+		}
+	}
+	return s
 }
 
 // Merge combines per-value graphs into a single entity graph using the
@@ -138,49 +251,58 @@ func Merge(graphs []*Graph) *Graph {
 		return &Graph{keys: append([]uint64(nil), live[0].keys...),
 			ws: append([]float64(nil), live[0].ws...)}
 	}
-	// Sort all (key, graph-order, weight) triples and fold each key run
-	// with the incremental average in graph order — the same weight
-	// sequence the per-graph walk sees, without a hash map.
-	type kow struct {
-		k   uint64
-		ord int32
-		w   float64
+	// Fold the (sorted) per-value graphs into a sorted accumulator in
+	// graph order: each key carries its occurrence count, and a repeated
+	// key updates the running average with the division sequence
+	// w += (w_k - w)/k — exactly the fold the earlier sort-based merge
+	// applied per key run, so the floats are bit-identical, without the
+	// comparator sort over all triples.
+	accK := append(make([]uint64, 0, total), live[0].keys...)
+	accW := append(make([]float64, 0, total), live[0].ws...)
+	accC := make([]int32, len(accK), total)
+	for i := range accC {
+		accC[i] = 1
 	}
-	all := make([]kow, 0, total)
-	for ord, g := range live {
-		for i, k := range g.keys {
-			all = append(all, kow{k, int32(ord), g.ws[i]})
+	nk := make([]uint64, 0, total)
+	nw := make([]float64, 0, total)
+	nc := make([]int32, 0, total)
+	for _, g := range live[1:] {
+		nk, nw, nc = nk[:0], nw[:0], nc[:0]
+		i, j := 0, 0
+		for i < len(accK) || j < len(g.keys) {
+			switch {
+			case j >= len(g.keys) || (i < len(accK) && accK[i] < g.keys[j]):
+				nk = append(nk, accK[i])
+				nw = append(nw, accW[i])
+				nc = append(nc, accC[i])
+				i++
+			case i >= len(accK) || accK[i] > g.keys[j]:
+				nk = append(nk, g.keys[j])
+				nw = append(nw, g.ws[j])
+				nc = append(nc, 1)
+				j++
+			default:
+				c := accC[i] + 1
+				nk = append(nk, accK[i])
+				nw = append(nw, accW[i]+(g.ws[j]-accW[i])/float64(c))
+				nc = append(nc, c)
+				i++
+				j++
+			}
 		}
+		accK, nk = nk, accK
+		accW, nw = nw, accW
+		accC, nc = nc, accC
 	}
-	slices.SortFunc(all, func(a, b kow) int {
-		switch {
-		case a.k < b.k:
-			return -1
-		case a.k > b.k:
-			return 1
-		default:
-			return int(a.ord) - int(b.ord)
-		}
-	})
-	merged := &Graph{keys: make([]uint64, 0, total), ws: make([]float64, 0, total)}
-	for i := 0; i < len(all); {
-		j := i + 1
-		w := all[i].w
-		for ; j < len(all) && all[j].k == all[i].k; j++ {
-			w += (all[j].w - w) / float64(j-i+1)
-		}
-		merged.keys = append(merged.keys, all[i].k)
-		merged.ws = append(merged.ws, w)
-		i = j
-	}
-	return merged
+	return &Graph{keys: accK, ws: accW}
 }
 
 // FromEntity builds the entity graph of a set of attribute values.
 func FromEntity(vocab *Vocab, mode vector.Mode, values []string) *Graph {
 	graphs := make([]*Graph, len(values))
+	var scratch valueScratch
 	for i, v := range values {
-		graphs[i] = FromValue(vocab, mode, v)
+		graphs[i] = fromValueScratch(vocab, mode, v, &scratch).graph()
 	}
 	return Merge(graphs)
 }
@@ -188,19 +310,29 @@ func FromEntity(vocab *Vocab, mode vector.Mode, values []string) *Graph {
 // common walks the sorted edge lists of both graphs in one merge join,
 // returning the number of shared edges and the Σ min(w)/max(w) weight
 // ratio over them. The ascending-key order makes the float summation
-// canonical.
+// canonical. Weights are strictly positive finite averages, so the
+// branchy min/max selects the same operands math.Min/Max would (the
+// NaN/±0 special cases cannot occur) and the ratio sum stays
+// bit-identical while skipping the calls.
 func common(a, b *Graph) (int, float64) {
+	ak, bk := a.keys, b.keys
+	aw, bw := a.ws, b.ws
 	i, j, n := 0, 0, 0
 	ratio := 0.0
-	for i < len(a.keys) && j < len(b.keys) {
+	for i < len(ak) && j < len(bk) {
 		switch {
-		case a.keys[i] < b.keys[j]:
+		case ak[i] < bk[j]:
 			i++
-		case a.keys[i] > b.keys[j]:
+		case ak[i] > bk[j]:
 			j++
 		default:
 			n++
-			ratio += math.Min(a.ws[i], b.ws[j]) / math.Max(a.ws[i], b.ws[j])
+			x, y := aw[i], bw[j]
+			if x < y {
+				ratio += x / y
+			} else {
+				ratio += y / x
+			}
 			i++
 			j++
 		}
@@ -306,20 +438,43 @@ func AllSims(a, b *Graph) [4]float64 {
 }
 
 // GramIDs returns the sorted node ids of the graph's edges; used to build
-// inverted indexes for candidate generation.
+// inverted indexes for candidate generation. The high halves of the
+// sorted edge keys are already ascending, so only the low halves need a
+// sort before the two deduplicated runs merge.
 func (g *Graph) GramIDs() []int32 {
 	if g.NumEdges() == 0 {
 		return nil
 	}
-	ids := make([]int32, 0, 2*len(g.keys))
+	his := make([]int32, 0, len(g.keys))
+	los := make([]int32, 0, len(g.keys))
 	for _, k := range g.keys {
-		ids = append(ids, int32(k>>32), int32(uint32(k)))
+		hi := int32(k >> 32)
+		if len(his) == 0 || his[len(his)-1] != hi {
+			his = append(his, hi)
+		}
+		los = append(los, int32(uint32(k)))
 	}
-	slices.Sort(ids)
-	out := ids[:1]
-	for _, id := range ids[1:] {
-		if id != out[len(out)-1] {
-			out = append(out, id)
+	slices.Sort(los)
+	lu := los[:1]
+	for _, id := range los[1:] {
+		if id != lu[len(lu)-1] {
+			lu = append(lu, id)
+		}
+	}
+	out := make([]int32, 0, len(his)+len(lu))
+	i, j := 0, 0
+	for i < len(his) || j < len(lu) {
+		switch {
+		case j >= len(lu) || (i < len(his) && his[i] < lu[j]):
+			out = append(out, his[i])
+			i++
+		case i >= len(his) || his[i] > lu[j]:
+			out = append(out, lu[j])
+			j++
+		default:
+			out = append(out, his[i])
+			i++
+			j++
 		}
 	}
 	return out

@@ -3,10 +3,12 @@ package ngraph
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"strings"
 	"testing"
 	"testing/quick"
 
+	"github.com/ccer-go/ccer/internal/strsim"
 	"github.com/ccer-go/ccer/internal/vector"
 )
 
@@ -194,6 +196,169 @@ func TestAllSimsConsistent(t *testing.T) {
 					t.Fatalf("AllSims[%d](%q,%q) = %v, want %v", i, ta, tb, all[i], want[i])
 				}
 			}
+		}
+	}
+}
+
+// refMerge is the earlier sort-based Merge, retained as the reference
+// for the accumulator rewrite: sort all (key, graph-order, weight)
+// triples, fold each key run with the incremental average in graph
+// order.
+func refMerge(graphs []*Graph) *Graph {
+	live := graphs[:0:0]
+	total := 0
+	for _, g := range graphs {
+		if g != nil && len(g.keys) > 0 {
+			live = append(live, g)
+			total += len(g.keys)
+		}
+	}
+	if len(live) == 0 {
+		return &Graph{}
+	}
+	if len(live) == 1 {
+		return &Graph{keys: append([]uint64(nil), live[0].keys...),
+			ws: append([]float64(nil), live[0].ws...)}
+	}
+	type kow struct {
+		k   uint64
+		ord int32
+		w   float64
+	}
+	all := make([]kow, 0, total)
+	for ord, g := range live {
+		for i, k := range g.keys {
+			all = append(all, kow{k, int32(ord), g.ws[i]})
+		}
+	}
+	slices.SortFunc(all, func(a, b kow) int {
+		switch {
+		case a.k < b.k:
+			return -1
+		case a.k > b.k:
+			return 1
+		default:
+			return int(a.ord) - int(b.ord)
+		}
+	})
+	merged := &Graph{keys: make([]uint64, 0, total), ws: make([]float64, 0, total)}
+	for i := 0; i < len(all); {
+		j := i + 1
+		w := all[i].w
+		for ; j < len(all) && all[j].k == all[i].k; j++ {
+			w += (all[j].w - w) / float64(j-i+1)
+		}
+		merged.keys = append(merged.keys, all[i].k)
+		merged.ws = append(merged.ws, w)
+		i = j
+	}
+	return merged
+}
+
+// TestMergeMatchesSortReference pins the accumulator Merge bit-for-bit
+// against the sort-based reference on random per-value graphs.
+func TestMergeMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 500; iter++ {
+		n := rng.Intn(6)
+		graphs := make([]*Graph, n)
+		for gi := range graphs {
+			if rng.Intn(5) == 0 {
+				if rng.Intn(2) == 0 {
+					graphs[gi] = nil
+				} else {
+					graphs[gi] = &Graph{}
+				}
+				continue
+			}
+			e := rng.Intn(12)
+			keys := make([]uint64, 0, e)
+			for k := 0; k < e; k++ {
+				keys = append(keys, edgeKey(int32(rng.Intn(6)), int32(rng.Intn(6))))
+			}
+			// fromKeys sorts and RLEs; weights become run lengths.
+			graphs[gi] = fromKeys(keys)
+		}
+		got := Merge(graphs)
+		want := refMerge(graphs)
+		if !slices.Equal(got.keys, want.keys) {
+			t.Fatalf("iter %d: keys %v != %v", iter, got.keys, want.keys)
+		}
+		for i := range want.ws {
+			if got.ws[i] != want.ws[i] {
+				t.Fatalf("iter %d key %d: w %v != %v (bitwise)", iter, i, got.ws[i], want.ws[i])
+			}
+		}
+	}
+}
+
+// TestGramIDsMatchesSortReference pins the merged-runs GramIDs against
+// the full-sort reference.
+func TestGramIDsMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 300; iter++ {
+		e := rng.Intn(20)
+		keys := make([]uint64, 0, e)
+		for k := 0; k < e; k++ {
+			keys = append(keys, edgeKey(int32(rng.Intn(9)), int32(rng.Intn(9))))
+		}
+		g := fromKeys(keys)
+		got := g.GramIDs()
+		ids := make([]int32, 0, 2*len(g.keys))
+		for _, k := range g.keys {
+			ids = append(ids, int32(k>>32), int32(uint32(k)))
+		}
+		slices.Sort(ids)
+		var want []int32
+		for _, id := range ids {
+			if len(want) == 0 || want[len(want)-1] != id {
+				want = append(want, id)
+			}
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("iter %d: %v != %v", iter, got, want)
+		}
+	}
+}
+
+// TestFromValueFastPathMatchesStringPath pins the window/tuple interning
+// against the string-gram path on a fresh vocabulary each.
+func TestFromValueFastPathMatchesStringPath(t *testing.T) {
+	values := []string{
+		"golden dragon bistro", "", "a", "ab", "日本語 カフェ", "!!!",
+		"repeat repeat", "Éclair café au lait", "a b c d e",
+	}
+	for _, mode := range vector.Modes() {
+		fastVocab, strVocab := NewVocab(), NewVocab()
+		for _, val := range values {
+			fast := FromValue(fastVocab, mode, val)
+			// String path: force the fallback by interning via ID.
+			var grams []string
+			if mode.Char {
+				grams = vector.CharNGrams(val, mode.N)
+			} else {
+				grams = vector.TokenNGrams(strsim.Tokenize(val), mode.N)
+			}
+			ids := make([]int32, len(grams))
+			for i, gram := range grams {
+				ids[i] = strVocab.ID(gram)
+			}
+			var keys []uint64
+			for i := range ids {
+				for d := 1; d <= mode.N && i+d < len(ids); d++ {
+					if ids[i] == ids[i+d] {
+						continue
+					}
+					keys = append(keys, edgeKey(ids[i], ids[i+d]))
+				}
+			}
+			want := fromKeys(keys)
+			if !slices.Equal(fast.keys, want.keys) || !slices.Equal(fast.ws, want.ws) {
+				t.Fatalf("%v %q: fast %v/%v != string %v/%v", mode, val, fast.keys, fast.ws, want.keys, want.ws)
+			}
+		}
+		if fastVocab.Size() != strVocab.Size() {
+			t.Fatalf("%v: vocab sizes diverge: %d != %d", mode, fastVocab.Size(), strVocab.Size())
 		}
 	}
 }

@@ -1,0 +1,91 @@
+package ngraph
+
+import (
+	"github.com/ccer-go/ccer/internal/repcache"
+	"github.com/ccer-go/ccer/internal/vector"
+)
+
+// EntityReps bundles the n-gram-graph representations of one
+// Clean-Clean task under one mode: the per-entity merged graphs of both
+// collections, their sorted gram-node id lists, and the CSR postings
+// over collection 1's ids (the candidate index: a pair sharing no gram
+// node shares no edge). Everything is immutable after construction and
+// safe for concurrent readers.
+type EntityReps struct {
+	Graphs1, Graphs2 []*Graph
+	IDs1, IDs2       [][]int32
+	Post1Off         []int32
+	Post1IDs         []int32
+	VocabSize        int
+}
+
+// BuildEntityReps builds the representations from the per-entity value
+// lists (dataset.Profile.Values order).
+func BuildEntityReps(mode vector.Mode, values1, values2 [][]string) *EntityReps {
+	vocab := NewVocab()
+	r := &EntityReps{
+		Graphs1: make([]*Graph, len(values1)),
+		Graphs2: make([]*Graph, len(values2)),
+		IDs1:    make([][]int32, len(values1)),
+		IDs2:    make([][]int32, len(values2)),
+	}
+	for i, vals := range values1 {
+		r.Graphs1[i] = FromEntity(vocab, mode, vals)
+		r.IDs1[i] = r.Graphs1[i].GramIDs()
+	}
+	for j, vals := range values2 {
+		r.Graphs2[j] = FromEntity(vocab, mode, vals)
+		r.IDs2[j] = r.Graphs2[j].GramIDs()
+	}
+	r.VocabSize = vocab.Size()
+	r.Post1Off, r.Post1IDs = vector.BuildPostings(r.IDs1, r.VocabSize)
+	return r
+}
+
+// EntityCache is the cross-build n-gram-graph representation cache,
+// keyed by content hash of the mode and both collections' value lists.
+// A nil *EntityCache builds uncached.
+type EntityCache struct {
+	c *repcache.Cache[*EntityReps]
+}
+
+// NewEntityCache returns a cache bounded to maxEntries resident bundles.
+func NewEntityCache(maxEntries int) *EntityCache {
+	return &EntityCache{c: repcache.New[*EntityReps](maxEntries)}
+}
+
+// Get returns the representations of the task under the mode, building
+// them on a miss.
+func (c *EntityCache) Get(mode vector.Mode, values1, values2 [][]string) *EntityReps {
+	if c == nil {
+		return BuildEntityReps(mode, values1, values2)
+	}
+	h := repcache.NewHasher(0x96a9 ^ uint64(mode.N)<<16)
+	if mode.Char {
+		h.Uint64(1)
+	} else {
+		h.Uint64(2)
+	}
+	h.StringLists(values1)
+	h.StringLists(values2)
+	reps, _ := c.c.GetOrBuild(h.Key(), func() *EntityReps {
+		return BuildEntityReps(mode, values1, values2)
+	})
+	return reps
+}
+
+// Stats returns cumulative hits, misses and evictions.
+func (c *EntityCache) Stats() (hits, misses, evictions int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.c.Stats()
+}
+
+// Len returns the resident entry count.
+func (c *EntityCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	return c.c.Len()
+}

@@ -1,0 +1,101 @@
+package repcache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetOrBuildCachesAndEvicts(t *testing.T) {
+	c := New[int](2)
+	k := func(i uint64) Key { h := NewHasher(i); return h.Key() }
+	builds := 0
+	get := func(i uint64) int {
+		v, _ := c.GetOrBuild(k(i), func() int { builds++; return int(i) })
+		return v
+	}
+	if get(1) != 1 || get(1) != 1 {
+		t.Fatal("wrong value")
+	}
+	if builds != 1 {
+		t.Fatalf("builds = %d", builds)
+	}
+	get(2)
+	get(3) // evicts the LRU entry (1)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 1 || misses != 3 || evictions != 1 {
+		t.Fatalf("stats = %d/%d/%d", hits, misses, evictions)
+	}
+	if get(1) != 1 || builds != 4 {
+		t.Fatalf("evicted entry not rebuilt (builds = %d)", builds)
+	}
+}
+
+// A panicking build must not poison its key: the panic propagates, the
+// entry is dropped, and the next caller rebuilds successfully.
+func TestGetOrBuildPanicDoesNotPoison(t *testing.T) {
+	c := New[*int](4)
+	key := NewHasher(7).Key()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("build panic did not propagate")
+			}
+		}()
+		c.GetOrBuild(key, func() *int { panic("transient") })
+	}()
+	if c.Len() != 0 {
+		t.Fatalf("poisoned entry retained: Len = %d", c.Len())
+	}
+	x := 42
+	v, hit := c.GetOrBuild(key, func() *int { return &x })
+	if hit || v == nil || *v != 42 {
+		t.Fatalf("rebuild after panic: v=%v hit=%v", v, hit)
+	}
+}
+
+func TestHasherDistinguishesBoundaries(t *testing.T) {
+	a := NewHasher(0)
+	a.Strings([]string{"ab", "c"})
+	b := NewHasher(0)
+	b.Strings([]string{"a", "bc"})
+	if a.Key() == b.Key() {
+		t.Fatal("length prefixes failed to separate concatenations")
+	}
+	c1 := NewHasher(1)
+	c1.Strings([]string{"x"})
+	c2 := NewHasher(2)
+	c2.Strings([]string{"x"})
+	if c1.Key() == c2.Key() {
+		t.Fatal("salt ignored")
+	}
+}
+
+func TestGetOrBuildConcurrentSingleBuild(t *testing.T) {
+	c := New[int](8)
+	key := NewHasher(3).Key()
+	var mu sync.Mutex
+	builds := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _ := c.GetOrBuild(key, func() int {
+				mu.Lock()
+				builds++
+				mu.Unlock()
+				return 9
+			})
+			if v != 9 {
+				t.Error("wrong value")
+			}
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Fatalf("concurrent callers built %d times", builds)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/ccer-go/ccer/internal/algo"
+	"github.com/ccer-go/ccer/internal/blocking"
 	"github.com/ccer-go/ccer/internal/core"
 	"github.com/ccer-go/ccer/internal/datagen"
 	"github.com/ccer-go/ccer/internal/eval"
@@ -101,6 +102,19 @@ type metricsResponse struct {
 	GeneratesTotal        map[string]int64 `json:"generates_total,omitempty"`
 	GenerateFamilyNSTotal map[string]int64 `json:"generate_family_ns_total,omitempty"`
 	GeneratesFamilyTotal  map[string]int64 `json:"generates_family_total,omitempty"`
+	// Candidate-filter counters per family: kernel blocks computed vs.
+	// provably skipped by the lossless zero-score filters, and the
+	// overall skip ratio skipped/(visited+skipped).
+	GenPairsVisitedTotal map[string]int64 `json:"generate_pairs_visited_total,omitempty"`
+	GenPairsSkippedTotal map[string]int64 `json:"generate_pairs_skipped_total,omitempty"`
+	GenSkipRatio         float64          `json:"generate_skip_ratio"`
+	// Cross-build representation cache (TF/TF-IDF spaces, n-gram
+	// graphs, embeddings, attribute profiles) counters; zero when the
+	// caches are disabled (RepCacheDatasets < 0).
+	RepCacheHitsTotal      int64 `json:"repcache_hits_total"`
+	RepCacheMissesTotal    int64 `json:"repcache_misses_total"`
+	RepCacheEvictionsTotal int64 `json:"repcache_evictions_total"`
+	RepCacheEntries        int   `json:"repcache_entries"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -109,33 +123,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
-	genNanos, genCount, famNanos, famCount := s.gen.snapshot()
+	genNanos, genCount, famNanos, famCount, famVisited, famSkipped := s.gen.snapshot()
+	var visitedSum, skippedSum int64
+	for _, v := range famVisited {
+		visitedSum += v
+	}
+	for _, v := range famSkipped {
+		skippedSum += v
+	}
+	skipRatio := 0.0
+	if visitedSum+skippedSum > 0 {
+		skipRatio = float64(skippedSum) / float64(visitedSum+skippedSum)
+	}
+	repStats := s.reps.Stats()
 	jobs := s.jobs.Counts()
 	writeJSON(w, http.StatusOK, metricsResponse{
-		GenerateNSTotal:       genNanos,
-		GeneratesTotal:        genCount,
-		GenerateFamilyNSTotal: famNanos,
-		GeneratesFamilyTotal:  famCount,
-		UptimeSeconds:         time.Since(s.started).Seconds(),
-		RequestsTotal:         s.stats.requests.Load(),
-		ErrorsTotal:           s.stats.errors.Load(),
-		GraphsStored:          s.store.Len(),
-		GraphsCreatedTotal:    s.stats.graphsCreated.Load(),
-		MatchRequestsTotal:    s.stats.matchRequests.Load(),
-		MatchingsRunTotal:     s.stats.matchingsRun.Load(),
-		SweepsCreatedTotal:    s.stats.sweepsCreated.Load(),
-		CacheHitsTotal:        hits,
-		CacheMissesTotal:      misses,
-		CacheEvictionsTotal:   evictions,
-		CacheSize:             s.cache.Len(),
-		CacheCapacity:         s.cache.Capacity(),
-		CacheHitRate:          hitRate,
-		JobsQueued:            jobs.Queued,
-		JobsRunning:           jobs.Running,
-		JobsLive:              jobs.Live(),
-		JobsDone:              jobs.Done,
-		JobsFailed:            jobs.Failed,
-		JobsCancelled:         jobs.Cancelled,
+		GenerateNSTotal:        genNanos,
+		GeneratesTotal:         genCount,
+		GenerateFamilyNSTotal:  famNanos,
+		GeneratesFamilyTotal:   famCount,
+		GenPairsVisitedTotal:   famVisited,
+		GenPairsSkippedTotal:   famSkipped,
+		GenSkipRatio:           skipRatio,
+		RepCacheHitsTotal:      repStats.Hits,
+		RepCacheMissesTotal:    repStats.Misses,
+		RepCacheEvictionsTotal: repStats.Evictions,
+		RepCacheEntries:        repStats.Entries,
+		UptimeSeconds:          time.Since(s.started).Seconds(),
+		RequestsTotal:          s.stats.requests.Load(),
+		ErrorsTotal:            s.stats.errors.Load(),
+		GraphsStored:           s.store.Len(),
+		GraphsCreatedTotal:     s.stats.graphsCreated.Load(),
+		MatchRequestsTotal:     s.stats.matchRequests.Load(),
+		MatchingsRunTotal:      s.stats.matchingsRun.Load(),
+		SweepsCreatedTotal:     s.stats.sweepsCreated.Load(),
+		CacheHitsTotal:         hits,
+		CacheMissesTotal:       misses,
+		CacheEvictionsTotal:    evictions,
+		CacheSize:              s.cache.Len(),
+		CacheCapacity:          s.cache.Capacity(),
+		CacheHitRate:           hitRate,
+		JobsQueued:             jobs.Queued,
+		JobsRunning:            jobs.Running,
+		JobsLive:               jobs.Live(),
+		JobsDone:               jobs.Done,
+		JobsFailed:             jobs.Failed,
+		JobsCancelled:          jobs.Cancelled,
 	})
 }
 
@@ -218,14 +251,15 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		start := time.Now()
-		e, err := generateGraph(req, s.cfg.MaxGraphNodes, s.cfg.Parallelism)
+		e, visited, skipped, err := generateGraph(req, s.cfg.MaxGraphNodes, s.cfg.Parallelism)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		// Every single-measure string similarity is a schema-based
-		// syntactic weight, the paper's SB-SYN family.
-		s.gen.record(e.Dataset, string(simgraph.SBSyn), time.Since(start))
+		// syntactic weight, the paper's SB-SYN family; its prefilter
+		// counters feed the same skip-ratio metrics as family mode.
+		s.gen.recordStats(e.Dataset, string(simgraph.SBSyn), time.Since(start), visited, skipped)
 		entry = e
 	} else {
 		// Anything else is the graph.WriteEdgeList wire format.
@@ -298,12 +332,14 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, req generateRequest
 
 	task := spec.Generate(seed, scale)
 	start := time.Now()
-	graphs := simgraph.Generate(task, attrs, simgraph.Options{
+	graphs, genStats := simgraph.GenerateStats(task, attrs, simgraph.Options{
 		Families:          []simgraph.Family{family},
 		KeepNoMatchGraphs: true,
 		Parallelism:       s.cfg.Parallelism,
+		Caches:            s.reps,
 	})
-	s.gen.record(spec.ID, string(family), time.Since(start))
+	fs := genStats.Of(family)
+	s.gen.recordStats(spec.ID, string(family), time.Since(start), fs.Visited, fs.Skipped)
 
 	infos := make([]graphInfo, 0, len(graphs))
 	for _, sg := range graphs {
@@ -330,10 +366,10 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, req generateRequest
 // similarity loop fans its rows over parallelism workers (par.Workers
 // semantics) with slot-ordered assembly, so the graph is identical at
 // any setting.
-func generateGraph(req generateRequest, maxNodes, parallelism int) (*GraphEntry, error) {
+func generateGraph(req generateRequest, maxNodes, parallelism int) (entry *GraphEntry, visited, skipped int64, err error) {
 	spec, err := datagen.SpecByID(req.Dataset)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	seed := normSeed(req.Seed)
 	scale := req.Scale
@@ -341,7 +377,7 @@ func generateGraph(req generateRequest, maxNodes, parallelism int) (*GraphEntry,
 		scale = 0.02
 	}
 	if scale < 0 {
-		return nil, fmt.Errorf("negative scale %g", scale)
+		return nil, 0, 0, fmt.Errorf("negative scale %g", scale)
 	}
 	measureName := req.Measure
 	if measureName == "" {
@@ -354,7 +390,7 @@ func generateGraph(req generateRequest, maxNodes, parallelism int) (*GraphEntry,
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		return nil, fmt.Errorf("unknown measure %q; have %v", measureName, names)
+		return nil, 0, 0, fmt.Errorf("unknown measure %q; have %v", measureName, names)
 	}
 	attrs := req.Attrs
 	if len(attrs) == 0 {
@@ -364,7 +400,7 @@ func generateGraph(req generateRequest, maxNodes, parallelism int) (*GraphEntry,
 	// Enforce the node cap on the predicted sizes, before Generate
 	// materializes (and pays for) the dataset.
 	if n1, n2 := spec.ScaledSizes(scale); maxNodes > 0 && n1+n2 > maxNodes {
-		return nil, fmt.Errorf("scale %g yields %d entities, above the cap of %d", scale, n1+n2, maxNodes)
+		return nil, 0, 0, fmt.Errorf("scale %g yields %d entities, above the cap of %d", scale, n1+n2, maxNodes)
 	}
 	task := spec.Generate(seed, scale)
 	texts1 := task.V1.AttrTexts(attrs...)
@@ -373,8 +409,40 @@ func generateGraph(req generateRequest, maxNodes, parallelism int) (*GraphEntry,
 		j int32
 		w float64
 	}
+	// Lossless prefilters from internal/blocking: character signatures
+	// skip pairs that provably score 0 on the measure (disjoint
+	// alphabets — sound for every char measure except Needleman-Wunsch,
+	// and unsound for token measures, whose both-token-less case is
+	// defined as 1), and the length bound skips pairs whose edit
+	// similarity cannot exceed a positive MinSim. Both only ever remove
+	// edges the w > MinSim && w > 0 cut would drop anyway.
+	sigZero := false
+	for _, name := range blocking.SigZeroMeasures() {
+		if name == measureName {
+			sigZero = true
+		}
+	}
+	lenBounded := measureName == "Levenshtein" || measureName == "DamerauLevenshtein"
+	var sigs1, sigs2 []blocking.Sig128
+	var lens1, lens2 []int
+	if sigZero {
+		sigs1, sigs2 = blocking.Sig128All(texts1), blocking.Sig128All(texts2)
+	}
+	if lenBounded && req.MinSim > 0 {
+		runeLens := func(texts []string) []int {
+			out := make([]int, len(texts))
+			for i, t := range texts {
+				out[i] = len([]rune(t))
+			}
+			return out
+		}
+		lens1, lens2 = runeLens(texts1), runeLens(texts2)
+	}
 	rows := make([][]edge, len(texts1))
-	par.For(len(texts1), par.Workers(parallelism), nil, func(_, i int) {
+	workers := par.Workers(parallelism)
+	visitedW := make([]int64, workers)
+	skippedW := make([]int64, workers)
+	par.For(len(texts1), workers, nil, func(w, i int) {
 		t1 := texts1[i]
 		if t1 == "" {
 			return
@@ -384,12 +452,25 @@ func generateGraph(req generateRequest, maxNodes, parallelism int) (*GraphEntry,
 			if t2 == "" {
 				continue
 			}
-			if w := sim(t1, t2); w > req.MinSim && w > 0 {
-				row = append(row, edge{int32(j), w})
+			if sigZero && !sigs1[i].Intersects(sigs2[j]) {
+				skippedW[w]++
+				continue // provably sim == 0
+			}
+			if lens1 != nil && blocking.LengthBound(lens1[i], lens2[j]) <= req.MinSim {
+				skippedW[w]++
+				continue // provably sim <= MinSim
+			}
+			visitedW[w]++
+			if v := sim(t1, t2); v > req.MinSim && v > 0 {
+				row = append(row, edge{int32(j), v})
 			}
 		}
 		rows[i] = row
 	})
+	for w := 0; w < workers; w++ {
+		visited += visitedW[w]
+		skipped += skippedW[w]
+	}
 	b := graph.NewBuilder(len(texts1), len(texts2))
 	for i, row := range rows {
 		for _, e := range row {
@@ -398,7 +479,7 @@ func generateGraph(req generateRequest, maxNodes, parallelism int) (*GraphEntry,
 	}
 	g, err := b.Build()
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	g = g.NormalizeMinMax()
 	return &GraphEntry{
@@ -410,7 +491,7 @@ func generateGraph(req generateRequest, maxNodes, parallelism int) (*GraphEntry,
 		Dataset:  spec.ID,
 		Seed:     seed,
 		Scale:    scale,
-	}, nil
+	}, visited, skipped, nil
 }
 
 func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {

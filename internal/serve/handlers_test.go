@@ -701,3 +701,95 @@ func TestSingleMeasureFamilyMetrics(t *testing.T) {
 		t.Fatalf("generates_family_total[SB-SYN] = %d, want 1", m.GeneratesFamilyTotal["SB-SYN"])
 	}
 }
+
+// Repeated same-dataset family generation must be served from the
+// cross-build representation caches — byte-identical graphs, RepCache
+// hits visible on /metrics, and the candidate skip-ratio counters
+// populated.
+func TestFamilyGenerationRepCacheHits(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	var first, second struct {
+		Family string          `json:"family"`
+		Graphs []graphInfoJSON `json:"graphs"`
+	}
+	body := map[string]any{
+		"name": "r1", "dataset": "D2", "seed": 3, "scale": 0.02, "family": "SA-SYN",
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", body, &first); code != http.StatusCreated {
+		t.Fatalf("first family generate: status %d", code)
+	}
+	body["name"] = "r2"
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", body, &second); code != http.StatusCreated {
+		t.Fatalf("second family generate: status %d", code)
+	}
+	if len(first.Graphs) == 0 || len(first.Graphs) != len(second.Graphs) {
+		t.Fatalf("graph counts: %d vs %d", len(first.Graphs), len(second.Graphs))
+	}
+	for i := range first.Graphs {
+		if first.Graphs[i].Checksum != second.Graphs[i].Checksum {
+			t.Fatalf("graph %d: cached rebuild changed checksum %s -> %s",
+				i, first.Graphs[i].Checksum, second.Graphs[i].Checksum)
+		}
+	}
+	var metrics struct {
+		RepCacheHits    int64            `json:"repcache_hits_total"`
+		RepCacheMisses  int64            `json:"repcache_misses_total"`
+		RepCacheEntries int              `json:"repcache_entries"`
+		Visited         map[string]int64 `json:"generate_pairs_visited_total"`
+		Skipped         map[string]int64 `json:"generate_pairs_skipped_total"`
+		SkipRatio       float64          `json:"generate_skip_ratio"`
+	}
+	if code := doJSON(t, http.MethodGet, ts.URL+"/metrics", nil, &metrics); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if metrics.RepCacheHits == 0 {
+		t.Fatal("second generation produced no repcache hits")
+	}
+	if metrics.RepCacheMisses == 0 || metrics.RepCacheEntries == 0 {
+		t.Fatalf("repcache counters implausible: %+v", metrics)
+	}
+	if metrics.Visited["SA-SYN"] == 0 {
+		t.Fatalf("no visited pairs recorded: %+v", metrics)
+	}
+	if metrics.Skipped["SA-SYN"] == 0 || metrics.SkipRatio <= 0 {
+		t.Fatalf("candidate cut recorded no skips: %+v", metrics)
+	}
+}
+
+// The single-measure generation prefilters (character signatures, and
+// the length bound under min_sim) are lossless: a server with the
+// representation caches enabled and one with them disabled must emit
+// byte-identical graphs for filtered char measures, thresholded
+// Levenshtein, and (unfiltered) token measures alike.
+func TestGenerateMeasurePrefiltersLossless(t *testing.T) {
+	_, a := newTestServer(t, serve.Config{})
+	_, b := newTestServer(t, serve.Config{RepCacheDatasets: -1})
+	for _, req := range []map[string]any{
+		{"name": "g", "dataset": "D2", "seed": 5, "scale": 0.02, "measure": "Levenshtein", "min_sim": 0.4},
+		{"name": "g2", "dataset": "D2", "seed": 5, "scale": 0.02, "measure": "Jaro"},
+		{"name": "g3", "dataset": "D2", "seed": 5, "scale": 0.02, "measure": "Jaccard"},
+	} {
+		var ra, rb graphInfoJSON
+		if code := doJSON(t, http.MethodPost, a.URL+"/v1/graphs", req, &ra); code != http.StatusCreated {
+			t.Fatalf("server a: status %d for %v", code, req)
+		}
+		if code := doJSON(t, http.MethodPost, b.URL+"/v1/graphs", req, &rb); code != http.StatusCreated {
+			t.Fatalf("server b: status %d for %v", code, req)
+		}
+		if ra.Checksum != rb.Checksum || ra.Edges != rb.Edges {
+			t.Fatalf("%v: checksum/edges diverge: %s/%d vs %s/%d",
+				req, ra.Checksum, ra.Edges, rb.Checksum, rb.Edges)
+		}
+	}
+	// The single-measure path feeds the same skip-ratio counters as
+	// family mode (visited always; skipped whenever a prefilter fires).
+	var metrics struct {
+		Visited map[string]int64 `json:"generate_pairs_visited_total"`
+	}
+	if code := doJSON(t, http.MethodGet, a.URL+"/metrics", nil, &metrics); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if metrics.Visited["SB-SYN"] == 0 {
+		t.Fatalf("single-measure generation recorded no visited pairs: %+v", metrics)
+	}
+}

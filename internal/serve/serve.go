@@ -12,6 +12,7 @@ import (
 	"github.com/ccer-go/ccer/internal/core"
 	"github.com/ccer-go/ccer/internal/eval"
 	"github.com/ccer-go/ccer/internal/par"
+	"github.com/ccer-go/ccer/internal/simgraph"
 )
 
 // Config tunes a Server. The zero value is a working configuration; every
@@ -49,6 +50,12 @@ type Config struct {
 	// cost CPU while sampling, so production deployments should gate
 	// them behind operator intent (a flag on cmd/erserve).
 	EnablePprof bool
+	// RepCacheDatasets sizes the cross-build representation caches
+	// (TF/TF-IDF spaces, n-gram graphs, embeddings, attribute profiles)
+	// in resident datasets: repeated generation for an already-seen
+	// (dataset, seed, scale) reuses the per-entity representations with
+	// byte-identical output. 0 means 2; negative disables the caches.
+	RepCacheDatasets int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +80,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
+	if c.RepCacheDatasets == 0 {
+		c.RepCacheDatasets = 2
+	}
 	return c
 }
 
@@ -88,36 +98,47 @@ type counters struct {
 }
 
 // genStats accumulates similarity-graph generation timing per dataset
-// AND per weight family (SB-SYN / SA-SYN / SB-SEM / SA-SEM), so the
-// corpus-build fast path's effect — and specifically the character-
-// kernel work inside SB-SYN — is observable on /metrics of a resident
-// service.
+// AND per weight family (SB-SYN / SA-SYN / SB-SEM / SA-SEM), plus the
+// candidate-filter counters (pairs visited vs. provably skipped by the
+// lossless zero-score filters), so the corpus-build fast path's effect
+// — and the pruning's skip ratio — is observable on /metrics of a
+// resident service.
 type genStats struct {
-	mu       sync.Mutex
-	nanos    map[string]int64
-	count    map[string]int64
-	famNanos map[string]int64
-	famCount map[string]int64
+	mu         sync.Mutex
+	nanos      map[string]int64
+	count      map[string]int64
+	famNanos   map[string]int64
+	famCount   map[string]int64
+	famVisited map[string]int64
+	famSkipped map[string]int64
 }
 
 func (s *genStats) record(dataset, family string, d time.Duration) {
+	s.recordStats(dataset, family, d, 0, 0)
+}
+
+func (s *genStats) recordStats(dataset, family string, d time.Duration, visited, skipped int64) {
 	s.mu.Lock()
 	if s.nanos == nil {
 		s.nanos = map[string]int64{}
 		s.count = map[string]int64{}
 		s.famNanos = map[string]int64{}
 		s.famCount = map[string]int64{}
+		s.famVisited = map[string]int64{}
+		s.famSkipped = map[string]int64{}
 	}
 	s.nanos[dataset] += int64(d)
 	s.count[dataset]++
 	s.famNanos[family] += int64(d)
 	s.famCount[family]++
+	s.famVisited[family] += visited
+	s.famSkipped[family] += skipped
 	s.mu.Unlock()
 }
 
-// snapshot returns copies of the cumulative nanoseconds and build
-// counts, keyed by dataset and by family.
-func (s *genStats) snapshot() (nanos, count, famNanos, famCount map[string]int64) {
+// snapshot returns copies of the cumulative nanoseconds, build counts
+// and candidate counters, keyed by dataset and by family.
+func (s *genStats) snapshot() (nanos, count, famNanos, famCount, famVisited, famSkipped map[string]int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	copyMap := func(m map[string]int64) map[string]int64 {
@@ -127,7 +148,8 @@ func (s *genStats) snapshot() (nanos, count, famNanos, famCount map[string]int64
 		}
 		return out
 	}
-	return copyMap(s.nanos), copyMap(s.count), copyMap(s.famNanos), copyMap(s.famCount)
+	return copyMap(s.nanos), copyMap(s.count), copyMap(s.famNanos), copyMap(s.famCount),
+		copyMap(s.famVisited), copyMap(s.famSkipped)
 }
 
 // Server is the resident ER matching service: a graph store, a result
@@ -141,6 +163,7 @@ type Server struct {
 	mux     *http.ServeMux
 	stats   counters
 	gen     genStats
+	reps    *simgraph.RepCaches // nil when disabled
 	started time.Time
 }
 
@@ -154,6 +177,9 @@ func New(cfg Config) *Server {
 		cache:   NewResultCache(cfg.CacheSize),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+	}
+	if cfg.RepCacheDatasets > 0 {
+		s.reps = simgraph.NewRepCaches(cfg.RepCacheDatasets)
 	}
 	s.jobs = NewJobQueue(cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobHistory, s.runSweep)
 	s.routes()

@@ -87,6 +87,102 @@ type Options struct {
 	// anything below 1 means serial). Output is deterministic and
 	// identical at any setting.
 	Parallelism int
+	// Dense disables candidate pruning: every kernel visits every
+	// non-empty pair, as the seed pipeline did. The output is byte-
+	// identical to the pruned path (the filters are lossless); it exists
+	// as the reference side of the equivalence tests and CI run.
+	Dense bool
+	// Caches, when non-nil, supplies the cross-build representation
+	// caches (TF/TF-IDF spaces, n-gram graphs, embeddings, schema-based
+	// attribute profiles). Representations are pure functions of the
+	// texts, so cached builds are byte-identical to fresh ones; a
+	// resident service shares one RepCaches across requests.
+	Caches *RepCaches
+}
+
+// FamilyStats counts candidate-filter decisions of one weight family:
+// Visited is the number of kernel-block computations performed, Skipped
+// the number proven unnecessary by a lossless zero-score filter (the
+// pair could not have produced a positive edge for that block's
+// measures). For SB-SYN a pair contributes up to three blocks (char
+// measures, token measures, and the always-dense Needleman-Wunsch); for
+// SA-SYN one block per representation model (bag and n-gram-graph); the
+// semantic families are dense by nature (their measures are positive
+// for every non-empty pair), so their Skipped stays 0.
+type FamilyStats struct {
+	Visited int64
+	Skipped int64
+}
+
+// SkipRatio returns Skipped / (Visited + Skipped), 0 when nothing ran.
+func (s FamilyStats) SkipRatio() float64 {
+	if s.Visited+s.Skipped == 0 {
+		return 0
+	}
+	return float64(s.Skipped) / float64(s.Visited+s.Skipped)
+}
+
+// GenStats aggregates the per-family filter counters of one generation.
+type GenStats struct {
+	SBSyn, SASyn, SBSem, SASem FamilyStats
+}
+
+// Of returns the stats of one family.
+func (s GenStats) Of(f Family) FamilyStats {
+	switch f {
+	case SBSyn:
+		return s.SBSyn
+	case SASyn:
+		return s.SASyn
+	case SBSem:
+		return s.SBSem
+	default:
+		return s.SASem
+	}
+}
+
+// Add accumulates counters for one family (exported for callers that
+// aggregate stats across multiple generations, e.g. internal/exp).
+func (s *GenStats) Add(f Family, visited, skipped int64) {
+	var fs *FamilyStats
+	switch f {
+	case SBSyn:
+		fs = &s.SBSyn
+	case SASyn:
+		fs = &s.SASyn
+	case SBSem:
+		fs = &s.SBSem
+	default:
+		fs = &s.SASem
+	}
+	fs.Visited += visited
+	fs.Skipped += skipped
+}
+
+// Total sums the family counters.
+func (s GenStats) Total() FamilyStats {
+	return FamilyStats{
+		Visited: s.SBSyn.Visited + s.SASyn.Visited + s.SBSem.Visited + s.SASem.Visited,
+		Skipped: s.SBSyn.Skipped + s.SASyn.Skipped + s.SBSem.Skipped + s.SASem.Skipped,
+	}
+}
+
+// famCounters are the per-worker counter slots of one kernel fan-out;
+// summed after par.For returns, so no atomics are needed.
+type famCounters struct {
+	visited, skipped []int64
+}
+
+func newFamCounters(workers int) *famCounters {
+	return &famCounters{visited: make([]int64, workers), skipped: make([]int64, workers)}
+}
+
+func (c *famCounters) sum() (visited, skipped int64) {
+	for w := range c.visited {
+		visited += c.visited[w]
+		skipped += c.skipped[w]
+	}
+	return visited, skipped
 }
 
 func (o Options) families() []Family {
@@ -159,32 +255,42 @@ func sealRow(slot *[]rowEdge, buf []rowEdge) []rowEdge {
 // stays deterministic (families in taxonomy order, graphs in function
 // order within each family, identical edges at any parallelism).
 func Generate(task *dataset.Task, keyAttrs []string, opts Options) []SimGraph {
+	out, _ := GenerateStats(task, keyAttrs, opts)
+	return out
+}
+
+// GenerateStats is Generate, also reporting the per-family candidate-
+// filter counters (pairs visited vs. provably skipped).
+func GenerateStats(task *dataset.Task, keyAttrs []string, opts Options) ([]SimGraph, GenStats) {
 	workers := par.Workers(opts.Parallelism)
 	var models []embed.Model
 	var out []SimGraph
+	var stats GenStats
 	for _, f := range opts.families() {
 		switch f {
 		case SBSyn:
-			out = append(out, schemaBasedSyntactic(task, keyAttrs, workers)...)
+			out = append(out, schemaBasedSyntactic(task, keyAttrs, workers, opts, &stats)...)
 		case SASyn:
-			out = append(out, schemaAgnosticSyntactic(task, workers)...)
+			out = append(out, schemaAgnosticSyntactic(task, workers, opts, &stats)...)
 		case SBSem, SASem:
 			if models == nil {
 				// One token-vector cache pair serves both semantic
-				// families; embeddings are unchanged by it.
-				models = embed.CachedModels()
+				// families; embeddings are unchanged by it. With caches
+				// attached the models (and their token-vector caches)
+				// persist across builds.
+				models = opts.Caches.sems().Models()
 			}
 			if f == SBSem {
-				out = append(out, semantic(task, keyAttrs, opts, SBSem, workers, models)...)
+				out = append(out, semantic(task, keyAttrs, opts, SBSem, workers, models, &stats)...)
 			} else {
-				out = append(out, semantic(task, nil, opts, SASem, workers, models)...)
+				out = append(out, semantic(task, nil, opts, SASem, workers, models, &stats)...)
 			}
 		}
 	}
 	if !opts.KeepNoMatchGraphs {
 		out = filterNoMatchGraphs(out, task.GT)
 	}
-	return out
+	return out, stats
 }
 
 // filterNoMatchGraphs drops graphs in which every ground-truth pair has a
@@ -200,22 +306,15 @@ func filterNoMatchGraphs(graphs []SimGraph, gt *dataset.GroundTruth) []SimGraph 
 }
 
 // hasMatchEdge reports whether any ground-truth pair is an edge of g,
-// scanning whichever side of the check is smaller: sparse graphs walk
-// their own edge set against the GT lookup, dense ones probe the GT
-// pairs against the adjacency lists. Either direction exits on the first
-// hit. A nil gt panics (as the seed implementation did) rather than
-// silently classifying every graph as no-match.
+// walking the graph's edge set against the GT lookup with an early exit
+// on the first hit. It deliberately avoids the adjacency probes: the
+// graph's matching indexes are built lazily, and the cleaning filter
+// must not force them for graphs whose only consumer is this check. A
+// nil gt panics (as the seed implementation did) rather than silently
+// classifying every graph as no-match.
 func hasMatchEdge(g *graph.Bipartite, gt *dataset.GroundTruth) bool {
-	if g.NumEdges() < gt.Len() {
-		for _, e := range g.Edges() {
-			if gt.IsMatch(e.U, e.V) {
-				return true
-			}
-		}
-		return false
-	}
-	for _, p := range gt.Pairs {
-		if _, exists := g.Weight(p[0], p[1]); exists {
+	for _, e := range g.Edges() {
+		if gt.IsMatch(e.U, e.V) {
 			return true
 		}
 	}
@@ -223,80 +322,131 @@ func hasMatchEdge(g *graph.Bipartite, gt *dataset.GroundTruth) bool {
 }
 
 // schemaBasedSyntactic applies the 16 string measures to each key
-// attribute as row kernels: for each left entity, the bit-parallel
-// pattern state (strsim.CharProfile: PEQ bitmask tables + suffix
-// automaton) is built once and all n2 right rune slices stream through
-// it, amortizing kernel setup across the row the same way TokenSims
-// amortizes token profiles; Jaro and Needleman-Wunsch stay scalar over
-// per-worker integer scratch, q-grams and token measures remain merge
-// joins over precomputed profiles. Rows fan over the worker pool.
-func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string, workers int) []SimGraph {
+// attribute as row kernels over the precomputed attrReps bundle. Each
+// row streams all n2 right strings through the left entity's
+// bit-parallel pattern state, but per pair only the measure blocks that
+// can produce a positive edge run:
+//
+//   - Needleman-Wunsch is computed for every non-empty pair — with the
+//     paper's scoring it is positive for EVERY such pair (min/(2·max)
+//     even for disjoint alphabets), so its graph is dense by
+//     construction and no lossless filter exists; the bit-parallel
+//     kernel makes the mandatory dense scan cheap.
+//   - The six other char measures run only when the raw-rune signatures
+//     intersect (disjoint alphabets provably score 0 on all of them).
+//   - The nine token measures run only for pairs sharing a token (the
+//     postings index), for pairs whose token profiles are both empty
+//     (every token measure defines that case as 1), and — Monge-Elkan
+//     alone — for pairs whose token-rune signatures intersect without a
+//     shared token (ME's Smith-Waterman core only needs a shared
+//     character; the other eight are provably 0 without a shared token).
+//
+// Rows fan over the worker pool; edges are assembled in slot order, so
+// the output is identical at any worker count and equal to the dense
+// path.
+func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string, workers int, opts Options, stats *GenStats) []SimGraph {
 	numChar := len(charMeasureNames)
 	numMeasures := numChar + len(tokenMeasureNames)
+	meIdx := int32(numChar + 8) // MongeElkan's slot in TokenSims order
 
 	var out []SimGraph
 	n1, n2 := task.V1.Len(), task.V2.Len()
 	for _, attr := range keyAttrs {
-		texts1 := task.V1.AttrTexts(attr)
-		texts2 := task.V2.AttrTexts(attr)
-		prof1 := strsim.ProfileAll(tokenizeAll(texts1))
-		prof2 := strsim.ProfileAll(tokenizeAll(texts2))
-		qp1 := qgramProfiles(texts1)
-		qp2 := qgramProfiles(texts2)
-		cps1 := strsim.CharProfileAll(texts1)
-		runes2 := strsim.RunesAll(texts2)
+		reps := attrRepsFor(opts.Caches, task.V1.AttrTexts(attr), task.V2.AttrTexts(attr))
+		texts1, texts2 := reps.texts1, reps.texts2
 
 		rows := make([][]rowEdge, n1)
 		rowBufs := make([][]rowEdge, workers)
 		swCaches := make([]*strsim.SWCache, workers)
 		charScr := make([]*strsim.CharScratch, workers)
+		candBits := make([][]uint64, workers)
+		candLists := make([][]int32, workers)
+		ctr := newFamCounters(workers)
 		for w := range swCaches {
 			swCaches[w] = strsim.NewSWCache()
 			charScr[w] = strsim.NewCharScratch()
+			candBits[w] = make([]uint64, (n2+63)/64)
 		}
 		par.For(n1, workers, nil, func(w, i int) {
 			if texts1[i] == "" {
 				return
 			}
-			cp, scr := cps1[i], charScr[w]
+			cp, scr := reps.cps1[i], charScr[w]
 			ra := cp.Runes()
 			row := rowBufs[w][:0]
-			// Measure indexes follow charMeasureNames order.
+			rawSig := reps.rawSig1[i]
+			tokSig := reps.tokSig1[i]
+			leftTokEmpty := reps.prof1[i].Len() == 0
+			bits := candBits[w]
+			candLists[w] = reps.tokIndex.CandidateBits(reps.queryIDs1[i], bits, candLists[w])
+			visited, skipped := int64(0), int64(0)
+			// Measure indexes follow charMeasureNames order; within a j,
+			// block order is free (edges bucket per measure), but j stays
+			// ascending for every measure.
 			for j := 0; j < n2; j++ {
 				if texts2[j] == "" {
 					continue
 				}
-				rb := runes2[j]
-				if sim := cp.Levenshtein(rb, scr); sim > 0 {
-					row = append(row, rowEdge{0, int32(j), sim})
-				}
-				if sim := cp.DamerauLevenshtein(rb, scr); sim > 0 {
-					row = append(row, rowEdge{1, int32(j), sim})
-				}
-				if sim := strsim.JaroSeqScratch(ra, rb, scr); sim > 0 {
-					row = append(row, rowEdge{2, int32(j), sim})
-				}
-				if sim := strsim.NeedlemanWunschSeqScratch(ra, rb, scr); sim > 0 {
+				rb := reps.runes2[j]
+				// NW: dense by construction.
+				visited++
+				if sim := cp.NeedlemanWunsch(rb, scr); sim > 0 {
 					row = append(row, rowEdge{3, int32(j), sim})
 				}
-				if sim := qp1[i].Distance(qp2[j]); sim > 0 {
-					row = append(row, rowEdge{4, int32(j), sim})
-				}
-				if sim := cp.LongestCommonSubstring(rb); sim > 0 {
-					row = append(row, rowEdge{5, int32(j), sim})
-				}
-				if sim := cp.LongestCommonSubsequence(rb, scr); sim > 0 {
-					row = append(row, rowEdge{6, int32(j), sim})
-				}
-				sims := strsim.TokenSims(prof1[i], prof2[j], swCaches[w])
-				for k, sim := range sims {
-					if sim > 0 {
-						row = append(row, rowEdge{int32(numChar + k), int32(j), sim})
+				if opts.Dense || rawSig.Intersects(reps.rawSig2[j]) {
+					visited++
+					if sim := cp.Levenshtein(rb, scr); sim > 0 {
+						row = append(row, rowEdge{0, int32(j), sim})
 					}
+					if sim := cp.DamerauLevenshtein(rb, scr); sim > 0 {
+						row = append(row, rowEdge{1, int32(j), sim})
+					}
+					if sim := strsim.JaroSeqBitpar(ra, rb, reps.jaro2[j], scr); sim > 0 {
+						row = append(row, rowEdge{2, int32(j), sim})
+					}
+					if sim := reps.qp1[i].Distance(reps.qp2[j]); sim > 0 {
+						row = append(row, rowEdge{4, int32(j), sim})
+					}
+					if sim := cp.LongestCommonSubstring(rb); sim > 0 {
+						row = append(row, rowEdge{5, int32(j), sim})
+					}
+					if sim := cp.LongestCommonSubsequence(rb, scr); sim > 0 {
+						row = append(row, rowEdge{6, int32(j), sim})
+					}
+				} else {
+					skipped++
+				}
+				shared := bits[j>>6]&(1<<(uint(j)&63)) != 0
+				bothEmpty := leftTokEmpty && reps.prof2[j].Len() == 0
+				switch {
+				case opts.Dense || shared || bothEmpty:
+					visited++
+					sims := strsim.TokenSims(reps.prof1[i], reps.prof2[j], swCaches[w])
+					for k, sim := range sims {
+						if sim > 0 {
+							row = append(row, rowEdge{int32(numChar + k), int32(j), sim})
+						}
+					}
+				case tokSig.Intersects(reps.tokSig2[j]):
+					// No shared token: the eight merge-join measures are
+					// provably 0; only Monge-Elkan can be positive.
+					visited++
+					if sim := reps.prof1[i].MongeElkan(reps.prof2[j], swCaches[w]); sim > 0 {
+						row = append(row, rowEdge{meIdx, int32(j), sim})
+					}
+				default:
+					skipped++
 				}
 			}
+			for _, m := range candLists[w] {
+				bits[m>>6] &^= 1 << (uint(m) & 63)
+			}
+			ctr.visited[w] += visited
+			ctr.skipped[w] += skipped
 			rowBufs[w] = sealRow(&rows[i], row)
 		})
+		v, sk := ctr.sum()
+		stats.Add(SBSyn, v, sk)
 
 		builders := make([]*graph.Builder, numMeasures)
 		for k := range builders {
@@ -326,10 +476,10 @@ func tokenizeAll(texts []string) [][]string {
 	return out
 }
 
-func qgramProfiles(texts []string) []*strsim.QGramProfile {
-	out := make([]*strsim.QGramProfile, len(texts))
+func qgramProfiles(vocab *strsim.QGramVocab, texts []string) []*strsim.QGramIDProfile {
+	out := make([]*strsim.QGramIDProfile, len(texts))
 	for i, t := range texts {
-		out[i] = strsim.NewQGramProfile(t, 3)
+		out[i] = vocab.Profile(t, 3)
 	}
 	return out
 }
@@ -337,10 +487,52 @@ func qgramProfiles(texts []string) []*strsim.QGramProfile {
 // schemaAgnosticSyntactic produces the 36 bag-model graphs and 24
 // n-gram-graph-model graphs of Section 4. Representation models run in
 // order; within each model the candidate rows fan over the worker pool.
-func schemaAgnosticSyntactic(task *dataset.Task, workers int) []SimGraph {
+// The entity texts are tokenized once and shared by the three token
+// models (the char models ignore the token lists).
+func schemaAgnosticSyntactic(task *dataset.Task, workers int, opts Options, stats *GenStats) []SimGraph {
+	texts1 := task.V1.Texts()
+	texts2 := task.V2.Texts()
+	toks1 := tokenizeAll(texts1)
+	toks2 := tokenizeAll(texts2)
+	values1 := profileValues(task.V1)
+	values2 := profileValues(task.V2)
 	var out []SimGraph
 	for _, mode := range vector.Modes() {
-		out = append(out, schemaAgnosticMode(task, mode, workers)...)
+		out = append(out, schemaAgnosticMode(task, mode, workers, opts, stats,
+			texts1, texts2, toks1, toks2, values1, values2)...)
+	}
+	return out
+}
+
+func profileValues(c *dataset.Collection) [][]string {
+	out := make([][]string, len(c.Profiles))
+	for i, p := range c.Profiles {
+		out[i] = p.Values()
+	}
+	return out
+}
+
+// emptyIndexes returns the ascending indexes for which isEmpty reports
+// true — the left-side candidates of an empty right entity: for both bag
+// and n-gram-graph models an empty-vs-empty pair scores 1 on the
+// measures that define emptiness as identity (Jaccard variants; all four
+// graph measures), so candidate enumeration must pair the empties with
+// each other or those edges would be lost.
+func emptyIndexes(n int, isEmpty func(i int) bool) []int32 {
+	var out []int32
+	for i := 0; i < n; i++ {
+		if isEmpty(i) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// denseIndexes is the 0..n-1 candidate list of the dense reference path.
+func denseIndexes(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
 	}
 	return out
 }
@@ -353,28 +545,45 @@ type rowScratch struct {
 }
 
 // schemaAgnosticMode builds the 6 bag graphs and 4 n-gram-graph graphs of
-// one representation model.
-func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int) []SimGraph {
-	texts1 := task.V1.Texts()
-	texts2 := task.V2.Texts()
+// one representation model. Candidate rows visit only the pairs that can
+// score positive: pairs sharing a gram (postings) plus — losslessly —
+// empty-vs-empty pairs, which the Jaccard-family bag measures and all
+// four graph measures define as similarity 1. The dense option visits
+// every pair instead (the reference path; identical output).
+func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int, opts Options, stats *GenStats,
+	texts1, texts2 []string, toks1, toks2 [][]string, values1, values2 [][]string) []SimGraph {
 	n1, n2 := len(texts1), len(texts2)
 	var out []SimGraph
 
 	// Bag models: all 6 measures in one merge join per candidate pair,
 	// candidates enumerated per collection-2 row through the space's
 	// inverted index with a reusable bitset.
-	space := vector.NewSpace(mode, texts1, texts2)
+	space := opts.Caches.spaces().Get(mode, texts1, texts2, toks1, toks2)
 	space.CacheTFIDF() // materialize the per-entity caches before fanning out
+	emptyDocs1 := emptyIndexes(n1, func(i int) bool { return space.TF(1, i).Len() == 0 })
+	var dense []int32
+	if opts.Dense {
+		dense = denseIndexes(n1)
+	}
 	bagRows := make([][]rowEdge, n2)
 	scratch := make([]rowScratch, workers)
+	ctr := newFamCounters(workers)
 	for w := range scratch {
 		scratch[w].bits = make([]uint64, (n1+63)/64)
 	}
 	par.For(n2, workers, nil, func(w, j int) {
 		s := &scratch[w]
-		s.buf = space.Candidates(j, s.bits, s.buf)
+		cands := dense
+		if cands == nil {
+			if space.TF(2, j).Len() == 0 {
+				cands = emptyDocs1
+			} else {
+				s.buf = space.Candidates(j, s.bits, s.buf)
+				cands = s.buf
+			}
+		}
 		row := s.row[:0]
-		for _, i := range s.buf {
+		for _, i := range cands {
 			sims := space.AllSims(int(i), j)
 			for k, sim := range sims {
 				if sim > 0 {
@@ -382,8 +591,12 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int) []Sim
 				}
 			}
 		}
+		ctr.visited[w] += int64(len(cands))
+		ctr.skipped[w] += int64(n1 - len(cands))
 		s.row = sealRow(&bagRows[j], row)
 	})
+	v, sk := ctr.sum()
+	stats.Add(SASyn, v, sk)
 	bagBuilders := make([]*graph.Builder, 6)
 	for k := range bagBuilders {
 		bagBuilders[k] = graph.NewBuilder(n1, n2)
@@ -399,44 +612,41 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int) []Sim
 	}
 
 	// N-gram graph models: per-value graphs merged per entity once, all
-	// 4 measures in one merge join over pairs sharing at least one gram,
-	// enumerated through CSR postings over collection 1.
-	vocab := ngraph.NewVocab()
-	graphs1 := make([]*ngraph.Graph, n1)
-	for i, p := range task.V1.Profiles {
-		graphs1[i] = ngraph.FromEntity(vocab, mode, p.Values())
-	}
-	graphs2 := make([]*ngraph.Graph, n2)
-	for j, p := range task.V2.Profiles {
-		graphs2[j] = ngraph.FromEntity(vocab, mode, p.Values())
-	}
-	ids2 := make([][]int32, n2)
-	for j, g := range graphs2 {
-		ids2[j] = g.GramIDs()
-	}
-	// Inverted index over the gram nodes of collection 1's graphs: a
-	// pair sharing no gram node shares no edge, so the posting union
-	// per row is a superset of all non-zero graph similarities.
-	ids1 := make([][]int32, n1)
-	for i, g := range graphs1 {
-		ids1[i] = g.GramIDs()
-	}
-	postOff, postIDs := vector.BuildPostings(ids1, vocab.Size())
+	// 4 measures in one merge join over pairs sharing at least one gram
+	// node (CSR postings over collection 1), plus the empty-graph pairs
+	// (edge-less graphs score 1 against each other on all four
+	// measures). The bundle — graphs, node ids, postings — comes from
+	// the cross-build cache when one is attached.
+	reps := opts.Caches.grams().Get(mode, values1, values2)
+	emptyGraphs1 := emptyIndexes(n1, func(i int) bool { return reps.Graphs1[i].NumEdges() == 0 })
 	gramRows := make([][]rowEdge, n2)
+	gctr := newFamCounters(workers)
 	par.For(n2, workers, nil, func(w, j int) {
 		s := &scratch[w]
-		s.buf = vector.UnionCandidates(ids2[j], postOff, postIDs, s.bits, s.buf)
+		cands := dense
+		if cands == nil {
+			if reps.Graphs2[j].NumEdges() == 0 {
+				cands = emptyGraphs1
+			} else {
+				s.buf = vector.UnionCandidates(reps.IDs2[j], reps.Post1Off, reps.Post1IDs, s.bits, s.buf)
+				cands = s.buf
+			}
+		}
 		row := s.row[:0]
-		for _, i := range s.buf {
-			sims := ngraph.AllSims(graphs1[i], graphs2[j])
+		for _, i := range cands {
+			sims := ngraph.AllSims(reps.Graphs1[i], reps.Graphs2[j])
 			for k, sim := range sims {
 				if sim > 0 {
 					row = append(row, rowEdge{int32(k), i, sim})
 				}
 			}
 		}
+		gctr.visited[w] += int64(len(cands))
+		gctr.skipped[w] += int64(n1 - len(cands))
 		s.row = sealRow(&gramRows[j], row)
 	})
+	v, sk = gctr.sum()
+	stats.Add(SASyn, v, sk)
 	gBuilders := make([]*graph.Builder, 4)
 	for k := range gBuilders {
 		gBuilders[k] = graph.NewBuilder(n1, n2)
@@ -455,8 +665,13 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int) []Sim
 
 // semantic produces embedding-based graphs: schema-based when keyAttrs is
 // non-empty (one set per attribute) or schema-agnostic on the full
-// profile texts.
-func semantic(task *dataset.Task, keyAttrs []string, opts Options, family Family, workers int, models []embed.Model) []SimGraph {
+// profile texts. Every semantic measure is positive for every non-empty
+// pair (Euclidean and relaxed-WMS by their 1/(1+d) form, cosine except
+// at exactly opposite vectors), so the family is dense by nature and
+// only the per-entity representation work can be amortized: each scope
+// is tokenized once for both models, and the embeddings come from the
+// cross-build cache when one is attached.
+func semantic(task *dataset.Task, keyAttrs []string, opts Options, family Family, workers int, models []embed.Model, stats *GenStats) []SimGraph {
 	type scope struct {
 		prefix         string
 		texts1, texts2 []string
@@ -473,54 +688,26 @@ func semantic(task *dataset.Task, keyAttrs []string, opts Options, family Family
 
 	var out []SimGraph
 	for _, sc := range scopes {
+		toks1 := embed.TokenizeAll(sc.texts1)
+		toks2 := embed.TokenizeAll(sc.texts2)
 		for _, model := range models {
 			out = append(out, semanticGraphs(task.Name, family,
-				sc.prefix+model.Name(), model, sc.texts1, sc.texts2, opts, workers)...)
+				sc.prefix+model.Name(), model, sc.texts1, sc.texts2, toks1, toks2, opts, workers, stats)...)
 		}
 	}
 	return out
 }
 
-// entityVecs holds the semantic representations of one collection: the
-// text embedding plus the (truncated) token vectors for the relaxed Word
-// Mover's similarity. Both derive from one TokenVectors pass per entity.
-type entityVecs struct {
-	emb    [][]float64
-	normSq []float64
-	tv     [][][]float64
-	tw     [][]float64
-}
-
-func semanticVecs(model embed.Model, texts []string, maxTokens int) entityVecs {
-	ev := entityVecs{
-		emb:    make([][]float64, len(texts)),
-		normSq: make([]float64, len(texts)),
-		tv:     make([][][]float64, len(texts)),
-		tw:     make([][]float64, len(texts)),
-	}
-	for i, t := range texts {
-		v, w := model.TokenVectors(t)
-		ev.emb[i] = embed.EmbedTokens(model.Dim(), v, w)
-		ev.normSq[i] = embed.NormSq(ev.emb[i])
-		if len(v) > maxTokens {
-			v, w = v[:maxTokens], w[:maxTokens]
-		}
-		ev.tv[i] = v
-		ev.tw[i] = w
-	}
-	return ev
-}
-
-func semanticGraphs(ds string, family Family, prefix string, model embed.Model, texts1, texts2 []string, opts Options, workers int) []SimGraph {
+func semanticGraphs(ds string, family Family, prefix string, model embed.Model, texts1, texts2 []string, toks1, toks2 [][]string, opts Options, workers int, stats *GenStats) []SimGraph {
 	n1, n2 := len(texts1), len(texts2)
 
 	// One TokenVectors pass per entity feeds both the text embedding and
 	// the truncated token vectors (the seed recomputed them separately).
-	ev1 := semanticVecs(model, texts1, opts.maxWMDTokens())
-	ev2 := semanticVecs(model, texts2, opts.maxWMDTokens())
+	ev1 := opts.Caches.sems().Reps(model, texts1, toks1, opts.maxWMDTokens())
+	ev2 := opts.Caches.sems().Reps(model, texts2, toks2, opts.maxWMDTokens())
 
 	maxTok2 := 0
-	for _, vecs := range ev2.tv {
+	for _, vecs := range ev2.TV {
 		if len(vecs) > maxTok2 {
 			maxTok2 = len(vecs)
 		}
@@ -528,6 +715,7 @@ func semanticGraphs(ds string, family Family, prefix string, model embed.Model, 
 	rows := make([][]rowEdge, n1)
 	rowBufs := make([][]rowEdge, workers)
 	colBests := make([][]float64, workers)
+	ctr := newFamCounters(workers)
 	for w := range colBests {
 		colBests[w] = make([]float64, maxTok2)
 	}
@@ -537,25 +725,28 @@ func semanticGraphs(ds string, family Family, prefix string, model embed.Model, 
 		}
 		row := rowBufs[w][:0]
 		colBest := colBests[w]
-		va, wa := ev1.tv[i], ev1.tw[i]
+		va, wa := ev1.TV[i], ev1.TW[i]
 		for j := 0; j < n2; j++ {
 			if texts2[j] == "" {
 				continue
 			}
-			cos, euc := embed.CosineEuclidean(ev1.emb[i], ev2.emb[j],
-				ev1.normSq[i], ev2.normSq[j])
+			ctr.visited[w]++
+			cos, euc := embed.CosineEuclidean(ev1.Emb[i], ev2.Emb[j],
+				ev1.NormSq[i], ev2.NormSq[j])
 			if cos > 0 {
 				row = append(row, rowEdge{0, int32(j), cos})
 			}
 			if euc > 0 {
 				row = append(row, rowEdge{1, int32(j), euc})
 			}
-			if sim := relaxedWMSFused(va, wa, ev2.tv[j], ev2.tw[j], colBest); sim > 0 {
+			if sim := relaxedWMSFused(va, wa, ev2.TV[j], ev2.TW[j], colBest); sim > 0 {
 				row = append(row, rowEdge{2, int32(j), sim})
 			}
 		}
 		rowBufs[w] = sealRow(&rows[i], row)
 	})
+	v, sk := ctr.sum()
+	stats.Add(family, v, sk)
 
 	builders := [3]*graph.Builder{}
 	for k := range builders {
@@ -608,8 +799,25 @@ func relaxedWMSFused(va [][]float64, wa []float64, vb [][]float64, wb []float64,
 	for ti, v := range va {
 		rowBest := -1.0
 		for tj, u := range vb {
+			// Reslicing u to v's length lets the compiler drop the
+			// bounds check in the dimension loop (both vectors come from
+			// the same model, so the lengths are equal), and the 4-way
+			// unroll keeps the adds in index order, so the sum is
+			// bit-identical to the plain loop.
+			u = u[:len(v)]
 			s := 0.0
-			for k := range v {
+			k := 0
+			for ; k+4 <= len(v); k += 4 {
+				d0 := v[k] - u[k]
+				s += d0 * d0
+				d1 := v[k+1] - u[k+1]
+				s += d1 * d1
+				d2 := v[k+2] - u[k+2]
+				s += d2 * d2
+				d3 := v[k+3] - u[k+3]
+				s += d3 * d3
+			}
+			for ; k < len(v); k++ {
 				dd := v[k] - u[k]
 				s += dd * dd
 			}
@@ -658,10 +866,12 @@ func directional(from [][]float64, w []float64, to [][]float64) float64 {
 }
 
 func appendGraph(out []SimGraph, ds string, family Family, name string, b *graph.Builder) []SimGraph {
-	g, err := b.Build()
+	// Build + min-max normalization fused into one graph assembly; the
+	// golden tests pin it against the two-step Build().NormalizeMinMax().
+	g, err := b.BuildNormalized()
 	if err != nil {
 		// Builders are fed validated indexes; an error here is a bug.
 		panic(fmt.Sprintf("simgraph: %v", err))
 	}
-	return append(out, SimGraph{Dataset: ds, Family: family, Name: name, G: g.NormalizeMinMax()})
+	return append(out, SimGraph{Dataset: ds, Family: family, Name: name, G: g})
 }

@@ -92,6 +92,12 @@ func checkProfileAgreement(t *testing.T, a, b string) {
 	if got, want := SmithWatermanSeq(ra, rb), refSmithWatermanSeq(ra, rb); got != want {
 		t.Fatalf("SmithWatermanSeq(%q,%q) = %v, reference %v", a, b, got, want)
 	}
+	if got, want := p.NeedlemanWunsch(rb, scratch), refNeedlemanWunschSeq(ra, rb); got != want {
+		t.Fatalf("bitpar NeedlemanWunsch(%q,%q) = %v, reference %v", a, b, got, want)
+	}
+	if got, want := JaroSeqBitpar(ra, rb, NewJaroTable(rb), scratch), JaroSeq(ra, rb); got != want {
+		t.Fatalf("JaroSeqBitpar(%q,%q) = %v, scalar %v", a, b, got, want)
+	}
 }
 
 // enumerate all strings over alphabet of length up to maxLen.

@@ -113,6 +113,12 @@ func FuzzBitparVsScalar(f *testing.F) {
 		if got, want := SmithWatermanSeqScratch(ra, rb, scratch), SmithWatermanSeq(ra, rb); got != want {
 			t.Fatalf("SmithWatermanSeqScratch(%q,%q) = %v, scalar %v", a, b, got, want)
 		}
+		if got, want := p.NeedlemanWunsch(rb, scratch), NeedlemanWunschSeq(ra, rb); got != want {
+			t.Fatalf("bitpar NeedlemanWunsch(%q,%q) = %v, scalar %v", a, b, got, want)
+		}
+		if got, want := JaroSeqBitpar(ra, rb, NewJaroTable(rb), scratch), JaroSeq(ra, rb); got != want {
+			t.Fatalf("JaroSeqBitpar(%q,%q) = %v, scalar %v", a, b, got, want)
+		}
 	})
 }
 

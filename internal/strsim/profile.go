@@ -2,6 +2,7 @@ package strsim
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -428,6 +429,109 @@ func (a *QGramProfile) Distance(b *QGramProfile) float64 {
 		}
 	}
 	total = a.total + b.total
+	if total == 0 {
+		return 1
+	}
+	return 1 - float64(dist)/float64(total)
+}
+
+// QGramVocab interns padded q-grams (q <= 4) to dense ids by rune
+// window, so profiles compare by integer merge join instead of string
+// compares. Interning is not safe for concurrent use; built profiles
+// are. Every accumulator of the distance is an integer, so the id-order
+// reordering of the merge join is exact and QGramIDProfile.Distance is
+// bit-identical to QGramProfile.Distance on the same strings.
+type QGramVocab struct {
+	ids map[[4]rune]int32
+}
+
+// NewQGramVocab returns an empty q-gram vocabulary.
+func NewQGramVocab() *QGramVocab {
+	return &QGramVocab{ids: make(map[[4]rune]int32)}
+}
+
+func (v *QGramVocab) id(key [4]rune) int32 {
+	id, ok := v.ids[key]
+	if !ok {
+		id = int32(len(v.ids))
+		v.ids[key] = id
+	}
+	return id
+}
+
+// QGramIDProfile is QGramProfile with interned gram ids: sorted id
+// slice with counts and the total gram count.
+type QGramIDProfile struct {
+	ids    []int32
+	counts []int32
+	total  int64
+}
+
+// Profile builds the padded q-gram id profile of s (q <= 4; the
+// QGramsDistance configuration is q=3 with "#" padding).
+func (v *QGramVocab) Profile(s string, q int) *QGramIDProfile {
+	p := &QGramIDProfile{}
+	if s == "" {
+		return p
+	}
+	r := make([]rune, 0, len(s)+2*(q-1))
+	for i := 0; i < q-1; i++ {
+		r = append(r, '#')
+	}
+	r = append(r, []rune(s)...)
+	for i := 0; i < q-1; i++ {
+		r = append(r, '#')
+	}
+	ids := make([]int32, 0, len(r)-q+1)
+	key := [4]rune{-1, -1, -1, -1}
+	for i := 0; i+q <= len(r); i++ {
+		copy(key[:q], r[i:i+q])
+		ids = append(ids, v.id(key))
+	}
+	slices.Sort(ids)
+	for i := 0; i < len(ids); {
+		j := i + 1
+		for j < len(ids) && ids[j] == ids[i] {
+			j++
+		}
+		p.ids = append(p.ids, ids[i])
+		p.counts = append(p.counts, int32(j-i))
+		p.total += int64(j - i)
+		i = j
+	}
+	return p
+}
+
+// Distance returns the q-grams similarity of two id profiles,
+// bit-identical to QGramProfile.Distance on the underlying strings.
+func (a *QGramIDProfile) Distance(b *QGramIDProfile) float64 {
+	var dist int64
+	i, j := 0, 0
+	for i < len(a.ids) && j < len(b.ids) {
+		switch {
+		case a.ids[i] < b.ids[j]:
+			dist += int64(a.counts[i])
+			i++
+		case a.ids[i] > b.ids[j]:
+			dist += int64(b.counts[j])
+			j++
+		default:
+			d := int64(a.counts[i]) - int64(b.counts[j])
+			if d < 0 {
+				d = -d
+			}
+			dist += d
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.ids); i++ {
+		dist += int64(a.counts[i])
+	}
+	for ; j < len(b.ids); j++ {
+		dist += int64(b.counts[j])
+	}
+	total := a.total + b.total
 	if total == 0 {
 		return 1
 	}

@@ -317,3 +317,28 @@ func TestSWCacheConsistency(t *testing.T) {
 		t.Fatalf("memoized MongeElkan diverged: %v / %v / %v", first, second, uncached)
 	}
 }
+
+// TestQGramIDProfileMatchesStringProfile pins the interned-id q-gram
+// distance bit-for-bit against the string-profile implementation.
+func TestQGramIDProfileMatchesStringProfile(t *testing.T) {
+	texts := []string{
+		"", "a", "ab", "abc", "golden dragon bistro", "harbor grill",
+		"日本語 カフェ", "###", "aaaa", "Éclair café", "x#y",
+	}
+	vocab := NewQGramVocab()
+	idProfs := make([]*QGramIDProfile, len(texts))
+	strProfs := make([]*QGramProfile, len(texts))
+	for i, s := range texts {
+		idProfs[i] = vocab.Profile(s, 3)
+		strProfs[i] = NewQGramProfile(s, 3)
+	}
+	for i := range texts {
+		for j := range texts {
+			got := idProfs[i].Distance(idProfs[j])
+			want := strProfs[i].Distance(strProfs[j])
+			if got != want {
+				t.Fatalf("Distance(%q,%q) = %v, string profile %v", texts[i], texts[j], got, want)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ package vector
 import (
 	"fmt"
 	"math"
+	bits2 "math/bits"
 	"slices"
 	"sync"
 
@@ -192,11 +193,139 @@ func GeneralizedJaccard(a, b Vec) float64 {
 	return minSum / maxSum
 }
 
+// gramInterner assigns dense gram ids in first-occurrence order without
+// materializing gram strings: char n-grams (n <= 4) key the rune window
+// directly (padded with an impossible rune for the short-string gram),
+// token n-grams (n <= 3) key tuples of interned token ids. Both key
+// equivalences coincide with string equality of the corresponding gram
+// strings, so the assigned ids — and every downstream float summation
+// order — are identical to the historical map[string]int32 vocabulary.
+// Modes outside those bounds (not produced by Modes()) fall back to
+// string keys via Mode.Grams.
+type gramInterner struct {
+	char  map[[4]rune]int32
+	tokID map[string]int32
+	tok   map[[3]int32]int32
+	str   map[string]int32
+	size  int
+}
+
+// noRune pads short gram keys; it can never appear in decoded text.
+const noRune rune = -1
+
+// emptyTokens distinguishes "pre-tokenized with zero tokens" from "not
+// pre-tokenized" (nil) in NewSpaceTokens.
+var emptyTokens = make([]string, 0)
+
+func newGramInterner(mode Mode) *gramInterner {
+	in := &gramInterner{}
+	switch {
+	case mode.Char && mode.N <= 4:
+		in.char = make(map[[4]rune]int32)
+	case !mode.Char && mode.N <= 3:
+		in.tokID = make(map[string]int32)
+		in.tok = make(map[[3]int32]int32)
+	default:
+		in.str = make(map[string]int32)
+	}
+	return in
+}
+
+func (in *gramInterner) internChar(key [4]rune) int32 {
+	id, ok := in.char[key]
+	if !ok {
+		id = int32(in.size)
+		in.char[key] = id
+		in.size++
+	}
+	return id
+}
+
+func (in *gramInterner) internTok(key [3]int32) int32 {
+	id, ok := in.tok[key]
+	if !ok {
+		id = int32(in.size)
+		in.tok[key] = id
+		in.size++
+	}
+	return id
+}
+
+func (in *gramInterner) tokenID(tok string) int32 {
+	id, ok := in.tokID[tok]
+	if !ok {
+		id = int32(len(in.tokID))
+		in.tokID[tok] = id
+	}
+	return id
+}
+
+func (in *gramInterner) internStr(gram string) int32 {
+	id, ok := in.str[gram]
+	if !ok {
+		id = int32(in.size)
+		in.str[gram] = id
+		in.size++
+	}
+	return id
+}
+
+// gramIDs appends the text's gram ids under the mode to dst, interning
+// new grams. toks, when non-nil, are strsim.Tokenize(text) (token modes
+// only); runeBuf is reusable rune scratch. It returns the ids, the
+// rune scratch and the token-id scratch for reuse.
+func (in *gramInterner) gramIDs(mode Mode, text string, toks []string, dst []int32, runeBuf []rune, tidBuf []int32) ([]int32, []rune, []int32) {
+	switch {
+	case in.char != nil:
+		runeBuf = append(runeBuf[:0], []rune(text)...)
+		r := runeBuf
+		if len(r) == 0 {
+			return dst, runeBuf, tidBuf
+		}
+		key := [4]rune{noRune, noRune, noRune, noRune}
+		if len(r) <= mode.N {
+			copy(key[:], r)
+			return append(dst, in.internChar(key)), runeBuf, tidBuf
+		}
+		for i := 0; i+mode.N <= len(r); i++ {
+			copy(key[:], r[i:i+mode.N])
+			dst = append(dst, in.internChar(key))
+		}
+		return dst, runeBuf, tidBuf
+	case in.tok != nil:
+		if toks == nil {
+			toks = strsim.Tokenize(text)
+		}
+		if len(toks) == 0 {
+			return dst, runeBuf, tidBuf
+		}
+		tidBuf = tidBuf[:0]
+		for _, tok := range toks {
+			tidBuf = append(tidBuf, in.tokenID(tok))
+		}
+		key := [3]int32{-1, -1, -1}
+		if len(tidBuf) <= mode.N {
+			copy(key[:], tidBuf)
+			return append(dst, in.internTok(key)), runeBuf, tidBuf
+		}
+		for i := 0; i+mode.N <= len(tidBuf); i++ {
+			copy(key[:], tidBuf[i:i+mode.N])
+			dst = append(dst, in.internTok(key))
+		}
+		return dst, runeBuf, tidBuf
+	default:
+		for _, g := range mode.Grams(text) {
+			dst = append(dst, in.internStr(g))
+		}
+		return dst, runeBuf, tidBuf
+	}
+}
+
 // Space is the shared vector space of two entity collections under one
 // representation model.
 type Space struct {
-	Mode  Mode
-	vocab map[string]int32
+	Mode      Mode
+	vocabSize int
 	// TF document vectors per collection, indexed by entity.
 	docs1, docs2 []Vec
 	// Per-collection document frequencies per gram id (for ARCS) and
@@ -222,18 +351,32 @@ type Space struct {
 // NewSpace builds the space from the schema-agnostic texts of the two
 // collections (one string per entity).
 func NewSpace(mode Mode, texts1, texts2 []string) *Space {
-	s := &Space{Mode: mode, vocab: make(map[string]int32)}
-	s.docs1 = s.addAll(texts1, &s.df1)
-	s.docs2 = s.addAll(texts2, &s.df2)
+	return newSpace(mode, texts1, texts2, nil, nil)
+}
+
+// NewSpaceTokens is NewSpace with pre-tokenized texts for token modes:
+// toks1/toks2 must be strsim.Tokenize of each entity's text, letting the
+// paper's three token models share one tokenization pass. Char modes
+// ignore the token lists. The space is identical to NewSpace's.
+func NewSpaceTokens(mode Mode, texts1, texts2 []string, toks1, toks2 [][]string) *Space {
+	return newSpace(mode, texts1, texts2, toks1, toks2)
+}
+
+func newSpace(mode Mode, texts1, texts2 []string, toks1, toks2 [][]string) *Space {
+	s := &Space{Mode: mode}
+	in := newGramInterner(mode)
+	s.docs1 = s.addAll(in, texts1, toks1, &s.df1)
+	s.docs2 = s.addAll(in, texts2, toks2, &s.df2)
+	s.vocabSize = in.size
 	// Pad DFs to the final vocabulary size.
-	for len(s.df1) < len(s.vocab) {
+	for len(s.df1) < s.vocabSize {
 		s.df1 = append(s.df1, 0)
 	}
-	for len(s.df2) < len(s.vocab) {
+	for len(s.df2) < s.vocabSize {
 		s.df2 = append(s.df2, 0)
 	}
 	total := len(texts1) + len(texts2)
-	s.idf = make([]float64, len(s.vocab))
+	s.idf = make([]float64, s.vocabSize)
 	for id := range s.idf {
 		df := int(s.df1[id] + s.df2[id])
 		s.idf[id] = math.Log(float64(total) / float64(df+1))
@@ -244,24 +387,24 @@ func NewSpace(mode Mode, texts1, texts2 []string) *Space {
 	return s
 }
 
-func (s *Space) addAll(texts []string, df *[]int32) []Vec {
+func (s *Space) addAll(in *gramInterner, texts []string, toks [][]string, df *[]int32) []Vec {
 	docs := make([]Vec, len(texts))
 	var ids []int32 // reusable per-entity gram-id scratch
+	var runeBuf []rune
+	var tidBuf []int32
 	for i, text := range texts {
-		grams := s.Mode.Grams(text)
-		ids = ids[:0]
-		for _, g := range grams {
-			id, ok := s.vocab[g]
-			if !ok {
-				id = int32(len(s.vocab))
-				s.vocab[g] = id
+		var entToks []string
+		if toks != nil {
+			entToks = toks[i]
+			if entToks == nil {
+				entToks = emptyTokens // pre-tokenized as token-less: do not re-tokenize
 			}
-			ids = append(ids, id)
 		}
+		ids, runeBuf, tidBuf = in.gramIDs(s.Mode, text, entToks, ids[:0], runeBuf, tidBuf)
 		// Sort + run-length encode instead of a per-entity count map.
+		norm := float64(len(ids))
 		slices.Sort(ids)
 		v := Vec{}
-		norm := float64(len(grams))
 		for k := 0; k < len(ids); {
 			j := k + 1
 			for j < len(ids) && ids[j] == ids[k] {
@@ -339,7 +482,7 @@ func (s *Space) ensureCache() {
 		// The ARCS contribution of a shared gram depends only on its two
 		// document frequencies; tabulating it once replaces a math.Log
 		// per shared gram per pair with a load of the identical float.
-		s.arcsW = make([]float64, len(s.vocab))
+		s.arcsW = make([]float64, s.vocabSize)
 		for id := range s.arcsW {
 			df1 := math.Max(2, float64(s.df1[id]))
 			df2 := math.Max(2, float64(s.df2[id]))
@@ -461,21 +604,32 @@ func BuildPostings(lists [][]int32, size int) (off, ids []int32) {
 // UnionCandidates appends to dst the distinct items posted under any of
 // the query ids, in ascending order. bits must be a zeroed bitset with
 // at least one bit per item; it is cleared again before returning, so
-// one allocation serves a whole enumeration loop.
+// one allocation serves a whole enumeration loop. The ascending order
+// comes from walking the touched bitset words lowest-first, so no sort
+// is needed.
 func UnionCandidates(query, off, post []int32, bits []uint64, dst []int32) []int32 {
 	dst = dst[:0]
+	loW, hiW := len(bits), -1
 	for _, id := range query {
 		for _, i := range post[off[id]:off[id+1]] {
-			if bits[i>>6]&(1<<(uint(i)&63)) == 0 {
-				bits[i>>6] |= 1 << (uint(i) & 63)
-				dst = append(dst, i)
+			w := int(i >> 6)
+			if bits[w]&(1<<(uint(i)&63)) == 0 {
+				bits[w] |= 1 << (uint(i) & 63)
+				if w < loW {
+					loW = w
+				}
+				if w > hiW {
+					hiW = w
+				}
 			}
 		}
 	}
-	for _, i := range dst {
-		bits[i>>6] &^= 1 << (uint(i) & 63)
+	for w := loW; w <= hiW; w++ {
+		for word := bits[w]; word != 0; word &= word - 1 {
+			dst = append(dst, int32(w<<6+bits2.TrailingZeros64(word)))
+		}
+		bits[w] = 0
 	}
-	slices.Sort(dst)
 	return dst
 }
 
@@ -488,7 +642,7 @@ func (s *Space) postings() {
 		for i, v := range s.docs1 {
 			lists[i] = v.IDs
 		}
-		s.postOff, s.postIDs = BuildPostings(lists, len(s.vocab))
+		s.postOff, s.postIDs = BuildPostings(lists, s.vocabSize)
 	})
 }
 

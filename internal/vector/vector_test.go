@@ -3,9 +3,12 @@ package vector
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"github.com/ccer-go/ccer/internal/strsim"
 )
 
 func approx(t *testing.T, got, want float64, name string) {
@@ -269,6 +272,127 @@ func TestCacheAndCandidateOrder(t *testing.T) {
 			if prev[1] > p[1] || (prev[1] == p[1] && prev[0] >= p[0]) {
 				t.Fatalf("candidate pairs out of order: %v before %v", prev, p)
 			}
+		}
+	}
+}
+
+// refSpace builds the document vectors the way the historical
+// implementation did — string grams via Mode.Grams into a
+// map[string]int32 vocabulary — as the reference for the allocation-free
+// interner path.
+func refSpaceDocs(mode Mode, texts []string, vocab map[string]int32) []Vec {
+	docs := make([]Vec, len(texts))
+	var ids []int32
+	for i, text := range texts {
+		grams := mode.Grams(text)
+		ids = ids[:0]
+		for _, g := range grams {
+			id, ok := vocab[g]
+			if !ok {
+				id = int32(len(vocab))
+				vocab[g] = id
+			}
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		v := Vec{}
+		norm := float64(len(grams))
+		for k := 0; k < len(ids); {
+			j := k + 1
+			for j < len(ids) && ids[j] == ids[k] {
+				j++
+			}
+			v.IDs = append(v.IDs, ids[k])
+			v.Ws = append(v.Ws, float64(j-k)/norm)
+			k = j
+		}
+		docs[i] = v
+	}
+	return docs
+}
+
+// TestInternerMatchesStringVocab pins the rune-window / token-tuple
+// interner against the string-keyed vocabulary: identical gram ids,
+// identical vectors, for every mode, over texts with empties, repeats,
+// short-string grams and unicode.
+func TestInternerMatchesStringVocab(t *testing.T) {
+	texts1 := []string{
+		"golden dragon bistro", "", "a", "ab", "a b", "日本語 カフェ",
+		"!!!", "repeat repeat repeat", "Éclair café", "x",
+	}
+	texts2 := []string{
+		"golden dragon", "harbor grill house", "", "ab", "b a",
+		"日本語", "repeat", "zz zz zz zz",
+	}
+	for _, mode := range Modes() {
+		s := NewSpace(mode, texts1, texts2)
+		vocab := map[string]int32{}
+		ref1 := refSpaceDocs(mode, texts1, vocab)
+		ref2 := refSpaceDocs(mode, texts2, vocab)
+		if s.vocabSize != len(vocab) {
+			t.Fatalf("%v: vocabSize %d != reference %d", mode, s.vocabSize, len(vocab))
+		}
+		checkDocs := func(got, want []Vec, side int) {
+			t.Helper()
+			for i := range want {
+				if !slices.Equal(got[i].IDs, want[i].IDs) {
+					t.Fatalf("%v side %d entity %d: ids %v != %v", mode, side, i, got[i].IDs, want[i].IDs)
+				}
+				if !slices.Equal(got[i].Ws, want[i].Ws) {
+					t.Fatalf("%v side %d entity %d: ws %v != %v", mode, side, i, got[i].Ws, want[i].Ws)
+				}
+			}
+		}
+		checkDocs(s.docs1, ref1, 1)
+		checkDocs(s.docs2, ref2, 2)
+
+		// Pre-tokenized construction must be identical too.
+		toks := func(texts []string) [][]string {
+			out := make([][]string, len(texts))
+			for i, txt := range texts {
+				out[i] = strsim.Tokenize(txt)
+			}
+			return out
+		}
+		st := NewSpaceTokens(mode, texts1, texts2, toks(texts1), toks(texts2))
+		checkDocs(st.docs1, ref1, 1)
+		checkDocs(st.docs2, ref2, 2)
+	}
+}
+
+// TestUnionCandidatesSortedClear pins the bitset-walk enumeration:
+// ascending distinct output, bitset cleared afterwards.
+func TestUnionCandidatesSortedClear(t *testing.T) {
+	lists := [][]int32{{0, 2}, {1}, {0, 1, 3}, {}, {2, 3}}
+	off, post := BuildPostings(lists, 4)
+	bits := make([]uint64, 1)
+	for _, query := range [][]int32{{0}, {1, 2}, {3, 3, 0}, {}} {
+		got := UnionCandidates(query, off, post, bits, nil)
+		want := map[int32]bool{}
+		for _, id := range query {
+			for i, l := range lists {
+				for _, x := range l {
+					if x == id {
+						want[int32(i)] = true
+					}
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %v", query, got)
+		}
+		for k := 1; k < len(got); k++ {
+			if got[k-1] >= got[k] {
+				t.Fatalf("query %v: not ascending: %v", query, got)
+			}
+		}
+		for _, i := range got {
+			if !want[int32(i)] {
+				t.Fatalf("query %v: spurious %d", query, i)
+			}
+		}
+		if bits[0] != 0 {
+			t.Fatal("bitset not cleared")
 		}
 	}
 }
