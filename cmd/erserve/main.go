@@ -7,7 +7,14 @@
 //
 //	erserve [-addr :8080] [-cache N] [-job-workers N] [-queue-depth N]
 //	        [-job-history N] [-max-nodes N] [-parallel N]
-//	        [-max-body BYTES] [-drain DURATION]
+//	        [-max-body BYTES] [-data-dir DIR] [-compact-every DURATION]
+//	        [-drain DURATION]
+//
+// With -data-dir the graph store is durable: every acknowledged
+// mutation commits to an fsync'd journal over content-addressed
+// snapshots before the response is written, and a restart (even after
+// kill -9) recovers exactly the committed graphs, verified against
+// their checksums.
 //
 // Endpoints:
 //
@@ -67,13 +74,15 @@ func run() error {
 	maxBody := flag.Int64("max-body", 32<<20, "request body limit in bytes")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	repcache := flag.Int("repcache", 2, "cross-build representation cache size in resident datasets (negative disables)")
+	dataDir := flag.String("data-dir", "", "durable data directory: journal + snapshots; committed graphs survive crashes (empty = in-memory only)")
+	compactEvery := flag.Duration("compact-every", 0, "background snapshot/compaction period with -data-dir (0 = 60s, negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v; see -h", flag.Args())
 	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		CacheSize:        *cache,
 		JobWorkers:       *jobWorkers,
 		JobQueueDepth:    *queueDepth,
@@ -83,7 +92,12 @@ func run() error {
 		MaxBodyBytes:     *maxBody,
 		EnablePprof:      *pprofOn,
 		RepCacheDatasets: *repcache,
+		DataDir:          *dataDir,
+		CompactEvery:     *compactEvery,
 	})
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	// Listen before announcing readiness so a bad -addr fails fast.

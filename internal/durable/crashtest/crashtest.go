@@ -1,0 +1,479 @@
+// Package crashtest is the fault-injection harness behind the
+// durability guarantees of internal/durable. It provides
+//
+//   - MemFS: an in-memory durable.FS that tracks which bytes have been
+//     fsync'd and can simulate a power cut (Crash), discarding every
+//     unsynced write — the way a kernel page cache loses data when the
+//     machine dies;
+//   - FaultFS: a wrapper over any durable.FS that injects errors, short
+//     writes, dropped fsyncs, and simulated crashes at named fault
+//     points ("write:wal", "rename:graphs", ...);
+//
+// plus, in the package's tests, a re-exec based kill -9 harness that
+// SIGKILLs a real erserve child at randomized points mid-commit and
+// asserts bit-identical recovery.
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/ccer-go/ccer/internal/durable"
+)
+
+// ErrInjected is the default error returned by a fired fault.
+var ErrInjected = errors.New("crashtest: injected fault")
+
+// ErrCrashed is returned by every operation on a MemFS handle that
+// survived a Crash, mirroring how file descriptors of a dead process
+// cannot be used again.
+var ErrCrashed = errors.New("crashtest: filesystem crashed")
+
+// memFile is one file's content: data is what readers see (the page
+// cache), synced is the prefix that survives a crash (stable storage).
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// MemFS is an in-memory filesystem with fsync-accurate crash semantics
+// for file CONTENT: bytes written after the last Sync are lost by
+// Crash. Metadata operations (create, rename, remove) are treated as
+// immediately durable — a simplification that leaves the journal
+// commit path (append + fsync) carrying the torn-tail burden, which is
+// the path the tests attack.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+	epoch int
+}
+
+// NewMemFS returns an empty filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]bool{"": true}}
+}
+
+// Crash simulates a power cut: every file's unsynced suffix is
+// discarded and every open handle goes dead.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.data = f.data[:f.synced]
+	}
+	m.epoch++
+}
+
+// Clone returns a deep copy of the filesystem as it would be found
+// after a crash right now (unsynced data discarded), for branching one
+// history into many recovery attempts.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for p, f := range m.files {
+		c.files[p] = &memFile{data: append([]byte(nil), f.data[:f.synced]...), synced: f.synced}
+	}
+	for d := range m.dirs {
+		c.dirs[d] = true
+	}
+	return c
+}
+
+// SyncedBytes reports the durable size of path, for assertions.
+func (m *MemFS) SyncedBytes(p string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[path.Clean(p)]; ok {
+		return f.synced
+	}
+	return 0
+}
+
+func (m *MemFS) MkdirAll(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	for p != "." && p != "/" && p != "" {
+		m.dirs[p] = true
+		p = path.Dir(p)
+	}
+	return nil
+}
+
+type memHandle struct {
+	fs    *MemFS
+	f     *memFile
+	epoch int
+	rd    io.Reader // non-nil for read handles
+}
+
+func (h *memHandle) dead() bool {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return h.epoch != h.fs.epoch
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	if h.dead() {
+		return 0, ErrCrashed
+	}
+	if h.rd == nil {
+		return 0, errors.New("crashtest: file not open for reading")
+	}
+	return h.rd.Read(p)
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.epoch != h.fs.epoch {
+		return 0, ErrCrashed
+	}
+	if h.rd != nil {
+		return 0, errors.New("crashtest: file not open for writing")
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.epoch != h.fs.epoch {
+		return ErrCrashed
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	if h.dead() {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (m *MemFS) open(p string, truncate, create bool) (durable.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	f, ok := m.files[p]
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("crashtest: open %s: %w", p, fs.ErrNotExist)
+		}
+		f = &memFile{}
+		m.files[p] = f
+	} else if truncate {
+		f.data = f.data[:0]
+		f.synced = 0
+	}
+	return &memHandle{fs: m, f: f, epoch: m.epoch}, nil
+}
+
+func (m *MemFS) Create(p string) (durable.File, error) { return m.open(p, true, true) }
+func (m *MemFS) Append(p string) (durable.File, error) { return m.open(p, false, true) }
+
+func (m *MemFS) Open(p string) (durable.File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	f, ok := m.files[p]
+	if !ok {
+		return nil, fmt.Errorf("crashtest: open %s: %w", p, fs.ErrNotExist)
+	}
+	// Snapshot: readers see the page cache as of the open.
+	snap := append([]byte(nil), f.data...)
+	return &memHandle{fs: m, f: f, epoch: m.epoch, rd: strings.NewReader(string(snap))}, nil
+}
+
+func (m *MemFS) Rename(oldp, newp string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldp, newp = path.Clean(oldp), path.Clean(newp)
+	f, ok := m.files[oldp]
+	if !ok {
+		return fmt.Errorf("crashtest: rename %s: %w", oldp, fs.ErrNotExist)
+	}
+	delete(m.files, oldp)
+	m.files[newp] = f
+	return nil
+}
+
+func (m *MemFS) Remove(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	if _, ok := m.files[p]; !ok {
+		return fmt.Errorf("crashtest: remove %s: %w", p, fs.ErrNotExist)
+	}
+	delete(m.files, p)
+	return nil
+}
+
+func (m *MemFS) ReadDir(p string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	var names []string
+	for fp := range m.files {
+		if path.Dir(fp) == p {
+			names = append(names, path.Base(fp))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Stat(p string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = path.Clean(p)
+	f, ok := m.files[p]
+	if !ok {
+		return 0, fmt.Errorf("crashtest: stat %s: %w", p, fs.ErrNotExist)
+	}
+	return int64(len(f.data)), nil
+}
+
+func (m *MemFS) SyncDir(string) error { return nil } // metadata is modeled durable
+
+// Fault is one armed fault point.
+type Fault struct {
+	// Point selects the operation, optionally narrowed to paths
+	// containing a substring after a colon: "sync", "write:wal",
+	// "rename:graphs". Operations: create, append, open, rename,
+	// remove, readdir, stat, syncdir, write, sync, close.
+	Point string
+	// After skips that many matching calls before firing.
+	After int
+	// Persistent keeps the fault armed after it fires (default: fire
+	// once).
+	Persistent bool
+	// Err is returned when the fault fires; nil means ErrInjected
+	// (except DropSync, which silently succeeds).
+	Err error
+	// Short, for write faults, forwards only Short bytes of the write
+	// before failing — a torn write.
+	Short int
+	// DropSync, for sync faults, silently skips the fsync and reports
+	// success: the no-fsync lie a broken storage stack tells.
+	DropSync bool
+	// Crash, when set, is invoked as the fault fires (typically
+	// MemFS.Crash), simulating the process dying at exactly this point.
+	Crash func()
+}
+
+func (f *Fault) matches(op, p string) bool {
+	want, suffix, has := strings.Cut(f.Point, ":")
+	if want != op {
+		return false
+	}
+	return !has || strings.Contains(p, suffix)
+}
+
+// FaultFS wraps an FS with fault points. Arm faults with Inject; every
+// operation consults them in order and the first match decides.
+type FaultFS struct {
+	Inner durable.FS
+
+	mu     sync.Mutex
+	faults []*Fault
+	counts map[string]int
+}
+
+// NewFaultFS wraps inner.
+func NewFaultFS(inner durable.FS) *FaultFS {
+	return &FaultFS{Inner: inner, counts: map[string]int{}}
+}
+
+// Inject arms a fault point.
+func (f *FaultFS) Inject(fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = append(f.faults, &fault)
+}
+
+// Reset disarms every fault.
+func (f *FaultFS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = nil
+}
+
+// OpCount reports how many calls of op have been seen (fired or not),
+// so tests can enumerate crash points exhaustively.
+func (f *FaultFS) OpCount(op string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts[op]
+}
+
+// check consults the armed faults for op on path. It returns the fault
+// that fired, if any.
+func (f *FaultFS) check(op, p string) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	for i, fl := range f.faults {
+		if !fl.matches(op, p) {
+			continue
+		}
+		if fl.After > 0 {
+			fl.After--
+			return nil
+		}
+		if !fl.Persistent {
+			f.faults = append(f.faults[:i], f.faults[i+1:]...)
+		}
+		return fl
+	}
+	return nil
+}
+
+func (f *Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+func (f *FaultFS) MkdirAll(p string) error { return f.Inner.MkdirAll(p) }
+
+func (f *FaultFS) Create(p string) (durable.File, error) {
+	if fl := f.check("create", p); fl != nil {
+		if fl.Crash != nil {
+			fl.Crash()
+		}
+		return nil, fl.err()
+	}
+	h, err := f.Inner.Create(p)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, inner: h, path: p}, nil
+}
+
+func (f *FaultFS) Append(p string) (durable.File, error) {
+	if fl := f.check("append", p); fl != nil {
+		if fl.Crash != nil {
+			fl.Crash()
+		}
+		return nil, fl.err()
+	}
+	h, err := f.Inner.Append(p)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, inner: h, path: p}, nil
+}
+
+func (f *FaultFS) Open(p string) (durable.File, error) {
+	if fl := f.check("open", p); fl != nil {
+		if fl.Crash != nil {
+			fl.Crash()
+		}
+		return nil, fl.err()
+	}
+	return f.Inner.Open(p) // reads pass through unwrapped
+}
+
+func (f *FaultFS) Rename(oldp, newp string) error {
+	if fl := f.check("rename", newp); fl != nil {
+		if fl.Crash != nil {
+			fl.Crash()
+		}
+		return fl.err()
+	}
+	return f.Inner.Rename(oldp, newp)
+}
+
+func (f *FaultFS) Remove(p string) error {
+	if fl := f.check("remove", p); fl != nil {
+		if fl.Crash != nil {
+			fl.Crash()
+		}
+		return fl.err()
+	}
+	return f.Inner.Remove(p)
+}
+
+func (f *FaultFS) ReadDir(p string) ([]string, error) {
+	if fl := f.check("readdir", p); fl != nil {
+		return nil, fl.err()
+	}
+	return f.Inner.ReadDir(p)
+}
+
+func (f *FaultFS) Stat(p string) (int64, error) {
+	if fl := f.check("stat", p); fl != nil {
+		return 0, fl.err()
+	}
+	return f.Inner.Stat(p)
+}
+
+func (f *FaultFS) SyncDir(p string) error {
+	if fl := f.check("syncdir", p); fl != nil {
+		if fl.Crash != nil {
+			fl.Crash()
+		}
+		if fl.DropSync {
+			return nil
+		}
+		return fl.err()
+	}
+	return f.Inner.SyncDir(p)
+}
+
+type faultHandle struct {
+	fs    *FaultFS
+	inner durable.File
+	path  string
+}
+
+func (h *faultHandle) Read(p []byte) (int, error) { return h.inner.Read(p) }
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	if fl := h.fs.check("write", h.path); fl != nil {
+		n := 0
+		if fl.Short > 0 && fl.Short < len(p) {
+			n, _ = h.inner.Write(p[:fl.Short]) // torn write: a prefix lands
+		}
+		if fl.Crash != nil {
+			fl.Crash()
+		}
+		return n, fl.err()
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultHandle) Sync() error {
+	if fl := h.fs.check("sync", h.path); fl != nil {
+		if fl.Crash != nil {
+			fl.Crash()
+		}
+		if fl.DropSync {
+			return nil
+		}
+		return fl.err()
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultHandle) Close() error {
+	if fl := h.fs.check("close", h.path); fl != nil {
+		if fl.Crash != nil {
+			fl.Crash()
+		}
+		return fl.err()
+	}
+	return h.inner.Close()
+}

@@ -83,6 +83,27 @@ func (c *ResultCache) Put(k CacheKey, pairs []core.Pair) {
 	c.items[k] = c.order.PushFront(&cacheItem{key: k, pairs: pairs})
 }
 
+// InvalidateGraph eagerly drops every cached matching of the named
+// graph, whatever version it was computed against, returning how many
+// entries were evicted. DELETE /v1/graphs calls it so the matchings of
+// dead versions stop pinning cache capacity until LRU pressure happens
+// to reach them (their keys can never be requested again: the version
+// embedded in the key is retired with the graph).
+func (c *ResultCache) InvalidateGraph(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, el := range c.items {
+		if k.Graph == name {
+			c.order.Remove(el)
+			delete(c.items, k)
+			c.evictions++
+			n++
+		}
+	}
+	return n
+}
+
 // Len returns the number of cached matchings.
 func (c *ResultCache) Len() int {
 	c.mu.Lock()

@@ -115,6 +115,13 @@ type metricsResponse struct {
 	RepCacheMissesTotal    int64 `json:"repcache_misses_total"`
 	RepCacheEvictionsTotal int64 `json:"repcache_evictions_total"`
 	RepCacheEntries        int   `json:"repcache_entries"`
+	// Durable-store counters (internal/durable); all zero when the
+	// service runs without a data directory.
+	JournalRecordsTotal   int64 `json:"journal_records_total"`
+	RecoveryNS            int64 `json:"recovery_ns"`
+	SnapshotBytes         int64 `json:"snapshot_bytes"`
+	CompactionsTotal      int64 `json:"compactions_total"`
+	RepCacheReloadedTotal int64 `json:"repcache_reloaded_total"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -136,8 +143,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		skipRatio = float64(skippedSum) / float64(visitedSum+skippedSum)
 	}
 	repStats := s.reps.Stats()
+	durMetrics := s.log.Metrics()
 	jobs := s.jobs.Counts()
 	writeJSON(w, http.StatusOK, metricsResponse{
+		JournalRecordsTotal:    durMetrics.JournalRecordsTotal,
+		RecoveryNS:             durMetrics.RecoveryNS,
+		SnapshotBytes:          durMetrics.SnapshotBytes,
+		CompactionsTotal:       durMetrics.CompactionsTotal,
+		RepCacheReloadedTotal:  s.repReloaded.Load(),
 		GenerateNSTotal:        genNanos,
 		GeneratesTotal:         genCount,
 		GenerateFamilyNSTotal:  famNanos,
@@ -275,7 +288,14 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 			Source:   "upload",
 		}
 	}
-	s.store.Put(entry)
+	entry, err := s.store.Put(entry)
+	if err != nil {
+		// The graph did not commit; acknowledging it would promise a
+		// durability the restart cannot honor.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.persistWarmReps()
 	s.stats.graphsCreated.Add(1)
 	writeJSON(w, http.StatusCreated, infoOf(entry))
 }
@@ -343,7 +363,7 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, req generateRequest
 
 	infos := make([]graphInfo, 0, len(graphs))
 	for _, sg := range graphs {
-		e := s.store.Put(&GraphEntry{
+		e, err := s.store.Put(&GraphEntry{
 			Name:     base + "/" + sg.Name,
 			Graph:    sg.G,
 			GT:       task.GT,
@@ -353,8 +373,17 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, req generateRequest
 			Seed:     seed,
 			Scale:    scale,
 		})
+		if err != nil {
+			// Earlier graphs of the family committed and stay visible;
+			// this one (and, with a sticky journal failure, the rest)
+			// did not. Report what is actually durable.
+			writeError(w, http.StatusInternalServerError,
+				"stored %d of %d family graphs: %v", len(infos), len(graphs), err)
+			return
+		}
 		infos = append(infos, infoOf(e))
 	}
+	s.persistWarmReps()
 	s.stats.graphsCreated.Add(int64(len(infos)))
 	writeJSON(w, http.StatusCreated, map[string]any{"family": string(family), "graphs": infos})
 }
@@ -522,10 +551,19 @@ func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if !s.store.Delete(name) {
+	existed, err := s.store.Delete(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !existed {
 		writeError(w, http.StatusNotFound, "no graph %q", name)
 		return
 	}
+	// Eagerly drop the dead versions' cached matchings; their keys can
+	// never hit again, so without this they pin capacity until LRU
+	// pressure reaches them.
+	s.cache.InvalidateGraph(name)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 

@@ -23,7 +23,10 @@ import (
 
 func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
 	t.Helper()
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -364,7 +367,10 @@ func TestSweepCancelQueuedJob(t *testing.T) {
 }
 
 func TestServerCloseCancelsInFlightJobs(t *testing.T) {
-	srv := serve.New(serve.Config{JobWorkers: 1, Parallelism: 1})
+	srv, err := serve.New(serve.Config{JobWorkers: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	generateD2(t, ts.URL, "d2")

@@ -10,6 +10,7 @@ import (
 
 	"github.com/ccer-go/ccer/internal/algo"
 	"github.com/ccer-go/ccer/internal/core"
+	"github.com/ccer-go/ccer/internal/durable"
 	"github.com/ccer-go/ccer/internal/eval"
 	"github.com/ccer-go/ccer/internal/par"
 	"github.com/ccer-go/ccer/internal/simgraph"
@@ -56,6 +57,20 @@ type Config struct {
 	// (dataset, seed, scale) reuses the per-entity representations with
 	// byte-identical output. 0 means 2; negative disables the caches.
 	RepCacheDatasets int
+	// DataDir, when set, makes the graph store durable: every commit is
+	// journaled (fsync'd, CRC-framed) over content-addressed snapshots
+	// in this directory, and a restart recovers every committed graph —
+	// verified against its stored checksum — plus the spilled
+	// representation-cache warm set. Empty keeps today's purely
+	// in-memory behavior.
+	DataDir string
+	// CompactEvery is the background snapshot/compaction period of the
+	// durable store (see durable.Config); only meaningful with DataDir.
+	CompactEvery time.Duration
+	// DataFS overrides the durable store's filesystem; nil means the
+	// real one. The crash-injection tests substitute an in-memory
+	// filesystem with fault points.
+	DataFS durable.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -164,12 +179,20 @@ type Server struct {
 	stats   counters
 	gen     genStats
 	reps    *simgraph.RepCaches // nil when disabled
+	log     *durable.Log        // nil when DataDir is unset
 	started time.Time
+
+	// repReloaded counts representation-cache entries rewarmed from the
+	// durable spill at boot.
+	repReloaded atomic.Int64
 }
 
 // New returns a started server (its job workers are running). The
-// caller owns shutdown via Close.
-func New(cfg Config) *Server {
+// caller owns shutdown via Close. With Config.DataDir set, New first
+// recovers the committed state from the data directory; a recovery
+// error (unreadable directory, snapshot failing its checksum) refuses
+// to start rather than serving a silently incomplete store.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -181,9 +204,14 @@ func New(cfg Config) *Server {
 	if cfg.RepCacheDatasets > 0 {
 		s.reps = simgraph.NewRepCaches(cfg.RepCacheDatasets)
 	}
+	if cfg.DataDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	s.jobs = NewJobQueue(cfg.JobWorkers, cfg.JobQueueDepth, cfg.JobHistory, s.runSweep)
 	s.routes()
-	return s
+	return s, nil
 }
 
 // Handler returns the root handler: the v1 API plus /healthz and
@@ -201,10 +229,17 @@ func (s *Server) Handler() http.Handler {
 
 // Close drains the service: no new jobs are accepted, queued and running
 // sweeps are cancelled through their contexts, and the job workers are
-// awaited up to ctx's deadline. It does not stop an http.Server mounted
-// on Handler; shut that down first (see cmd/erserve).
+// awaited up to ctx's deadline. The durable log, when one is attached,
+// is closed last (final manifest, journal segment released) — though
+// every acknowledged mutation is already on disk regardless: Close is
+// about tidiness, not durability. It does not stop an http.Server
+// mounted on Handler; shut that down first (see cmd/erserve).
 func (s *Server) Close(ctx context.Context) error {
-	return s.jobs.Close(ctx)
+	err := s.jobs.Close(ctx)
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 type statusRecorder struct {

@@ -49,12 +49,27 @@ type GraphEntry struct {
 	Created time.Time
 }
 
-// Store is a goroutine-safe in-memory collection of named graphs.
+// Persister is the durability hook of the store (internal/durable
+// behind an adapter). Both methods are called with the store mutex
+// held, after the mutation is fully decided (name, version, timestamp
+// assigned) and BEFORE it becomes visible: an error aborts the
+// mutation, so the in-memory state never runs ahead of what a restart
+// would recover — an acknowledged write is a recovered write, and a
+// failed write is invisible.
+type Persister interface {
+	PersistPut(e *GraphEntry) error
+	PersistDelete(name string) error
+}
+
+// Store is a goroutine-safe in-memory collection of named graphs,
+// optionally backed by a Persister that makes every mutation durable
+// before it becomes visible.
 type Store struct {
 	mu          sync.RWMutex
 	entries     map[string]*GraphEntry
 	nextVersion int64
 	nextAuto    int64
+	persist     Persister
 }
 
 // NewStore returns an empty store.
@@ -62,12 +77,44 @@ func NewStore() *Store {
 	return &Store{entries: make(map[string]*GraphEntry)}
 }
 
+// SetPersister attaches the durability hook. Call before serving
+// traffic; entries loaded through Load are not re-persisted.
+func (s *Store) SetPersister(p Persister) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persist = p
+}
+
+// Load preloads recovered entries without consulting the persister
+// (they are, by definition, already durable) and fast-forwards the
+// version counter so new mutations stay monotonic across restarts. The
+// auto-name counter resumes past any recovered "g<n>" name.
+func (s *Store) Load(entries []*GraphEntry, nextVersion int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range entries {
+		s.entries[e.Name] = e
+		var n int64
+		if _, err := fmt.Sscanf(e.Name, "g%d", &n); err == nil && n > s.nextAuto {
+			s.nextAuto = n
+		}
+		if e.Version > s.nextVersion {
+			s.nextVersion = e.Version
+		}
+	}
+	if nextVersion > s.nextVersion {
+		s.nextVersion = nextVersion
+	}
+}
+
 // Put inserts the entry under e.Name, assigning the next version.
 // An empty name is given an auto-generated "g1", "g2", ... name that is
 // not already taken. Re-using a name replaces the previous entry; the
 // fresh version keeps result-cache keys from resurrecting stale pairs.
 // It returns the stored entry (with Name, Version and Created filled).
-func (s *Store) Put(e *GraphEntry) *GraphEntry {
+// With a persister attached the entry is made durable first; on error
+// nothing becomes visible (the burnt version number is the only trace).
+func (s *Store) Put(e *GraphEntry) (*GraphEntry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e.Name == "" {
@@ -83,8 +130,13 @@ func (s *Store) Put(e *GraphEntry) *GraphEntry {
 	s.nextVersion++
 	e.Version = s.nextVersion
 	e.Created = time.Now()
+	if s.persist != nil {
+		if err := s.persist.PersistPut(e); err != nil {
+			return nil, fmt.Errorf("serve: persist graph %q: %w", e.Name, err)
+		}
+	}
 	s.entries[e.Name] = e
-	return e
+	return e, nil
 }
 
 // Get returns the entry under name.
@@ -96,12 +148,21 @@ func (s *Store) Get(name string) (*GraphEntry, bool) {
 }
 
 // Delete removes the entry under name, reporting whether it existed.
-func (s *Store) Delete(name string) bool {
+// With a persister attached the tombstone is made durable first; on
+// error the entry stays.
+func (s *Store) Delete(name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.entries[name]
+	if _, ok := s.entries[name]; !ok {
+		return false, nil
+	}
+	if s.persist != nil {
+		if err := s.persist.PersistDelete(name); err != nil {
+			return true, fmt.Errorf("serve: persist delete of %q: %w", name, err)
+		}
+	}
 	delete(s.entries, name)
-	return ok
+	return true, nil
 }
 
 // List returns the entries sorted by name.

@@ -1,10 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/ccer-go/ccer/internal/graph"
 )
+
+var errTestPersist = errors.New("injected persist failure")
 
 func testGraph(t *testing.T, weights ...float64) *graph.Bipartite {
 	t.Helper()
@@ -19,10 +22,30 @@ func testGraph(t *testing.T, weights ...float64) *graph.Bipartite {
 	return g
 }
 
+// mustPut inserts the entry, failing the test on a persister error
+// (impossible for the persister-less stores these tests build).
+func mustPut(t *testing.T, s *Store, e *GraphEntry) *GraphEntry {
+	t.Helper()
+	stored, err := s.Put(e)
+	if err != nil {
+		t.Fatalf("Put(%q): %v", e.Name, err)
+	}
+	return stored
+}
+
+func mustDelete(t *testing.T, s *Store, name string) bool {
+	t.Helper()
+	existed, err := s.Delete(name)
+	if err != nil {
+		t.Fatalf("Delete(%q): %v", name, err)
+	}
+	return existed
+}
+
 func TestStorePutGetDelete(t *testing.T) {
 	s := NewStore()
 	g := testGraph(t, 0.9, 0.8)
-	e := s.Put(&GraphEntry{Name: "a", Graph: g, Checksum: g.Checksum(), Source: "upload"})
+	e := mustPut(t, s, &GraphEntry{Name: "a", Graph: g, Checksum: g.Checksum(), Source: "upload"})
 	if e.Version != 1 {
 		t.Fatalf("first version = %d, want 1", e.Version)
 	}
@@ -36,10 +59,10 @@ func TestStorePutGetDelete(t *testing.T) {
 	if s.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", s.Len())
 	}
-	if !s.Delete("a") {
+	if !mustDelete(t, s, "a") {
 		t.Fatal("Delete(a) = false")
 	}
-	if s.Delete("a") {
+	if mustDelete(t, s, "a") {
 		t.Fatal("second Delete(a) = true")
 	}
 	if _, ok := s.Get("a"); ok {
@@ -49,8 +72,8 @@ func TestStorePutGetDelete(t *testing.T) {
 
 func TestStoreOverwriteBumpsVersion(t *testing.T) {
 	s := NewStore()
-	e1 := s.Put(&GraphEntry{Name: "a", Graph: testGraph(t, 0.9)})
-	e2 := s.Put(&GraphEntry{Name: "a", Graph: testGraph(t, 0.1)})
+	e1 := mustPut(t, s, &GraphEntry{Name: "a", Graph: testGraph(t, 0.9)})
+	e2 := mustPut(t, s, &GraphEntry{Name: "a", Graph: testGraph(t, 0.1)})
 	if e2.Version <= e1.Version {
 		t.Fatalf("overwrite version %d not above %d", e2.Version, e1.Version)
 	}
@@ -62,8 +85,8 @@ func TestStoreOverwriteBumpsVersion(t *testing.T) {
 
 func TestStoreAutoNamesSkipTaken(t *testing.T) {
 	s := NewStore()
-	s.Put(&GraphEntry{Name: "g1", Graph: testGraph(t, 0.5)})
-	e := s.Put(&GraphEntry{Graph: testGraph(t, 0.6)})
+	mustPut(t, s, &GraphEntry{Name: "g1", Graph: testGraph(t, 0.5)})
+	e := mustPut(t, s, &GraphEntry{Graph: testGraph(t, 0.6)})
 	if e.Name != "g2" {
 		t.Fatalf("auto name = %q, want g2 (g1 taken)", e.Name)
 	}
@@ -72,7 +95,7 @@ func TestStoreAutoNamesSkipTaken(t *testing.T) {
 func TestStoreListSorted(t *testing.T) {
 	s := NewStore()
 	for _, name := range []string{"zeta", "alpha", "mid"} {
-		s.Put(&GraphEntry{Name: name, Graph: testGraph(t, 0.5)})
+		mustPut(t, s, &GraphEntry{Name: name, Graph: testGraph(t, 0.5)})
 	}
 	list := s.List()
 	want := []string{"alpha", "mid", "zeta"}
@@ -83,5 +106,50 @@ func TestStoreListSorted(t *testing.T) {
 		if e.Name != want[i] {
 			t.Fatalf("List[%d] = %q, want %q", i, e.Name, want[i])
 		}
+	}
+}
+
+// TestStoreLoadResumesCounters checks that recovered entries fast-forward
+// both the version counter and the auto-name counter, so post-recovery
+// mutations never collide with committed state.
+func TestStoreLoadResumesCounters(t *testing.T) {
+	s := NewStore()
+	s.Load([]*GraphEntry{
+		{Name: "g7", Version: 3, Graph: testGraph(t, 0.5)},
+		{Name: "named", Version: 9, Graph: testGraph(t, 0.6)},
+	}, 12)
+	e := mustPut(t, s, &GraphEntry{Graph: testGraph(t, 0.7)})
+	if e.Name != "g8" {
+		t.Fatalf("auto name after load = %q, want g8", e.Name)
+	}
+	if e.Version != 13 {
+		t.Fatalf("version after load = %d, want 13", e.Version)
+	}
+}
+
+// failingPersister fails every mutation, standing in for a broken disk.
+type failingPersister struct{ err error }
+
+func (p failingPersister) PersistPut(*GraphEntry) error { return p.err }
+func (p failingPersister) PersistDelete(string) error   { return p.err }
+
+// TestStorePersistFailureAbortsMutation checks the commit-before-
+// visibility contract: when the persister refuses, Put leaves the store
+// unchanged and Delete keeps the entry.
+func TestStorePersistFailureAbortsMutation(t *testing.T) {
+	s := NewStore()
+	good := mustPut(t, s, &GraphEntry{Name: "a", Graph: testGraph(t, 0.9)})
+	s.SetPersister(failingPersister{err: errTestPersist})
+	if _, err := s.Put(&GraphEntry{Name: "b", Graph: testGraph(t, 0.1)}); err == nil {
+		t.Fatal("Put with failing persister succeeded")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("failed Put became visible")
+	}
+	if existed, err := s.Delete("a"); err == nil || !existed {
+		t.Fatalf("Delete with failing persister = (%v, %v), want (true, error)", existed, err)
+	}
+	if got, ok := s.Get("a"); !ok || got != good {
+		t.Fatal("failed Delete removed the entry")
 	}
 }

@@ -19,5 +19,9 @@ type ServeConfig = serve.Config
 type Server = serve.Server
 
 // NewServer returns a started matching service (its job workers are
-// running); the caller owns shutdown via Server.Close.
-func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+// running); the caller owns shutdown via Server.Close. With
+// ServeConfig.DataDir set the store is durable: every acknowledged
+// mutation is journaled to disk first, and NewServer recovers the
+// committed graphs (checksum-verified) before serving. A recovery
+// error is returned rather than serving an incomplete store.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
