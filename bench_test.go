@@ -24,6 +24,7 @@ import (
 	"github.com/ccer-go/ccer/internal/datagen"
 	"github.com/ccer-go/ccer/internal/exp"
 	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/obs"
 	"github.com/ccer-go/ccer/internal/simgraph"
 )
 
@@ -74,6 +75,23 @@ func BenchmarkSimGraphGenerate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		simgraph.Generate(task, spec.KeyAttrs, simgraph.Options{})
+	}
+}
+
+// BenchmarkSimGraphGenerateTraced is BenchmarkSimGraphGenerate with a
+// live stage trace attached: the instrumented side of the
+// observability-overhead comparison (the untraced benchmark above is the
+// baseline; spans are per pipeline stage, never per pair, so the two
+// should be within noise of each other).
+func BenchmarkSimGraphGenerateTraced(b *testing.B) {
+	spec, err := datagen.SpecByID("D1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := spec.Generate(42, 0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simgraph.Generate(task, spec.KeyAttrs, simgraph.Options{Trace: obs.NewTrace("bench")})
 	}
 }
 

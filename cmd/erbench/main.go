@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/ccer-go/ccer/internal/exp"
+	"github.com/ccer-go/ccer/internal/obs"
 	"github.com/ccer-go/ccer/internal/simgraph"
 )
 
@@ -106,6 +107,7 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "erbench: %d graphs (%d noisy + %d duplicates dropped) in %v\n",
 		len(corpus.Graphs), corpus.DroppedNoisy, corpus.DroppedDupes,
 		time.Since(start).Round(time.Millisecond))
+	printFamilyRuntimes(corpus)
 
 	runners := experimentRunners(corpus)
 	if what == "all" {
@@ -118,6 +120,37 @@ func run() error {
 		return nil
 	}
 	return runners[what]()
+}
+
+// printFamilyRuntimes folds every per-algorithm matching runtime of the
+// corpus sweep into one latency histogram per weight family (the shared
+// fixed-bucket type behind erserve's /metrics) and prints interpolated
+// p50/p95/p99 estimates, so the families' run-time spread is visible
+// before any experiment table is rendered.
+func printFamilyRuntimes(c *exp.Corpus) {
+	hists := map[simgraph.Family]*obs.Histogram{}
+	for _, gr := range c.Graphs {
+		h := hists[gr.Graph.Family]
+		if h == nil {
+			h = obs.NewHistogram()
+			hists[gr.Graph.Family] = h
+		}
+		for _, r := range gr.Results {
+			h.Observe(r.Runtime)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "erbench: per-family matching runtimes (p50/p95/p99 over all sweeps):\n")
+	for _, f := range simgraph.Families() {
+		h := hists[f]
+		if h == nil {
+			continue
+		}
+		s := h.Snapshot()
+		fmt.Fprintf(os.Stderr, "erbench:   %-6s matchings=%-5d p50=%-10v p95=%-10v p99=%v\n",
+			f, s.Count, s.Quantile(0.50).Round(time.Microsecond),
+			s.Quantile(0.95).Round(time.Microsecond),
+			s.Quantile(0.99).Round(time.Microsecond))
+	}
 }
 
 func knownExperiment(id string) bool {

@@ -15,10 +15,10 @@
 // service.
 //
 // -stats additionally runs the similarity-graph generation kernels over
-// the task and prints, per weight family, the candidate-filter counters:
-// kernel blocks visited vs. provably skipped by the lossless zero-score
-// filters, and the resulting skip ratio (to stderr; the dataset JSON is
-// unaffected).
+// the task and prints, per weight family, the candidate-filter counters
+// (kernel blocks visited vs. provably skipped by the lossless zero-score
+// filters, and the resulting skip ratio) plus p50/p95/p99 stage timings
+// from the generation trace (to stderr; the dataset JSON is unaffected).
 package main
 
 import (
@@ -26,8 +26,11 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strings"
+	"time"
 
 	"github.com/ccer-go/ccer/internal/datagen"
+	"github.com/ccer-go/ccer/internal/obs"
 	"github.com/ccer-go/ccer/internal/simgraph"
 )
 
@@ -85,7 +88,8 @@ func run() error {
 		spec.ID, task.V1.Len(), task.V2.Len(), task.GT.Len(), spec.KeyAttrs)
 
 	if *stats {
-		_, gs := simgraph.GenerateStats(task, spec.KeyAttrs, simgraph.Options{})
+		trace := obs.NewTrace("ergen " + spec.ID)
+		_, gs := simgraph.GenerateStats(task, spec.KeyAttrs, simgraph.Options{Trace: trace})
 		fmt.Fprintf(os.Stderr, "ergen: candidate-filter stats (lossless zero-score pruning):\n")
 		for _, f := range simgraph.Families() {
 			fs := gs.Of(f)
@@ -95,6 +99,44 @@ func run() error {
 		total := gs.Total()
 		fmt.Fprintf(os.Stderr, "ergen:   total  visited=%-10d skipped=%-10d skip-ratio=%.3f\n",
 			total.Visited, total.Skipped, total.SkipRatio())
+		printStageTimings(trace)
 	}
 	return nil
+}
+
+// printStageTimings folds the generation trace's stage spans into one
+// latency histogram per weight family (the same fixed-bucket histogram
+// erserve's /metrics uses) and prints interpolated p50/p95/p99 stage
+// estimates, plus the family's total wall time from its top-level span.
+func printStageTimings(trace *obs.Trace) {
+	view := trace.Snapshot()
+	hists := map[string]*obs.Histogram{}
+	totals := map[string]time.Duration{}
+	for _, sp := range view.Spans {
+		fam, ok := strings.CutPrefix(sp.Parent, "generate/")
+		if ok {
+			h := hists[fam]
+			if h == nil {
+				h = obs.NewHistogram()
+				hists[fam] = h
+			}
+			h.Observe(time.Duration(sp.DurNS))
+		}
+		if fam, ok := strings.CutPrefix(sp.Name, "generate/"); ok && sp.Parent == "" {
+			totals[fam] += time.Duration(sp.DurNS)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ergen: generation stage timings (per-family p50/p95/p99 over pipeline stages):\n")
+	for _, f := range simgraph.Families() {
+		h := hists[string(f)]
+		if h == nil {
+			continue
+		}
+		s := h.Snapshot()
+		fmt.Fprintf(os.Stderr, "ergen:   %-6s stages=%-4d p50=%-10v p95=%-10v p99=%-10v total=%v\n",
+			f, s.Count, s.Quantile(0.50).Round(time.Microsecond),
+			s.Quantile(0.95).Round(time.Microsecond),
+			s.Quantile(0.99).Round(time.Microsecond),
+			totals[string(f)].Round(time.Microsecond))
+	}
 }

@@ -8,6 +8,7 @@
 //	erserve [-addr :8080] [-cache N] [-job-workers N] [-queue-depth N]
 //	        [-job-history N] [-max-nodes N] [-parallel N]
 //	        [-max-body BYTES] [-data-dir DIR] [-compact-every DURATION]
+//	        [-trace-slow-ms N] [-access-log] [-trace-ring N]
 //	        [-drain DURATION]
 //
 // With -data-dir the graph store is durable: every acknowledged
@@ -26,8 +27,15 @@
 //	POST   /v1/match        run a batch of algorithms at one threshold
 //	POST   /v1/sweeps       start an async threshold sweep job
 //	GET    /v1/sweeps/{id}  poll a job (DELETE cancels it)
-//	GET    /healthz         liveness
-//	GET    /metrics         flat JSON counters
+//	GET    /v1/traces       recent request traces with stage timings
+//	GET    /healthz         liveness (degraded + 503 on a latched
+//	                        journal failure)
+//	GET    /metrics         flat JSON counters; Prometheus text with
+//	                        ?format=prometheus or Accept: text/plain
+//
+// Every request carries an X-Request-Id and a span trace; requests
+// slower than -trace-slow-ms are logged as structured JSON lines with
+// their per-stage timings, and -access-log logs every request.
 //
 // SIGINT/SIGTERM shut down gracefully: the listener stops, in-flight
 // jobs are cancelled through their contexts, and the process waits up to
@@ -76,6 +84,9 @@ func run() error {
 	repcache := flag.Int("repcache", 2, "cross-build representation cache size in resident datasets (negative disables)")
 	dataDir := flag.String("data-dir", "", "durable data directory: journal + snapshots; committed graphs survive crashes (empty = in-memory only)")
 	compactEvery := flag.Duration("compact-every", 0, "background snapshot/compaction period with -data-dir (0 = 60s, negative disables)")
+	traceSlowMS := flag.Int64("trace-slow-ms", 0, "log requests slower than this many milliseconds as structured JSON with stage timings (0 disables)")
+	accessLog := flag.Bool("access-log", false, "log one structured JSON line per request")
+	traceRing := flag.Int("trace-ring", 64, "recent request traces kept for GET /v1/traces (negative retains none)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -94,6 +105,9 @@ func run() error {
 		RepCacheDatasets: *repcache,
 		DataDir:          *dataDir,
 		CompactEvery:     *compactEvery,
+		TraceSlow:        time.Duration(*traceSlowMS) * time.Millisecond,
+		AccessLog:        *accessLog,
+		TraceRing:        *traceRing,
 	})
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -12,6 +13,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"github.com/ccer-go/ccer/internal/obs/promtest"
 )
 
 // runWithArgs invokes run() with a fresh flag set and the given argv.
@@ -102,6 +105,77 @@ func TestErserveServesAndShutsDownOnSIGINT(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("sweep: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run() after SIGINT: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down after SIGINT")
+	}
+}
+
+// TestErservePrometheusScrapeLive is the CI exposition check against
+// the live binary: start erserve, put a generate + match workload
+// through it, scrape the Prometheus view twice, and require every line
+// to parse, no duplicate families or series, cumulative buckets, and
+// counters that never move backwards between the scrapes.
+func TestErservePrometheusScrapeLive(t *testing.T) {
+	addr := freeAddr(t)
+	base := "http://" + addr
+	done := make(chan error, 1)
+	go func() { done <- runWithArgs("-addr", addr, "-trace-ring", "16") }()
+	waitHealthy(t, base)
+
+	post := func(path string, payload map[string]any) {
+		t.Helper()
+		body, _ := json.Marshal(payload)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+	}
+	scrape := func() *promtest.Scrape {
+		t.Helper()
+		resp, err := http.Get(base + "/metrics?format=prometheus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := promtest.Parse(string(raw))
+		if err != nil {
+			t.Fatalf("live exposition does not parse: %v", err)
+		}
+		return s
+	}
+
+	post("/v1/graphs", map[string]any{"name": "d2", "dataset": "D2", "seed": 42, "scale": 0.02})
+	post("/v1/match", map[string]any{"graph": "d2", "algorithms": []string{"UMC", "CNC"}, "threshold": 0.5})
+	first := scrape()
+	for _, fam := range []string{
+		"ccer_requests_total", "ccer_http_request_seconds",
+		"ccer_match_seconds", "ccer_generate_seconds",
+	} {
+		if first.Families[fam] == nil {
+			t.Errorf("live exposition misses %s", fam)
+		}
+	}
+	post("/v1/match", map[string]any{"graph": "d2", "algorithms": []string{"RSR"}, "threshold": 0.5})
+	if err := promtest.CheckMonotonic(first, scrape()); err != nil {
+		t.Fatal(err)
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"github.com/ccer-go/ccer/internal/dataset"
 	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/obs"
 	"github.com/ccer-go/ccer/internal/repcache"
 )
 
@@ -33,6 +34,9 @@ type Config struct {
 	// records accumulated since the last manifest, independent of the
 	// timer. 0 means 4096.
 	CompactRecords int
+	// Obs receives journal fsync and snapshot-write latency histograms;
+	// nil disables them (counters in Metrics are always maintained).
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +110,12 @@ type Metrics struct {
 	SnapshotBytes int64
 	// CompactionsTotal counts manifest rewrites.
 	CompactionsTotal int64
+	// RecoveryManifestNS, RecoveryReplayNS and RecoveryLoadNS break
+	// RecoveryNS into its phases: manifest read, journal replay, and
+	// snapshot load+verify.
+	RecoveryManifestNS int64
+	RecoveryReplayNS   int64
+	RecoveryLoadNS     int64
 }
 
 // Log is the durable store: an fsync'd journal of mutations over
@@ -129,10 +139,18 @@ type Log struct {
 	manifestSeq int64 // last written manifest sequence
 	since       int64 // records since the last manifest
 
-	journalRecords atomic.Int64
-	recoveryNS     atomic.Int64
-	snapshotBytes  atomic.Int64
-	compactions    atomic.Int64
+	journalRecords     atomic.Int64
+	recoveryNS         atomic.Int64
+	recoveryManifestNS atomic.Int64
+	recoveryReplayNS   atomic.Int64
+	recoveryLoadNS     atomic.Int64
+	snapshotBytes      atomic.Int64
+	compactions        atomic.Int64
+
+	// fsyncHist and snapshotHist are nil-safe histograms (nil when
+	// Config.Obs is nil); observing on them is then a no-op.
+	fsyncHist    *obs.Histogram
+	snapshotHist *obs.Histogram
 
 	compactCh chan struct{}
 	done      chan struct{}
@@ -205,6 +223,10 @@ func Open(cfg Config) (*Log, *Recovered, error) {
 		compactCh: make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
+	l.fsyncHist = cfg.Obs.Histogram("ccer_journal_fsync_seconds",
+		"Latency of one journal record append+fsync.")
+	l.snapshotHist = cfg.Obs.Histogram("ccer_snapshot_write_seconds",
+		"Latency of one durable content-file write (tmp, fsync, rename, dir sync).")
 	for _, d := range []string{l.dir, l.walDir(), l.graphsDir(), l.gtsDir(), l.repsDir()} {
 		if err := l.fs.MkdirAll(d); err != nil {
 			return nil, nil, fmt.Errorf("durable: mkdir %s: %w", d, err)
@@ -213,6 +235,7 @@ func Open(cfg Config) (*Log, *Recovered, error) {
 	l.removeStrayTmp()
 
 	rec := &Recovered{}
+	phase := time.Now()
 	manifest, err := l.readCurrentManifest()
 	if err != nil {
 		return nil, nil, err
@@ -253,6 +276,9 @@ func Open(cfg Config) (*Log, *Recovered, error) {
 		}
 	}
 
+	l.recoveryManifestNS.Store(time.Since(phase).Nanoseconds())
+	phase = time.Now()
+
 	// Replay journal segments at or above the manifest's floor, in
 	// sequence order, stopping inside each segment at the first invalid
 	// frame (the torn tail a crash leaves behind).
@@ -277,6 +303,8 @@ func Open(cfg Config) (*Log, *Recovered, error) {
 		}
 		rec.JournalRecords += int64(len(recs))
 	}
+	l.recoveryReplayNS.Store(time.Since(phase).Nanoseconds())
+	phase = time.Now()
 
 	// Load and verify every live graph, plus the ground truths and
 	// representation spill they reference.
@@ -312,6 +340,7 @@ func Open(cfg Config) (*Log, *Recovered, error) {
 		rec.Reps = append(rec.Reps, RecoveredRep{Key: k, Texts1: texts1, Texts2: texts2})
 	}
 	rec.NextVersion = l.nextVersion
+	l.recoveryLoadNS.Store(time.Since(phase).Nanoseconds())
 
 	// Begin a fresh segment strictly after everything on disk, so a
 	// torn tail in an old segment is never appended to.
@@ -461,6 +490,7 @@ func (l *Log) usableLocked() error {
 // sticky: the segment tail may hold a partial frame, and records
 // appended after it would be unreachable to replay.
 func (l *Log) appendLocked(r record) error {
+	start := time.Now()
 	if err := appendFrame(l.seg, encodeRecord(r)); err != nil {
 		l.err = err
 		return fmt.Errorf("%w: %w", ErrLogFailed, err)
@@ -469,6 +499,7 @@ func (l *Log) appendLocked(r record) error {
 		l.err = err
 		return fmt.Errorf("%w: %w", ErrLogFailed, err)
 	}
+	l.fsyncHist.Since(start)
 	l.journalRecords.Add(1)
 	l.since++
 	if l.since >= int64(l.cfg.CompactRecords) {
@@ -488,6 +519,7 @@ func (l *Log) writeContentFile(dir, name string, write func(io.Writer) error) er
 	if _, err := l.fs.Stat(final); err == nil {
 		return nil
 	}
+	start := time.Now()
 	tmp := filepath.Join(dir, "tmp-"+name)
 	f, err := l.fs.Create(tmp)
 	if err != nil {
@@ -507,7 +539,11 @@ func (l *Log) writeContentFile(dir, name string, write func(io.Writer) error) er
 	if err := l.fs.Rename(tmp, final); err != nil {
 		return err
 	}
-	return l.fs.SyncDir(dir)
+	if err := l.fs.SyncDir(dir); err != nil {
+		return err
+	}
+	l.snapshotHist.Since(start)
+	return nil
 }
 
 func (l *Log) ensureGraphFile(checksum uint64, g *graph.Bipartite) error {
@@ -878,7 +914,26 @@ func (l *Log) Metrics() Metrics {
 		RecoveryNS:          l.recoveryNS.Load(),
 		SnapshotBytes:       l.snapshotBytes.Load(),
 		CompactionsTotal:    l.compactions.Load(),
+		RecoveryManifestNS:  l.recoveryManifestNS.Load(),
+		RecoveryReplayNS:    l.recoveryReplayNS.Load(),
+		RecoveryLoadNS:      l.recoveryLoadNS.Load(),
 	}
+}
+
+// Err reports the sticky journal failure, or nil while the log is
+// healthy. A nil or closed-but-healthy Log reports nil; once an append
+// or fsync has failed every future mutation fails, so health checks
+// use this to flag the process as degraded.
+func (l *Log) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrLogFailed, l.err)
 }
 
 // Close stops the compactor, writes a final manifest when records

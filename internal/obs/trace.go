@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed stage inside a trace. Parent names the enclosing
+// span ("" for top-level stages), so a flat span list carries the tree.
+// Offsets are relative to the trace start.
+type Span struct {
+	Name    string `json:"name"`
+	Parent  string `json:"parent,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Trace is one request's span record: an ID, a name, and the stage
+// timings instrumented code appended while it ran. A nil Trace is a
+// valid no-op, so pipeline code records spans unconditionally and
+// construction decides whether tracing is on. Span recording is
+// mutex-guarded (spans can end on pool workers); the cost is one short
+// critical section per stage, not per pair.
+type Trace struct {
+	id    string
+	name  string
+	start time.Time
+
+	mu     sync.Mutex
+	spans  []Span
+	durNS  int64
+	status int
+}
+
+// NewTrace starts a standalone trace (no tracer ring behind it) — the
+// CLI tools use this to collect stage timings without a server.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// ID returns the trace's request ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan begins a top-level span; the returned func ends it.
+func (t *Trace) StartSpan(name string) func() {
+	return t.StartSpanUnder("", name)
+}
+
+// StartSpanUnder begins a span nested (by name) under parent; the
+// returned func ends it. Safe on a nil trace: both halves are no-ops.
+func (t *Trace) StartSpanUnder(parent, name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{
+			Name:    name,
+			Parent:  parent,
+			StartNS: begin.Sub(t.start).Nanoseconds(),
+			DurNS:   end.Sub(begin).Nanoseconds(),
+		})
+		t.mu.Unlock()
+	}
+}
+
+// finish stamps the total duration and status.
+func (t *Trace) finish(status int) {
+	t.mu.Lock()
+	t.durNS = time.Since(t.start).Nanoseconds()
+	t.status = status
+	t.mu.Unlock()
+}
+
+// TraceView is the immutable JSON view of a finished (or in-flight)
+// trace.
+type TraceView struct {
+	ID     string    `json:"id"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	DurNS  int64     `json:"dur_ns"`
+	DurMS  float64   `json:"dur_ms"`
+	Status int       `json:"status,omitempty"`
+	Spans  []Span    `json:"spans,omitempty"`
+}
+
+// Snapshot copies the trace (zero view on nil).
+func (t *Trace) Snapshot() TraceView {
+	if t == nil {
+		return TraceView{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := TraceView{
+		ID:     t.id,
+		Name:   t.name,
+		Start:  t.start,
+		DurNS:  t.durNS,
+		DurMS:  float64(t.durNS) / 1e6,
+		Status: t.status,
+		Spans:  append([]Span(nil), t.spans...),
+	}
+	return v
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the trace.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil (a no-op trace).
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// Tracer mints request traces, retains a bounded ring of the most
+// recent finished ones, and writes structured JSON log lines for slow
+// requests (always, above SlowThreshold) and for every request (when
+// AccessLog is set). A nil Tracer is fully inert.
+type Tracer struct {
+	// SlowThreshold is the duration above which a finished trace is
+	// logged with its span timings; 0 disables slow logging.
+	SlowThreshold time.Duration
+	// AccessLog logs one line per finished trace regardless of
+	// duration.
+	AccessLog bool
+	// Out receives the log lines (defaults to os.Stderr). Writes are
+	// serialized by the tracer.
+	Out io.Writer
+
+	seq  atomic.Int64
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+}
+
+// NewTracer returns a tracer retaining the last ringSize finished
+// traces (ringSize <= 0 retains none; the tracer still logs).
+func NewTracer(ringSize int) *Tracer {
+	t := &Tracer{}
+	if ringSize > 0 {
+		t.ring = make([]*Trace, 0, ringSize)
+	}
+	return t
+}
+
+// Start mints a new trace with the next request ID. Nil-safe: a nil
+// tracer returns a nil trace.
+func (tr *Tracer) Start(name string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	t := NewTrace(name)
+	t.id = fmt.Sprintf("r-%d", tr.seq.Add(1))
+	return t
+}
+
+// Finish stamps the trace, retains it in the ring, and emits the
+// access/slow log lines. Safe with a nil tracer or nil trace.
+func (tr *Tracer) Finish(t *Trace, status int) {
+	if tr == nil || t == nil {
+		return
+	}
+	t.finish(status)
+	if cap(tr.ring) > 0 {
+		tr.mu.Lock()
+		if len(tr.ring) < cap(tr.ring) {
+			tr.ring = append(tr.ring, t)
+		} else {
+			tr.ring[tr.next] = t
+			tr.next = (tr.next + 1) % cap(tr.ring)
+		}
+		tr.mu.Unlock()
+	}
+	slow := tr.SlowThreshold > 0 && time.Duration(t.durNS) > tr.SlowThreshold
+	if !slow && !tr.AccessLog {
+		return
+	}
+	v := t.Snapshot()
+	if !slow {
+		v.Spans = nil // access-log lines stay one-screen; spans are in the ring
+	}
+	line := struct {
+		TS    time.Time `json:"ts"`
+		Level string    `json:"level"`
+		Msg   string    `json:"msg"`
+		TraceView
+	}{TS: time.Now(), Level: "info", Msg: "request", TraceView: v}
+	if slow {
+		line.Level = "warn"
+		line.Msg = "slow request"
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	out := tr.Out
+	if out == nil {
+		out = os.Stderr
+	}
+	tr.mu.Lock()
+	_, _ = out.Write(b)
+	tr.mu.Unlock()
+}
+
+// Recent returns snapshots of the retained traces, most recent first
+// (nil when nothing is retained).
+func (tr *Tracer) Recent() []TraceView {
+	if tr == nil || len(tr.ring) == 0 {
+		return nil
+	}
+	tr.mu.Lock()
+	n := len(tr.ring)
+	ordered := make([]*Trace, 0, n)
+	// Before the ring wraps the tail of the slice is the most recent;
+	// after wrapping, ring[next-1] is.
+	for i := 0; i < n; i++ {
+		idx := n - 1 - i
+		if n == cap(tr.ring) {
+			idx = ((tr.next-1-i)%n + n) % n
+		}
+		ordered = append(ordered, tr.ring[idx])
+	}
+	tr.mu.Unlock()
+	out := make([]TraceView, len(ordered))
+	for i, t := range ordered {
+		out[i] = t.Snapshot()
+	}
+	return out
+}

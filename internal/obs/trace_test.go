@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTracer(8)
+	trace := tr.Start("POST /v1/match")
+	if trace.ID() == "" {
+		t.Fatal("no request id")
+	}
+	end := trace.StartSpan("parent")
+	endChild := trace.StartSpanUnder("parent", "child")
+	time.Sleep(time.Millisecond)
+	endChild()
+	end()
+	tr.Finish(trace, 200)
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("ring holds %d traces, want 1", len(recent))
+	}
+	v := recent[0]
+	if v.Status != 200 || v.DurNS <= 0 {
+		t.Fatalf("trace view = %+v", v)
+	}
+	if len(v.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(v.Spans))
+	}
+	// Spans end in completion order: child first.
+	if v.Spans[0].Name != "child" || v.Spans[0].Parent != "parent" {
+		t.Fatalf("child span = %+v", v.Spans[0])
+	}
+	if v.Spans[1].Name != "parent" || v.Spans[1].DurNS < v.Spans[0].DurNS {
+		t.Fatalf("parent span = %+v (child %+v)", v.Spans[1], v.Spans[0])
+	}
+}
+
+func TestTracerRingBoundedAndOrdered(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		trace := tr.Start(fmt.Sprintf("req-%d", i))
+		tr.Finish(trace, 200)
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	for i, v := range recent {
+		if want := fmt.Sprintf("req-%d", 9-i); v.Name != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, v.Name, want)
+		}
+	}
+}
+
+func TestSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(4)
+	tr.SlowThreshold = time.Microsecond
+	tr.Out = &buf
+
+	trace := tr.Start("slow one")
+	end := trace.StartSpan("stage")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	tr.Finish(trace, 200)
+
+	fast := tr.Start("fast one")
+	tr.Finish(fast, 200) // sub-threshold runs are possible but not guaranteed; only assert the slow line
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var found bool
+	for _, ln := range lines {
+		var rec struct {
+			Level string  `json:"level"`
+			Msg   string  `json:"msg"`
+			Name  string  `json:"name"`
+			Spans []Span  `json:"spans"`
+			DurMS float64 `json:"dur_ms"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("unparseable log line %q: %v", ln, err)
+		}
+		if rec.Name == "slow one" {
+			found = true
+			if rec.Level != "warn" || rec.Msg != "slow request" {
+				t.Fatalf("slow line = %+v", rec)
+			}
+			if len(rec.Spans) != 1 || rec.Spans[0].Name != "stage" {
+				t.Fatalf("slow line spans = %+v", rec.Spans)
+			}
+			if rec.DurMS < 1 {
+				t.Fatalf("slow line dur_ms = %g", rec.DurMS)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no slow-request line in %q", buf.String())
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(0) // no ring; logging still works
+	tr.AccessLog = true
+	tr.Out = &buf
+	trace := tr.Start("GET /healthz")
+	tr.Finish(trace, 200)
+	var rec struct {
+		Level  string `json:"level"`
+		Msg    string `json:"msg"`
+		Status int    `json:"status"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("unparseable access line %q: %v", buf.String(), err)
+	}
+	if rec.Level != "info" || rec.Msg != "request" || rec.Status != 200 {
+		t.Fatalf("access line = %+v", rec)
+	}
+	if tr.Recent() != nil {
+		t.Fatal("ring disabled but traces retained")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context carries a trace")
+	}
+	trace := NewTrace("x")
+	ctx := NewContext(context.Background(), trace)
+	if FromContext(ctx) != trace {
+		t.Fatal("trace lost in context round-trip")
+	}
+	// A nil trace does not pollute the context.
+	if FromContext(NewContext(context.Background(), nil)) != nil {
+		t.Fatal("nil trace stored in context")
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var trace *Trace
+	trace.StartSpan("x")()
+	trace.StartSpanUnder("p", "x")()
+	_ = trace.Snapshot()
+	_ = trace.ID()
+	var tr *Tracer
+	if tr.Start("x") != nil {
+		t.Fatal("nil tracer minted a trace")
+	}
+	tr.Finish(nil, 200)
+	if tr.Recent() != nil {
+		t.Fatal("nil tracer has recents")
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from many goroutines; -race
+// is the assertion.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16)
+	tr.AccessLog = true
+	tr.Out = &syncDiscard{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				trace := tr.Start("r")
+				end := trace.StartSpan("s")
+				end()
+				tr.Finish(trace, 200)
+				if i%50 == 0 {
+					tr.Recent()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Recent()); got != 16 {
+		t.Fatalf("ring holds %d, want 16", got)
+	}
+}
+
+type syncDiscard struct{}
+
+func (*syncDiscard) Write(p []byte) (int, error) { return len(p), nil }

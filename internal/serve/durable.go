@@ -39,6 +39,7 @@ func (s *Server) openDurable() error {
 		Dir:          s.cfg.DataDir,
 		FS:           s.cfg.DataFS,
 		CompactEvery: s.cfg.CompactEvery,
+		Obs:          s.obs,
 	})
 	if err != nil {
 		return fmt.Errorf("serve: open data dir %s: %v", s.cfg.DataDir, err)

@@ -16,6 +16,7 @@ import (
 	"github.com/ccer-go/ccer/internal/datagen"
 	"github.com/ccer-go/ccer/internal/eval"
 	"github.com/ccer-go/ccer/internal/graph"
+	"github.com/ccer-go/ccer/internal/obs"
 	"github.com/ccer-go/ccer/internal/par"
 	"github.com/ccer-go/ccer/internal/simgraph"
 	"github.com/ccer-go/ccer/internal/strsim"
@@ -24,6 +25,7 @@ import (
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -64,10 +66,30 @@ func decodeJSON(r *http.Request, v any) error {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":         "ok",
-		"uptime_seconds": time.Since(s.started).Seconds(),
-	})
+		"uptime_seconds": s.uptimeSeconds(),
+	}
+	status := http.StatusOK
+	// A latched journal failure means every mutation is being refused
+	// (reads still work); report degraded so orchestrators restart the
+	// process, which rolls a fresh segment.
+	if err := s.log.Err(); err != nil {
+		resp["status"] = "degraded"
+		resp["error"] = err.Error()
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleTraces serves the tracer's bounded ring of recent request
+// traces, most recent first, each with its per-stage span timings.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	views := s.tracer.Recent()
+	if views == nil {
+		views = []obs.TraceView{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": views})
 }
 
 // metricsResponse is the flat expvar-style counter set of /metrics.
@@ -122,9 +144,41 @@ type metricsResponse struct {
 	SnapshotBytes         int64 `json:"snapshot_bytes"`
 	CompactionsTotal      int64 `json:"compactions_total"`
 	RepCacheReloadedTotal int64 `json:"repcache_reloaded_total"`
+	// Per-status-class request counters and request-duration quantile
+	// estimates (from the fixed-bucket latency histogram); absent when
+	// observability is disabled.
+	RequestsByClassTotal map[string]int64 `json:"requests_by_class_total,omitempty"`
+	HTTPRequestP50MS     float64          `json:"http_request_p50_ms,omitempty"`
+	HTTPRequestP95MS     float64          `json:"http_request_p95_ms,omitempty"`
+	HTTPRequestP99MS     float64          `json:"http_request_p99_ms,omitempty"`
+}
+
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format= wins, then Accept-header negotiation (a Prometheus scraper
+// asks for text/plain or an openmetrics type; browsers and the existing
+// JSON consumers do not). The default stays JSON for backward
+// compatibility.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		if s.obs == nil {
+			writeError(w, http.StatusNotFound, "metrics registry disabled")
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		_ = s.obs.WritePrometheus(w)
+		return
+	}
 	hits, misses, evictions := s.cache.Stats()
 	hitRate := 0.0
 	if hits+misses > 0 {
@@ -145,7 +199,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	repStats := s.reps.Stats()
 	durMetrics := s.log.Metrics()
 	jobs := s.jobs.Counts()
+	var httpP50, httpP95, httpP99 float64
+	if hs := s.httpDur.Snapshot(); hs.Count > 0 {
+		httpP50 = float64(hs.Quantile(0.50)) / 1e6
+		httpP95 = float64(hs.Quantile(0.95)) / 1e6
+		httpP99 = float64(hs.Quantile(0.99)) / 1e6
+	}
 	writeJSON(w, http.StatusOK, metricsResponse{
+		RequestsByClassTotal:   s.classReqs.Snapshot(),
+		HTTPRequestP50MS:       httpP50,
+		HTTPRequestP95MS:       httpP95,
+		HTTPRequestP99MS:       httpP99,
 		JournalRecordsTotal:    durMetrics.JournalRecordsTotal,
 		RecoveryNS:             durMetrics.RecoveryNS,
 		SnapshotBytes:          durMetrics.SnapshotBytes,
@@ -162,14 +226,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		RepCacheMissesTotal:    repStats.Misses,
 		RepCacheEvictionsTotal: repStats.Evictions,
 		RepCacheEntries:        repStats.Entries,
-		UptimeSeconds:          time.Since(s.started).Seconds(),
-		RequestsTotal:          s.stats.requests.Load(),
-		ErrorsTotal:            s.stats.errors.Load(),
+		UptimeSeconds:          s.uptimeSeconds(),
+		RequestsTotal:          s.requests.Load(),
+		ErrorsTotal:            s.errors.Load(),
 		GraphsStored:           s.store.Len(),
-		GraphsCreatedTotal:     s.stats.graphsCreated.Load(),
-		MatchRequestsTotal:     s.stats.matchRequests.Load(),
-		MatchingsRunTotal:      s.stats.matchingsRun.Load(),
-		SweepsCreatedTotal:     s.stats.sweepsCreated.Load(),
+		GraphsCreatedTotal:     s.graphsCreated.Load(),
+		MatchRequestsTotal:     s.matchRequests.Load(),
+		MatchingsRunTotal:      s.matchingsRun.Load(),
+		SweepsCreatedTotal:     s.sweepsCreated.Load(),
 		CacheHitsTotal:         hits,
 		CacheMissesTotal:       misses,
 		CacheEvictionsTotal:    evictions,
@@ -260,11 +324,13 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if req.Family != "" {
-			s.handleFamilyGenerate(w, req)
+			s.handleFamilyGenerate(w, r, req)
 			return
 		}
+		endGen := obs.FromContext(r.Context()).StartSpan("generate/" + string(simgraph.SBSyn))
 		start := time.Now()
 		e, visited, skipped, err := generateGraph(req, s.cfg.MaxGraphNodes, s.cfg.Parallelism)
+		endGen()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -272,7 +338,9 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 		// Every single-measure string similarity is a schema-based
 		// syntactic weight, the paper's SB-SYN family; its prefilter
 		// counters feed the same skip-ratio metrics as family mode.
-		s.gen.recordStats(e.Dataset, string(simgraph.SBSyn), time.Since(start), visited, skipped)
+		elapsed := time.Since(start)
+		s.gen.recordStats(e.Dataset, string(simgraph.SBSyn), elapsed, visited, skipped)
+		s.genDur.With(string(simgraph.SBSyn)).Observe(elapsed)
 		entry = e
 	} else {
 		// Anything else is the graph.WriteEdgeList wire format.
@@ -296,7 +364,7 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.persistWarmReps()
-	s.stats.graphsCreated.Add(1)
+	s.graphsCreated.Inc()
 	writeJSON(w, http.StatusCreated, infoOf(entry))
 }
 
@@ -307,7 +375,7 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 // taxonomy-driven workload of the paper can be served and matched
 // without leaving the service. Generation time is recorded under the
 // family, which is where the bit-parallel kernel win shows on /metrics.
-func (s *Server) handleFamilyGenerate(w http.ResponseWriter, req generateRequest) {
+func (s *Server) handleFamilyGenerate(w http.ResponseWriter, r *http.Request, req generateRequest) {
 	if req.Measure != "" {
 		writeError(w, http.StatusBadRequest, "measure and family are mutually exclusive")
 		return
@@ -350,16 +418,21 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, req generateRequest
 		base = spec.ID + "-" + string(family)
 	}
 
+	endTask := obs.FromContext(r.Context()).StartSpan("dataset/" + spec.ID)
 	task := spec.Generate(seed, scale)
+	endTask()
 	start := time.Now()
 	graphs, genStats := simgraph.GenerateStats(task, attrs, simgraph.Options{
 		Families:          []simgraph.Family{family},
 		KeepNoMatchGraphs: true,
 		Parallelism:       s.cfg.Parallelism,
 		Caches:            s.reps,
+		Trace:             obs.FromContext(r.Context()),
 	})
 	fs := genStats.Of(family)
-	s.gen.recordStats(spec.ID, string(family), time.Since(start), fs.Visited, fs.Skipped)
+	elapsed := time.Since(start)
+	s.gen.recordStats(spec.ID, string(family), elapsed, fs.Visited, fs.Skipped)
+	s.genDur.With(string(family)).Observe(elapsed)
 
 	infos := make([]graphInfo, 0, len(graphs))
 	for _, sg := range graphs {
@@ -384,7 +457,7 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, req generateRequest
 		infos = append(infos, infoOf(e))
 	}
 	s.persistWarmReps()
-	s.stats.graphsCreated.Add(int64(len(infos)))
+	s.graphsCreated.Add(int64(len(infos)))
 	writeJSON(w, http.StatusCreated, map[string]any{"family": string(family), "graphs": infos})
 }
 
@@ -632,8 +705,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if len(algorithms) == 0 {
 		algorithms = core.Names()
 	}
-	s.stats.matchRequests.Add(1)
+	s.matchRequests.Inc()
+	endMatch := obs.FromContext(r.Context()).StartSpan("match")
 	outcomes, err := s.matchBatch(r.Context(), e, algorithms, threshold, req.Seed)
+	endMatch()
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
@@ -773,7 +848,7 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	s.stats.sweepsCreated.Add(1)
+	s.sweepsCreated.Inc()
 	view, _ := s.jobs.Get(job.ID)
 	writeJSON(w, http.StatusAccepted, sweepViewJSON(view))
 }

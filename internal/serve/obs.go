@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"time"
+
+	"github.com/ccer-go/ccer/internal/obs"
+)
+
+// initObs builds the metrics registry and request tracer. Everything the
+// JSON /metrics response reports is registered here, so the Prometheus
+// exposition covers the same counter set: registry-owned instruments for
+// the request path, reader funcs for the counters that live with their
+// owners (result cache, job queue, representation caches, durable log,
+// generation stats). The reader funcs capture s and read lazily at
+// scrape time, so registration order against field initialization does
+// not matter — every field is set before New returns.
+//
+// With Config.DisableObs the registry and tracer stay nil and every
+// handle below is an inert no-op (the obs package's nil-receiver
+// contract), which is the baseline side of the instrumentation-overhead
+// benchmarks.
+func (s *Server) initObs() {
+	if s.cfg.DisableObs {
+		return
+	}
+	r := obs.NewRegistry()
+	s.obs = r
+
+	s.requests = r.Counter("ccer_requests_total", "HTTP requests received.")
+	s.errors = r.Counter("ccer_errors_total", "HTTP responses with status >= 400.")
+	s.graphsCreated = r.Counter("ccer_graphs_created_total", "Graphs committed to the store.")
+	s.matchRequests = r.Counter("ccer_match_requests_total", "POST /v1/match requests.")
+	s.matchingsRun = r.Counter("ccer_matchings_run_total", "Matchings executed (cache misses).")
+	s.sweepsCreated = r.Counter("ccer_sweeps_created_total", "Sweep jobs accepted.")
+	s.classReqs = r.CounterVec("ccer_http_requests_by_class_total",
+		"HTTP responses by status class.", "class")
+	s.routeReqs = r.CounterVec("ccer_http_requests_by_route_total",
+		"HTTP requests by mux route pattern.", "route")
+	s.httpDur = r.Histogram("ccer_http_request_seconds", "HTTP request wall time.")
+	s.matchDur = r.HistogramVec("ccer_match_seconds",
+		"Latency of one matching run, by algorithm.", "algorithm")
+	s.genDur = r.HistogramVec("ccer_generate_seconds",
+		"Latency of one similarity-graph generation, by weight family.", "family")
+	s.sweepDur = r.Histogram("ccer_sweep_seconds", "Latency of one sweep job execution.")
+
+	r.GaugeFunc("ccer_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return r.Uptime().Seconds() })
+	r.GaugeFunc("ccer_graphs_stored", "Graphs currently in the store.",
+		func() float64 { return float64(s.store.Len()) })
+
+	r.CounterFunc("ccer_cache_hits_total", "Match result cache hits.", func() int64 {
+		hits, _, _ := s.cache.Stats()
+		return hits
+	})
+	r.CounterFunc("ccer_cache_misses_total", "Match result cache misses.", func() int64 {
+		_, misses, _ := s.cache.Stats()
+		return misses
+	})
+	r.CounterFunc("ccer_cache_evictions_total", "Match result cache evictions.", func() int64 {
+		_, _, evictions := s.cache.Stats()
+		return evictions
+	})
+	r.GaugeFunc("ccer_cache_size", "Match result cache entries.",
+		func() float64 { return float64(s.cache.Len()) })
+	r.GaugeFunc("ccer_cache_capacity", "Match result cache capacity.",
+		func() float64 { return float64(s.cache.Capacity()) })
+
+	r.GaugeFunc("ccer_jobs_queued", "Sweep jobs waiting to run.",
+		func() float64 { return float64(s.jobs.Counts().Queued) })
+	r.GaugeFunc("ccer_jobs_running", "Sweep jobs currently executing.",
+		func() float64 { return float64(s.jobs.Counts().Running) })
+	r.CounterFunc("ccer_jobs_done_total", "Sweep jobs finished successfully.",
+		func() int64 { return int64(s.jobs.Counts().Done) })
+	r.CounterFunc("ccer_jobs_failed_total", "Sweep jobs finished with an error.",
+		func() int64 { return int64(s.jobs.Counts().Failed) })
+	r.CounterFunc("ccer_jobs_cancelled_total", "Sweep jobs cancelled.",
+		func() int64 { return int64(s.jobs.Counts().Cancelled) })
+
+	r.CounterFunc("ccer_repcache_hits_total", "Representation cache hits.",
+		func() int64 { return s.reps.Stats().Hits })
+	r.CounterFunc("ccer_repcache_misses_total", "Representation cache misses.",
+		func() int64 { return s.reps.Stats().Misses })
+	r.CounterFunc("ccer_repcache_evictions_total", "Representation cache evictions.",
+		func() int64 { return s.reps.Stats().Evictions })
+	r.GaugeFunc("ccer_repcache_entries", "Representation cache resident entries.",
+		func() float64 { return float64(s.reps.Stats().Entries) })
+	r.CounterFunc("ccer_repcache_reloaded_total",
+		"Representation cache entries rewarmed from the durable spill at boot.",
+		func() int64 { return s.repReloaded.Load() })
+
+	r.CounterFunc("ccer_journal_records_total", "Journal records replayed at boot plus appended since.",
+		func() int64 { return s.log.Metrics().JournalRecordsTotal })
+	r.GaugeFunc("ccer_recovery_seconds", "Wall time of the boot-time recovery.",
+		func() float64 { return float64(s.log.Metrics().RecoveryNS) / 1e9 })
+	r.GaugeFunc("ccer_snapshot_bytes", "On-disk size of the committed snapshot state.",
+		func() float64 { return float64(s.log.Metrics().SnapshotBytes) })
+	r.CounterFunc("ccer_compactions_total", "Durable-store manifest rewrites.",
+		func() int64 { return s.log.Metrics().CompactionsTotal })
+
+	r.LabeledCounterFunc("ccer_generate_ns_total",
+		"Cumulative similarity-graph generation nanoseconds, by weight family.", "family",
+		func() map[string]int64 {
+			_, _, famNanos, _, _, _ := s.gen.snapshot()
+			return famNanos
+		})
+	r.LabeledCounterFunc("ccer_generates_total",
+		"Similarity-graph generations, by weight family.", "family",
+		func() map[string]int64 {
+			_, _, _, famCount, _, _ := s.gen.snapshot()
+			return famCount
+		})
+	r.LabeledCounterFunc("ccer_generate_dataset_ns_total",
+		"Cumulative similarity-graph generation nanoseconds, by dataset.", "dataset",
+		func() map[string]int64 {
+			nanos, _, _, _, _, _ := s.gen.snapshot()
+			return nanos
+		})
+	r.LabeledCounterFunc("ccer_generate_dataset_total",
+		"Similarity-graph generations, by dataset.", "dataset",
+		func() map[string]int64 {
+			_, count, _, _, _, _ := s.gen.snapshot()
+			return count
+		})
+	r.LabeledCounterFunc("ccer_generate_pairs_visited_total",
+		"Kernel blocks computed during generation, by weight family.", "family",
+		func() map[string]int64 {
+			_, _, _, _, famVisited, _ := s.gen.snapshot()
+			return famVisited
+		})
+	r.LabeledCounterFunc("ccer_generate_pairs_skipped_total",
+		"Kernel blocks provably skipped by the lossless filters, by weight family.", "family",
+		func() map[string]int64 {
+			_, _, _, _, _, famSkipped := s.gen.snapshot()
+			return famSkipped
+		})
+
+	tracer := obs.NewTracer(s.cfg.TraceRing)
+	tracer.SlowThreshold = s.cfg.TraceSlow
+	tracer.AccessLog = s.cfg.AccessLog
+	tracer.Out = s.cfg.ObsLog
+	s.tracer = tracer
+}
+
+// uptimeSeconds is the one uptime computation /healthz and /metrics
+// share: the registry's start time when observability is on, the
+// server's otherwise.
+func (s *Server) uptimeSeconds() float64 {
+	if s.obs != nil {
+		return s.obs.Uptime().Seconds()
+	}
+	return time.Since(s.started).Seconds()
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"github.com/ccer-go/ccer/internal/core"
 	"github.com/ccer-go/ccer/internal/durable"
 	"github.com/ccer-go/ccer/internal/eval"
+	"github.com/ccer-go/ccer/internal/obs"
 	"github.com/ccer-go/ccer/internal/par"
 	"github.com/ccer-go/ccer/internal/simgraph"
 )
@@ -71,6 +73,24 @@ type Config struct {
 	// real one. The crash-injection tests substitute an in-memory
 	// filesystem with fault points.
 	DataFS durable.FS
+	// TraceSlow is the duration above which a finished request is logged
+	// as a structured JSON line with its per-stage span timings. 0
+	// disables slow-request logging.
+	TraceSlow time.Duration
+	// AccessLog emits one structured JSON line per finished request
+	// (without span details; those stay in the trace ring).
+	AccessLog bool
+	// TraceRing is how many recent request traces GET /v1/traces serves.
+	// 0 means 64; negative retains none.
+	TraceRing int
+	// ObsLog receives the slow-request and access log lines; nil means
+	// os.Stderr.
+	ObsLog io.Writer
+	// DisableObs turns the metrics registry and request tracer off
+	// entirely (every instrument becomes a nil no-op). It exists to
+	// measure instrumentation overhead; a disabled server still serves
+	// /metrics, but with zeroed request counters and no Prometheus view.
+	DisableObs bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,18 +118,10 @@ func (c Config) withDefaults() Config {
 	if c.RepCacheDatasets == 0 {
 		c.RepCacheDatasets = 2
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 64
+	}
 	return c
-}
-
-// counters are the monotonically increasing request-level metrics
-// surfaced by /metrics (cache and job counters live with their owners).
-type counters struct {
-	requests      atomic.Int64
-	errors        atomic.Int64
-	graphsCreated atomic.Int64
-	matchRequests atomic.Int64
-	matchingsRun  atomic.Int64
-	sweepsCreated atomic.Int64
 }
 
 // genStats accumulates similarity-graph generation timing per dataset
@@ -176,11 +188,33 @@ type Server struct {
 	cache   *ResultCache
 	jobs    *JobQueue
 	mux     *http.ServeMux
-	stats   counters
 	gen     genStats
 	reps    *simgraph.RepCaches // nil when disabled
 	log     *durable.Log        // nil when DataDir is unset
 	started time.Time
+
+	// obs is the metrics registry behind both /metrics views; nil (with
+	// Config.DisableObs) makes every handle below an inert no-op. tracer
+	// mints per-request traces for GET /v1/traces and the slow-request
+	// log.
+	obs    *obs.Registry
+	tracer *obs.Tracer
+
+	// Request-level counters and latency histograms (registry-owned;
+	// cache, job, durable and generation counters stay with their owners
+	// and reach the registry through reader funcs — see initObs).
+	requests      *obs.Counter
+	errors        *obs.Counter
+	graphsCreated *obs.Counter
+	matchRequests *obs.Counter
+	matchingsRun  *obs.Counter
+	sweepsCreated *obs.Counter
+	classReqs     *obs.CounterVec   // by status class (2xx/3xx/4xx/5xx)
+	routeReqs     *obs.CounterVec   // by mux route pattern
+	httpDur       *obs.Histogram    // request wall time
+	matchDur      *obs.HistogramVec // one Match call, by algorithm
+	genDur        *obs.HistogramVec // one generation, by family
+	sweepDur      *obs.Histogram    // one sweep job execution
 
 	// repReloaded counts representation-cache entries rewarmed from the
 	// durable spill at boot.
@@ -204,6 +238,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RepCacheDatasets > 0 {
 		s.reps = simgraph.NewRepCaches(cfg.RepCacheDatasets)
 	}
+	s.initObs()
 	if cfg.DataDir != "" {
 		if err := s.openDurable(); err != nil {
 			return nil, err
@@ -215,16 +250,48 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Handler returns the root handler: the v1 API plus /healthz and
-// /metrics, wrapped with request/error counting.
+// /metrics, wrapped with request counting, per-route/status-class
+// counters, the request-duration histogram, and tracing (each request
+// gets an X-Request-Id and a span trace carried in its context).
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.stats.requests.Add(1)
+		s.requests.Inc()
+		start := time.Now()
+		// Resolve the route pattern before dispatch: the middleware sits
+		// outside the mux, so r.Pattern is not yet populated here.
+		route := "unmatched"
+		if _, pattern := s.mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		trace := s.tracer.Start(r.Method + " " + r.URL.Path)
+		if trace != nil {
+			w.Header().Set("X-Request-Id", trace.ID())
+			r = r.WithContext(obs.NewContext(r.Context(), trace))
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		s.mux.ServeHTTP(rec, r)
 		if rec.status >= 400 {
-			s.stats.errors.Add(1)
+			s.errors.Inc()
 		}
+		s.routeReqs.With(route).Inc()
+		s.classReqs.With(statusClass(rec.status)).Inc()
+		s.httpDur.Since(start)
+		s.tracer.Finish(trace, rec.status)
 	})
+}
+
+// statusClass buckets an HTTP status for the per-class counters.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
 }
 
 // Close drains the service: no new jobs are accepted, queued and running
@@ -301,17 +368,23 @@ func (s *Server) matchBatch(ctx context.Context, e *GraphEntry, algorithms []str
 		todo = append(todo, i)
 	}
 	if len(todo) > 0 {
+		trace := obs.FromContext(ctx)
 		// Each todo index runs on exactly one worker and every matcher in
 		// the module keeps its mutable state local to a Match call, so no
 		// cloning is needed (the ccer.MatchConcurrent invariant).
 		par.For(len(todo), par.Workers(s.cfg.Parallelism), stopFunc(ctx), func(_, k int) {
 			i := todo[k]
-			out[i] = matchOutcome{Algorithm: algorithms[i], Pairs: ms[i].Match(e.Graph, threshold)}
+			endSpan := trace.StartSpanUnder("match", "match/"+algorithms[i])
+			t0 := time.Now()
+			pairs := ms[i].Match(e.Graph, threshold)
+			s.matchDur.With(algorithms[i]).Since(t0)
+			endSpan()
+			out[i] = matchOutcome{Algorithm: algorithms[i], Pairs: pairs}
 		})
 		if ctx != nil && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		s.stats.matchingsRun.Add(int64(len(todo)))
+		s.matchingsRun.Add(int64(len(todo)))
 		for _, i := range todo {
 			key := CacheKey{Graph: e.Name, Version: e.Version, Algorithm: algorithms[i], Threshold: threshold, Seed: seed}
 			s.cache.Put(key, out[i].Pairs)
@@ -336,9 +409,12 @@ func (s *Server) runSweep(ctx context.Context, job *SweepJob) ([]eval.SweepResul
 	if err != nil {
 		return nil, err
 	}
-	return eval.SweepAllOpts(e.Graph, e.GT, ms, eval.SweepOptions{
+	start := time.Now()
+	results := eval.SweepAllOpts(e.Graph, e.GT, ms, eval.SweepOptions{
 		Repeats:     job.Repeats,
 		Parallelism: s.cfg.Parallelism,
 		Stop:        stopFunc(ctx),
-	}), nil
+	})
+	s.sweepDur.Since(start)
+	return results, nil
 }

@@ -30,6 +30,7 @@ import (
 	"github.com/ccer-go/ccer/internal/embed"
 	"github.com/ccer-go/ccer/internal/graph"
 	"github.com/ccer-go/ccer/internal/ngraph"
+	"github.com/ccer-go/ccer/internal/obs"
 	"github.com/ccer-go/ccer/internal/par"
 	"github.com/ccer-go/ccer/internal/strsim"
 	"github.com/ccer-go/ccer/internal/vector"
@@ -98,6 +99,12 @@ type Options struct {
 	// texts, so cached builds are byte-identical to fresh ones; a
 	// resident service shares one RepCaches across requests.
 	Caches *RepCaches
+	// Trace, when non-nil, receives one span per generation stage
+	// (representation builds, row-kernel fan-outs, graph assembly),
+	// nested under a "generate/<family>" span per family. A nil Trace
+	// costs nothing: spans are recorded per stage, never per pair, and
+	// every span call is a no-op on nil.
+	Trace *obs.Trace
 }
 
 // FamilyStats counts candidate-filter decisions of one weight family:
@@ -267,6 +274,7 @@ func GenerateStats(task *dataset.Task, keyAttrs []string, opts Options) ([]SimGr
 	var out []SimGraph
 	var stats GenStats
 	for _, f := range opts.families() {
+		endFam := opts.Trace.StartSpan("generate/" + string(f))
 		switch f {
 		case SBSyn:
 			out = append(out, schemaBasedSyntactic(task, keyAttrs, workers, opts, &stats)...)
@@ -278,7 +286,9 @@ func GenerateStats(task *dataset.Task, keyAttrs []string, opts Options) ([]SimGr
 				// families; embeddings are unchanged by it. With caches
 				// attached the models (and their token-vector caches)
 				// persist across builds.
+				endModels := opts.Trace.StartSpanUnder("generate/"+string(f), "models")
 				models = opts.Caches.sems().Models()
+				endModels()
 			}
 			if f == SBSem {
 				out = append(out, semantic(task, keyAttrs, opts, SBSem, workers, models, &stats)...)
@@ -286,9 +296,12 @@ func GenerateStats(task *dataset.Task, keyAttrs []string, opts Options) ([]SimGr
 				out = append(out, semantic(task, nil, opts, SASem, workers, models, &stats)...)
 			}
 		}
+		endFam()
 	}
 	if !opts.KeepNoMatchGraphs {
+		endClean := opts.Trace.StartSpan("clean/no-match")
 		out = filterNoMatchGraphs(out, task.GT)
+		endClean()
 	}
 	return out, stats
 }
@@ -351,10 +364,14 @@ func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string, workers int, op
 
 	var out []SimGraph
 	n1, n2 := task.V1.Len(), task.V2.Len()
+	const parent = "generate/" + string(SBSyn)
 	for _, attr := range keyAttrs {
+		endReps := opts.Trace.StartSpanUnder(parent, "reps/"+attr)
 		reps := attrRepsFor(opts.Caches, task.V1.AttrTexts(attr), task.V2.AttrTexts(attr))
 		texts1, texts2 := reps.texts1, reps.texts2
+		endReps()
 
+		endRows := opts.Trace.StartSpanUnder(parent, "rows/"+attr)
 		rows := make([][]rowEdge, n1)
 		rowBufs := make([][]rowEdge, workers)
 		swCaches := make([]*strsim.SWCache, workers)
@@ -447,7 +464,9 @@ func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string, workers int, op
 		})
 		v, sk := ctr.sum()
 		stats.Add(SBSyn, v, sk)
+		endRows()
 
+		endAsm := opts.Trace.StartSpanUnder(parent, "assemble/"+attr)
 		builders := make([]*graph.Builder, numMeasures)
 		for k := range builders {
 			builders[k] = graph.NewBuilder(n1, n2)
@@ -464,6 +483,7 @@ func schemaBasedSyntactic(task *dataset.Task, keyAttrs []string, workers int, op
 		for k, name := range tokenMeasureNames {
 			out = appendGraph(out, task.Name, SBSyn, attr+"/"+name, builders[numChar+k])
 		}
+		endAsm()
 	}
 	return out
 }
@@ -490,12 +510,14 @@ func qgramProfiles(vocab *strsim.QGramVocab, texts []string) []*strsim.QGramIDPr
 // The entity texts are tokenized once and shared by the three token
 // models (the char models ignore the token lists).
 func schemaAgnosticSyntactic(task *dataset.Task, workers int, opts Options, stats *GenStats) []SimGraph {
+	endTok := opts.Trace.StartSpanUnder("generate/"+string(SASyn), "tokenize")
 	texts1 := task.V1.Texts()
 	texts2 := task.V2.Texts()
 	toks1 := tokenizeAll(texts1)
 	toks2 := tokenizeAll(texts2)
 	values1 := profileValues(task.V1)
 	values2 := profileValues(task.V2)
+	endTok()
 	var out []SimGraph
 	for _, mode := range vector.Modes() {
 		out = append(out, schemaAgnosticMode(task, mode, workers, opts, stats,
@@ -554,17 +576,21 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int, opts 
 	texts1, texts2 []string, toks1, toks2 [][]string, values1, values2 [][]string) []SimGraph {
 	n1, n2 := len(texts1), len(texts2)
 	var out []SimGraph
+	const parent = "generate/" + string(SASyn)
 
 	// Bag models: all 6 measures in one merge join per candidate pair,
 	// candidates enumerated per collection-2 row through the space's
 	// inverted index with a reusable bitset.
+	endSpace := opts.Trace.StartSpanUnder(parent, "bag-space/"+mode.String())
 	space := opts.Caches.spaces().Get(mode, texts1, texts2, toks1, toks2)
 	space.CacheTFIDF() // materialize the per-entity caches before fanning out
 	emptyDocs1 := emptyIndexes(n1, func(i int) bool { return space.TF(1, i).Len() == 0 })
+	endSpace()
 	var dense []int32
 	if opts.Dense {
 		dense = denseIndexes(n1)
 	}
+	endBagRows := opts.Trace.StartSpanUnder(parent, "bag-rows/"+mode.String())
 	bagRows := make([][]rowEdge, n2)
 	scratch := make([]rowScratch, workers)
 	ctr := newFamCounters(workers)
@@ -597,6 +623,8 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int, opts 
 	})
 	v, sk := ctr.sum()
 	stats.Add(SASyn, v, sk)
+	endBagRows()
+	endBagAsm := opts.Trace.StartSpanUnder(parent, "bag-assemble/"+mode.String())
 	bagBuilders := make([]*graph.Builder, 6)
 	for k := range bagBuilders {
 		bagBuilders[k] = graph.NewBuilder(n1, n2)
@@ -610,6 +638,7 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int, opts 
 	for k, name := range vector.Measures() {
 		out = appendGraph(out, task.Name, SASyn, mode.String()+"/"+name, bagBuilders[k])
 	}
+	endBagAsm()
 
 	// N-gram graph models: per-value graphs merged per entity once, all
 	// 4 measures in one merge join over pairs sharing at least one gram
@@ -617,8 +646,11 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int, opts 
 	// (edge-less graphs score 1 against each other on all four
 	// measures). The bundle — graphs, node ids, postings — comes from
 	// the cross-build cache when one is attached.
+	endGramReps := opts.Trace.StartSpanUnder(parent, "gram-reps/"+mode.String())
 	reps := opts.Caches.grams().Get(mode, values1, values2)
 	emptyGraphs1 := emptyIndexes(n1, func(i int) bool { return reps.Graphs1[i].NumEdges() == 0 })
+	endGramReps()
+	endGramRows := opts.Trace.StartSpanUnder(parent, "gram-rows/"+mode.String())
 	gramRows := make([][]rowEdge, n2)
 	gctr := newFamCounters(workers)
 	par.For(n2, workers, nil, func(w, j int) {
@@ -647,6 +679,8 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int, opts 
 	})
 	v, sk = gctr.sum()
 	stats.Add(SASyn, v, sk)
+	endGramRows()
+	endGramAsm := opts.Trace.StartSpanUnder(parent, "gram-assemble/"+mode.String())
 	gBuilders := make([]*graph.Builder, 4)
 	for k := range gBuilders {
 		gBuilders[k] = graph.NewBuilder(n1, n2)
@@ -660,6 +694,7 @@ func schemaAgnosticMode(task *dataset.Task, mode vector.Mode, workers int, opts 
 	for k, name := range ngraph.Measures() {
 		out = appendGraph(out, task.Name, SASyn, mode.String()+"g/"+name, gBuilders[k])
 	}
+	endGramAsm()
 	return out
 }
 
@@ -687,9 +722,12 @@ func semantic(task *dataset.Task, keyAttrs []string, opts Options, family Family
 	}
 
 	var out []SimGraph
+	parent := "generate/" + string(family)
 	for _, sc := range scopes {
+		endTok := opts.Trace.StartSpanUnder(parent, "tokenize/"+sc.prefix+"*")
 		toks1 := embed.TokenizeAll(sc.texts1)
 		toks2 := embed.TokenizeAll(sc.texts2)
+		endTok()
 		for _, model := range models {
 			out = append(out, semanticGraphs(task.Name, family,
 				sc.prefix+model.Name(), model, sc.texts1, sc.texts2, toks1, toks2, opts, workers, stats)...)
@@ -700,12 +738,16 @@ func semantic(task *dataset.Task, keyAttrs []string, opts Options, family Family
 
 func semanticGraphs(ds string, family Family, prefix string, model embed.Model, texts1, texts2 []string, toks1, toks2 [][]string, opts Options, workers int, stats *GenStats) []SimGraph {
 	n1, n2 := len(texts1), len(texts2)
+	parent := "generate/" + string(family)
 
 	// One TokenVectors pass per entity feeds both the text embedding and
 	// the truncated token vectors (the seed recomputed them separately).
+	endEmbed := opts.Trace.StartSpanUnder(parent, "embed/"+prefix)
 	ev1 := opts.Caches.sems().Reps(model, texts1, toks1, opts.maxWMDTokens())
 	ev2 := opts.Caches.sems().Reps(model, texts2, toks2, opts.maxWMDTokens())
+	endEmbed()
 
+	endRows := opts.Trace.StartSpanUnder(parent, "rows/"+prefix)
 	maxTok2 := 0
 	for _, vecs := range ev2.TV {
 		if len(vecs) > maxTok2 {
@@ -747,7 +789,9 @@ func semanticGraphs(ds string, family Family, prefix string, model embed.Model, 
 	})
 	v, sk := ctr.sum()
 	stats.Add(family, v, sk)
+	endRows()
 
+	endAsm := opts.Trace.StartSpanUnder(parent, "assemble/"+prefix)
 	builders := [3]*graph.Builder{}
 	for k := range builders {
 		builders[k] = graph.NewBuilder(n1, n2)
@@ -762,6 +806,7 @@ func semanticGraphs(ds string, family Family, prefix string, model embed.Model, 
 	for k, name := range embed.Measures() {
 		out = appendGraph(out, ds, family, prefix+"/"+name, builders[k])
 	}
+	endAsm()
 	return out
 }
 
