@@ -10,6 +10,19 @@
 //	        [-max-body BYTES] [-data-dir DIR] [-compact-every DURATION]
 //	        [-trace-slow-ms N] [-access-log] [-trace-ring N]
 //	        [-drain DURATION]
+//	        [-match-timeout D] [-generate-timeout D] [-sweep-timeout D]
+//	        [-admission-slots N] [-admission-depth N] [-admission-budget D]
+//	        [-read-header-timeout D] [-read-timeout D] [-write-timeout D]
+//	        [-idle-timeout D] [-max-header BYTES]
+//
+// The service is overload-resilient by default: per-route deadlines
+// (504 + reason "deadline" past them), a bounded two-priority admission
+// queue over the heavy computations (503 + Retry-After + a machine-
+// readable reason beyond its bounds; interactive match traffic wins
+// freed slots over bulk generation/sweep work), and coalescing of
+// identical in-flight computations. The http.Server itself carries
+// header/read/write/idle timeouts, so slow-loris connections cannot pin
+// goroutines forever.
 //
 // With -data-dir the graph store is durable: every acknowledged
 // mutation commits to an fsync'd journal over content-addressed
@@ -88,6 +101,17 @@ func run() error {
 	accessLog := flag.Bool("access-log", false, "log one structured JSON line per request")
 	traceRing := flag.Int("trace-ring", 64, "recent request traces kept for GET /v1/traces (negative retains none)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	matchTimeout := flag.Duration("match-timeout", 0, "deadline for one POST /v1/match (0 = 30s, negative disables)")
+	generateTimeout := flag.Duration("generate-timeout", 0, "deadline for one POST /v1/graphs generation (0 = 2m, negative disables)")
+	sweepTimeout := flag.Duration("sweep-timeout", 0, "deadline for one async sweep execution (0 = 10m, negative disables)")
+	admissionSlots := flag.Int("admission-slots", 0, "concurrent heavy computations admitted (0 = GOMAXPROCS, negative disables admission control)")
+	admissionDepth := flag.Int("admission-depth", 0, "admission queue depth per priority class before queue_full 503s (0 = 128)")
+	admissionBudget := flag.Duration("admission-budget", 0, "longest a request waits in the admission queue before a queue_timeout 503 (0 = 2s)")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slow-loris guard)")
+	readTimeout := flag.Duration("read-timeout", time.Minute, "http.Server ReadTimeout (whole-request read deadline)")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "http.Server WriteTimeout (response write deadline; bounds the longest handler)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	maxHeader := flag.Int("max-header", 1<<20, "http.Server MaxHeaderBytes")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v; see -h", flag.Args())
@@ -108,11 +132,28 @@ func run() error {
 		TraceSlow:        time.Duration(*traceSlowMS) * time.Millisecond,
 		AccessLog:        *accessLog,
 		TraceRing:        *traceRing,
+		MatchTimeout:     *matchTimeout,
+		GenerateTimeout:  *generateTimeout,
+		SweepTimeout:     *sweepTimeout,
+		AdmissionSlots:   *admissionSlots,
+		AdmissionDepth:   *admissionDepth,
+		AdmissionBudget:  *admissionBudget,
 	})
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The connection-level timeouts are the slow-loris guard: a client
+	// that trickles its headers or never reads the response is cut off
+	// here, before it can pin a goroutine and connection forever.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeader,
+	}
 
 	// Listen before announcing readiness so a bad -addr fails fast.
 	ln, err := net.Listen("tcp", *addr)

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -189,6 +191,83 @@ func TestErservePrometheusScrapeLive(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("server did not shut down after SIGINT")
 	}
+}
+
+// TestErserveSIGTERMDrainsUnderLoad: a SIGTERM arriving while closed-
+// loop clients hammer /v1/match must still drain cleanly — run()
+// returns nil within the drain window, every shed response carries
+// Retry-After, and at least one request was actually served.
+func TestErserveSIGTERMDrainsUnderLoad(t *testing.T) {
+	addr := freeAddr(t)
+	base := "http://" + addr
+	done := make(chan error, 1)
+	go func() {
+		done <- runWithArgs("-addr", addr, "-admission-slots", "2",
+			"-admission-depth", "4", "-admission-budget", "50ms", "-cache", "-1")
+	}()
+	waitHealthy(t, base)
+
+	body, _ := json.Marshal(map[string]any{"name": "d2", "dataset": "D2", "seed": 42, "scale": 0.02})
+	resp, err := http.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("generate: status %d", resp.StatusCode)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var served, shed atomic.Int64
+	payload, _ := json.Marshal(map[string]any{"graph": "d2", "algorithms": []string{"UMC"}, "threshold": 0.5})
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(base+"/v1/match", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					return // listener is gone; shutdown won the race
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					served.Add(1)
+				case http.StatusServiceUnavailable:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("503 without Retry-After header")
+					}
+					shed.Add(1)
+				}
+			}
+		}()
+	}
+	// Let the stampede build, then pull the plug mid-flight.
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run() after SIGTERM under load: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not drain under load")
+	}
+	close(stop)
+	wg.Wait()
+	if served.Load() == 0 {
+		t.Fatal("no request was served before shutdown")
+	}
+	t.Logf("drained under load: served=%d shed=%d", served.Load(), shed.Load())
 }
 
 func TestErserveErrors(t *testing.T) {

@@ -212,6 +212,12 @@ func verifyAgainstAcked(t *testing.T, addr string, acked map[string]ackedGraph, 
 
 func TestCrashRecovery(t *testing.T) {
 	dir := t.TempDir()
+	// Post-mortem hook: point CRASHTEST_DIR at a directory to keep the
+	// store's on-disk state after a failure instead of losing it with
+	// the TempDir (the manifest-reuse bug was diagnosed from one).
+	if d := os.Getenv("CRASHTEST_DIR"); d != "" {
+		dir = d
+	}
 	rng := rand.New(rand.NewSource(0x5EED))
 	iterations := 25
 	if testing.Short() {

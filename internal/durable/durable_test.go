@@ -406,3 +406,59 @@ func TestLogRandomOpsRecoverExactly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLogStaleManifestNotReused: a crash after MANIFEST-<seq> is
+// renamed into place but before CURRENT flips to it leaves a stale
+// manifest file whose name the next life's first compaction wants.
+// That compaction must overwrite the leftover with the current state:
+// reusing the dead life's file would point CURRENT at a stale snapshot
+// while GC deletes the journal segments carrying every record
+// committed since — losing acknowledged writes. (Found by the serve
+// overload harness: the kill -9 test lost acked graphs whenever the
+// SIGKILL landed inside this window of a 25ms-period compactor.)
+func TestLogStaleManifestNotReused(t *testing.T) {
+	mem := crashtest.NewMemFS()
+	faulty := crashtest.NewFaultFS(mem)
+	l, _, err := durable.Open(durable.Config{Dir: "data", FS: faulty, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga := testGraph(t, 0.9)
+	put(t, l, "a", 1, ga, nil)
+	// Die between the manifest rename and the CURRENT flip: MANIFEST-1
+	// is fully on disk, CURRENT does not name it.
+	faulty.Inject(crashtest.Fault{Point: "create:tmp-CURRENT"})
+	if err := l.Compact(); !errors.Is(err, crashtest.ErrInjected) {
+		t.Fatalf("compact with CURRENT fault = %v, want ErrInjected", err)
+	}
+	if _, err := mem.Stat("data/MANIFEST-0000000001"); err != nil {
+		t.Fatalf("stale manifest missing from the crash image: %v", err)
+	}
+
+	// Next life: recovery replays the journal (CURRENT never moved), a
+	// new graph is acknowledged, and compaction wants the very manifest
+	// name the dead life left behind.
+	img := mem.Clone()
+	l2, rec := openLog(t, img)
+	if len(rec.Graphs) != 1 || rec.Graphs[0].Record.Name != "a" {
+		t.Fatalf("second life recovered %+v, want graph a", rec.Graphs)
+	}
+	gb := testGraph(t, 0.8)
+	put(t, l2, "b", 2, gb, nil)
+	if err := l2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third life: both acknowledged graphs must survive the compaction.
+	_, rec3 := openLog(t, img)
+	names := map[string]uint64{}
+	for _, rg := range rec3.Graphs {
+		names[rg.Record.Name] = rg.Record.Checksum
+	}
+	if names["a"] != ga.Checksum() || names["b"] != gb.Checksum() {
+		t.Fatalf("recovered %v; the stale MANIFEST-1 swallowed an acked graph", names)
+	}
+}

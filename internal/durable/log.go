@@ -515,10 +515,24 @@ func (l *Log) appendLocked(r record) error {
 // fsync, rename into place, fsync the directory. Existing files are
 // left alone (same name means same content).
 func (l *Log) writeContentFile(dir, name string, write func(io.Writer) error) error {
-	final := filepath.Join(dir, name)
-	if _, err := l.fs.Stat(final); err == nil {
+	if _, err := l.fs.Stat(filepath.Join(dir, name)); err == nil {
 		return nil
 	}
+	return l.writeFileAtomic(dir, name, write)
+}
+
+// writeFileAtomic writes a file durably (temp file, fsync, rename,
+// fsync the directory), UNCONDITIONALLY replacing any existing file of
+// that name. Manifests must go through here, never writeContentFile: a
+// manifest's name is a sequence number, not a content address, so an
+// existing MANIFEST-<seq> may be a stale leftover from a previous
+// process life that crashed after renaming it into place but before
+// flipping CURRENT. Treating that leftover as already-written and then
+// pointing CURRENT at it would resurrect the dead life's state — and
+// the GC that follows would delete the journal segments holding every
+// record committed since, losing acknowledged writes.
+func (l *Log) writeFileAtomic(dir, name string, write func(io.Writer) error) error {
+	final := filepath.Join(dir, name)
 	start := time.Now()
 	tmp := filepath.Join(dir, "tmp-"+name)
 	f, err := l.fs.Create(tmp)
@@ -777,7 +791,7 @@ func (l *Log) compactLocked() error {
 	}
 	name := manifestFileName(m.Seq)
 	writeRaw := func(w io.Writer) error { _, err := w.Write(raw); return err }
-	if err := l.writeContentFile(l.dir, name, writeRaw); err != nil {
+	if err := l.writeFileAtomic(l.dir, name, writeRaw); err != nil {
 		// The old manifest and floor still describe a consistent state;
 		// nothing was acknowledged against this one. Not sticky.
 		return err

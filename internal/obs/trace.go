@@ -150,10 +150,14 @@ type Tracer struct {
 	// serialized by the tracer.
 	Out io.Writer
 
-	seq  atomic.Int64
-	mu   sync.Mutex
-	ring []*Trace
-	next int
+	seq atomic.Int64
+	mu  sync.Mutex
+	// ringCap is immutable after NewTracer; the fast paths read it
+	// without tr.mu, so they must not touch the ring slice header
+	// itself (append rewrites it under the lock).
+	ringCap int
+	ring    []*Trace
+	next    int
 }
 
 // NewTracer returns a tracer retaining the last ringSize finished
@@ -161,6 +165,7 @@ type Tracer struct {
 func NewTracer(ringSize int) *Tracer {
 	t := &Tracer{}
 	if ringSize > 0 {
+		t.ringCap = ringSize
 		t.ring = make([]*Trace, 0, ringSize)
 	}
 	return t
@@ -184,13 +189,13 @@ func (tr *Tracer) Finish(t *Trace, status int) {
 		return
 	}
 	t.finish(status)
-	if cap(tr.ring) > 0 {
+	if tr.ringCap > 0 {
 		tr.mu.Lock()
-		if len(tr.ring) < cap(tr.ring) {
+		if len(tr.ring) < tr.ringCap {
 			tr.ring = append(tr.ring, t)
 		} else {
 			tr.ring[tr.next] = t
-			tr.next = (tr.next + 1) % cap(tr.ring)
+			tr.next = (tr.next + 1) % tr.ringCap
 		}
 		tr.mu.Unlock()
 	}
@@ -229,7 +234,7 @@ func (tr *Tracer) Finish(t *Trace, status int) {
 // Recent returns snapshots of the retained traces, most recent first
 // (nil when nothing is retained).
 func (tr *Tracer) Recent() []TraceView {
-	if tr == nil || len(tr.ring) == 0 {
+	if tr == nil || tr.ringCap == 0 {
 		return nil
 	}
 	tr.mu.Lock()
@@ -239,7 +244,7 @@ func (tr *Tracer) Recent() []TraceView {
 	// after wrapping, ring[next-1] is.
 	for i := 0; i < n; i++ {
 		idx := n - 1 - i
-		if n == cap(tr.ring) {
+		if n == tr.ringCap {
 			idx = ((tr.next-1-i)%n + n) % n
 		}
 		ordered = append(ordered, tr.ring[idx])

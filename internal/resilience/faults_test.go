@@ -1,0 +1,69 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFaultsInject: an armed point delays and errors for exactly its
+// count, then disarms; hits survive the disarm.
+func TestFaultsInject(t *testing.T) {
+	f := NewFaults()
+	boom := errors.New("boom")
+	f.Set("match", 0, boom, 2)
+	for i := 0; i < 2; i++ {
+		if err := f.Inject(context.Background(), "match"); !errors.Is(err, boom) {
+			t.Fatalf("hit %d: %v, want boom", i, err)
+		}
+	}
+	if err := f.Inject(context.Background(), "match"); err != nil {
+		t.Fatalf("exhausted point still fires: %v", err)
+	}
+	if f.Hits("match") != 2 {
+		t.Fatalf("hits = %d, want 2", f.Hits("match"))
+	}
+}
+
+// TestFaultsLatency: the armed delay is observed, and a dying context
+// cuts it short.
+func TestFaultsLatency(t *testing.T) {
+	f := NewFaults()
+	f.Set("gen", 30*time.Millisecond, nil, -1)
+	start := time.Now()
+	if err := f.Inject(context.Background(), "gen"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay not observed: %v", d)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	if err := f.Inject(ctx, "gen"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ctx-cut inject: %v", err)
+	}
+	if d := time.Since(start); d > 25*time.Millisecond {
+		t.Fatalf("context did not cut the sleep short: %v", d)
+	}
+}
+
+// TestFaultsDisarmAndNil: count 0 disarms; the nil registry is free.
+func TestFaultsDisarmAndNil(t *testing.T) {
+	f := NewFaults()
+	f.Set("p", time.Hour, errors.New("x"), -1)
+	f.Set("p", 0, nil, 0)
+	if err := f.Inject(context.Background(), "p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	var nilF *Faults
+	nilF.Set("p", time.Hour, errors.New("x"), -1)
+	if err := nilF.Inject(context.Background(), "p"); err != nil {
+		t.Fatal(err)
+	}
+	if nilF.Hits("p") != 0 {
+		t.Fatal("nil registry counted hits")
+	}
+}

@@ -1,0 +1,221 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func mustAcquire(t *testing.T, l *Limiter, p Priority) {
+	t.Helper()
+	if err := l.Acquire(context.Background(), p, time.Second); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+}
+
+// TestLimiterFastPath: free slots are granted immediately and
+// accounted; releases return them.
+func TestLimiterFastPath(t *testing.T) {
+	l := NewLimiter(2, 4)
+	mustAcquire(t, l, Interactive)
+	mustAcquire(t, l, Bulk)
+	if l.InUse() != 2 || l.Depth() != 0 {
+		t.Fatalf("inuse=%d depth=%d, want 2/0", l.InUse(), l.Depth())
+	}
+	l.Release()
+	l.Release()
+	if l.InUse() != 0 || l.Admitted() != 2 {
+		t.Fatalf("inuse=%d admitted=%d, want 0/2", l.InUse(), l.Admitted())
+	}
+}
+
+// TestLimiterQueueFullShed: waiters beyond the depth are shed
+// immediately with reason queue_full.
+func TestLimiterQueueFullShed(t *testing.T) {
+	l := NewLimiter(1, 1)
+	mustAcquire(t, l, Interactive) // the slot
+	queued := make(chan error, 1)
+	go func() { queued <- l.Acquire(context.Background(), Interactive, 10*time.Second) }()
+	waitDepth(t, l, 1)
+
+	err := l.Acquire(context.Background(), Interactive, 10*time.Second)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonQueueFull {
+		t.Fatalf("over-depth acquire: %v, want queue_full shed", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatalf("shed carries no Retry-After hint: %+v", shed)
+	}
+	if l.ShedCounts()[ReasonQueueFull] != 1 {
+		t.Fatalf("shed counts = %v", l.ShedCounts())
+	}
+
+	l.Release() // hands the slot to the queued waiter
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	l.Release()
+}
+
+// TestLimiterBudgetShed: a waiter that exhausts its queue-time budget
+// is shed with reason queue_timeout and removed from the queue.
+func TestLimiterBudgetShed(t *testing.T) {
+	l := NewLimiter(1, 4)
+	mustAcquire(t, l, Interactive)
+
+	start := time.Now()
+	err := l.Acquire(context.Background(), Interactive, 20*time.Millisecond)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonQueueTimeout {
+		t.Fatalf("budget acquire: %v, want queue_timeout shed", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("shed before the budget elapsed")
+	}
+	if l.Depth() != 0 {
+		t.Fatalf("abandoned waiter still queued: depth=%d", l.Depth())
+	}
+	// The held slot must still hand off normally afterwards.
+	l.Release()
+	mustAcquire(t, l, Bulk)
+	l.Release()
+}
+
+// TestLimiterPriorityOrder: a freed slot goes to the interactive
+// waiter even when a bulk waiter queued first.
+func TestLimiterPriorityOrder(t *testing.T) {
+	l := NewLimiter(1, 4)
+	mustAcquire(t, l, Interactive)
+
+	order := make(chan Priority, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := l.Acquire(context.Background(), Bulk, 10*time.Second); err != nil {
+			t.Errorf("bulk: %v", err)
+			return
+		}
+		order <- Bulk
+		l.Release()
+	}()
+	waitDepth(t, l, 1) // bulk is parked first
+	go func() {
+		defer wg.Done()
+		if err := l.Acquire(context.Background(), Interactive, 10*time.Second); err != nil {
+			t.Errorf("interactive: %v", err)
+			return
+		}
+		order <- Interactive
+		l.Release()
+	}()
+	waitDepth(t, l, 2)
+
+	l.Release()
+	wg.Wait()
+	if first := <-order; first != Interactive {
+		t.Fatalf("slot went to %v first, want interactive", first)
+	}
+}
+
+// TestLimiterContextCancelWhileQueued: the caller's own cancellation
+// returns ctx.Err() and is not counted as a shed.
+func TestLimiterContextCancelWhileQueued(t *testing.T) {
+	l := NewLimiter(1, 4)
+	mustAcquire(t, l, Interactive)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- l.Acquire(ctx, Interactive, time.Minute) }()
+	waitDepth(t, l, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: %v", err)
+	}
+	counts := l.ShedCounts()
+	if counts[ReasonQueueFull] != 0 || counts[ReasonQueueTimeout] != 0 {
+		t.Fatalf("cancellation counted as shed: %v", counts)
+	}
+	l.Release()
+}
+
+// TestLimiterNilNoOp: the nil limiter admits everything.
+func TestLimiterNilNoOp(t *testing.T) {
+	var l *Limiter
+	if err := l.Acquire(context.Background(), Interactive, 0); err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	if l.Depth() != 0 || l.InUse() != 0 || l.Admitted() != 0 {
+		t.Fatal("nil limiter reports non-zero state")
+	}
+	if c := l.ShedCounts(); c[ReasonQueueFull] != 0 {
+		t.Fatalf("nil shed counts = %v", c)
+	}
+}
+
+// TestLimiterHammer drives many goroutines of both classes through a
+// small limiter under -race: the concurrency bound must hold at every
+// instant, nothing deadlocks, and all slots come back.
+func TestLimiterHammer(t *testing.T) {
+	const slots = 3
+	l := NewLimiter(slots, 8)
+	var inUse, maxInUse atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < 40; r++ {
+				p := Priority(r % int(numPriorities))
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if (i+r)%11 == 0 {
+					ctx, cancel = context.WithTimeout(ctx, 100*time.Microsecond)
+				}
+				err := l.Acquire(ctx, p, 5*time.Millisecond)
+				cancel()
+				if err != nil {
+					continue // shed or cancelled; both fine under load
+				}
+				cur := inUse.Add(1)
+				for {
+					prev := maxInUse.Load()
+					if cur <= prev || maxInUse.CompareAndSwap(prev, cur) {
+						break
+					}
+				}
+				time.Sleep(20 * time.Microsecond)
+				inUse.Add(-1)
+				l.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if maxInUse.Load() > slots {
+		t.Fatalf("concurrency bound broken: saw %d holders, limit %d", maxInUse.Load(), slots)
+	}
+	if l.InUse() != 0 || l.Depth() != 0 {
+		t.Fatalf("slots leaked: inuse=%d depth=%d", l.InUse(), l.Depth())
+	}
+	// With everything released, all slots must be immediately grantable.
+	for i := 0; i < slots; i++ {
+		mustAcquire(t, l, Interactive)
+	}
+	for i := 0; i < slots; i++ {
+		l.Release()
+	}
+}
+
+func waitDepth(t *testing.T, l *Limiter, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Depth() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("depth stuck at %d, want %d", l.Depth(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

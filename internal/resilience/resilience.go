@@ -1,0 +1,35 @@
+// Package resilience is the overload-protection layer of the serving
+// path: request coalescing (identical in-flight computations share one
+// execution), a two-priority bounded admission queue with a queue-time
+// budget, and a fault-injection registry the chaos tests use to stretch
+// and break the compute layer on demand.
+//
+// The package is dependency-free and, like internal/obs, nil-receiver
+// safe where it matters: a nil *Limiter admits everything and a nil
+// *Faults injects nothing, so the serving code needs no branches —
+// construction decides whether the protections are on.
+package resilience
+
+import (
+	"fmt"
+	"time"
+)
+
+// ShedError is a load-shedding rejection: the request was refused
+// before any work was done, with a machine-readable reason and a hint
+// for when to retry. HTTP handlers translate it into a 503 with a
+// Retry-After header and a JSON body carrying the reason.
+type ShedError struct {
+	// Reason is the machine-readable cause, one of "queue_full"
+	// (the admission queue for the request's priority class is at
+	// capacity) or "queue_timeout" (the request waited its full
+	// queue-time budget without being granted a slot).
+	Reason string
+	// RetryAfter is the shedding side's guess at when capacity frees
+	// up; zero means "immediately, if you must".
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("resilience: request shed (%s)", e.Reason)
+}

@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -18,6 +22,7 @@ import (
 	"github.com/ccer-go/ccer/internal/graph"
 	"github.com/ccer-go/ccer/internal/obs"
 	"github.com/ccer-go/ccer/internal/par"
+	"github.com/ccer-go/ccer/internal/resilience"
 	"github.com/ccer-go/ccer/internal/simgraph"
 	"github.com/ccer-go/ccer/internal/strsim"
 )
@@ -54,8 +59,69 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // header is out; nothing useful left to do on error
 }
 
+// errorReply is the structured error schema every non-2xx JSON response
+// follows: error is the human-readable message; reason, when present, is
+// the machine-readable vocabulary clients and load balancers branch on —
+// "queue_full", "queue_timeout", "sweep_backlog", "degraded" (all 503,
+// with a Retry-After header), "deadline" (504), "shutting_down" (503).
+type errorReply struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
+}
+
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeReason writes the structured error with a machine-readable reason.
+func writeReason(w http.ResponseWriter, status int, reason, format string, args ...any) {
+	writeJSON(w, status, errorReply{Error: fmt.Sprintf(format, args...), Reason: reason})
+}
+
+// writeShed is every 503 load-shedding response: a Retry-After header
+// (whole seconds, at least 1) plus the machine-readable reason, so
+// well-behaved clients back off instead of hammering an overloaded
+// server.
+func writeShed(w http.ResponseWriter, reason string, retryAfter time.Duration, format string, args ...any) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeReason(w, http.StatusServiceUnavailable, reason, format, args...)
+}
+
+// writeComputeError maps an error out of the resilient compute path
+// (matchBatch, a generation flight) onto the response schema: a shed
+// becomes 503 with Retry-After, our own deadline 504, the client hanging
+// up 499, and anything else — a bad algorithm name, an unknown dataset —
+// stays 400. ctx is the deadline-bearing child of the request context.
+func (s *Server) writeComputeError(w http.ResponseWriter, r *http.Request, ctx context.Context, err error) {
+	var shed *resilience.ShedError
+	switch {
+	case errors.As(err, &shed):
+		writeShed(w, shed.Reason, shed.RetryAfter, "%v", err)
+	case r.Context().Err() != nil:
+		writeError(w, 499, "%v", err) // client closed request
+	case ctx.Err() != nil:
+		writeReason(w, http.StatusGatewayTimeout, "deadline", "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// rejectIfDegraded fast-fails a mutation while the durable log is
+// latched failed: the write cannot commit, so shed it up front instead
+// of paying for a generation whose commit must be refused. Reads and
+// cached matches keep serving throughout.
+func (s *Server) rejectIfDegraded(w http.ResponseWriter) bool {
+	err := s.log.Err()
+	if err == nil {
+		return false
+	}
+	s.shedDegraded.Add(1)
+	writeShed(w, resilience.ReasonDegraded, 10*time.Second, "durable log failed, mutations refused: %v", err)
+	return true
 }
 
 // decodeJSON strictly parses the request body into v.
@@ -151,6 +217,16 @@ type metricsResponse struct {
 	HTTPRequestP50MS     float64          `json:"http_request_p50_ms,omitempty"`
 	HTTPRequestP95MS     float64          `json:"http_request_p95_ms,omitempty"`
 	HTTPRequestP99MS     float64          `json:"http_request_p99_ms,omitempty"`
+	// Overload-protection counters: admission queue state, sheds by
+	// machine-readable reason (every reason always present, zero before
+	// any shed), requests coalesced onto an identical in-flight
+	// computation, and deadline (504) hits by route.
+	AdmissionQueueDepth int              `json:"admission_queue_depth"`
+	AdmissionInFlight   int              `json:"admission_inflight"`
+	AdmittedTotal       int64            `json:"admitted_total"`
+	ShedTotal           map[string]int64 `json:"shed_total"`
+	CoalesceHitsTotal   int64            `json:"coalesce_hits_total"`
+	RequestTimeoutTotal map[string]int64 `json:"request_timeout_total,omitempty"`
 }
 
 // wantsPrometheus decides the /metrics representation: an explicit
@@ -210,6 +286,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		HTTPRequestP50MS:       httpP50,
 		HTTPRequestP95MS:       httpP95,
 		HTTPRequestP99MS:       httpP99,
+		AdmissionQueueDepth:    s.limiter.Depth(),
+		AdmissionInFlight:      s.limiter.InUse(),
+		AdmittedTotal:          s.limiter.Admitted(),
+		ShedTotal:              s.shedCounts(),
+		CoalesceHitsTotal:      s.coalesceHits(),
+		RequestTimeoutTotal:    s.timeoutsByRoute.Snapshot(),
 		JournalRecordsTotal:    durMetrics.JournalRecordsTotal,
 		RecoveryNS:             durMetrics.RecoveryNS,
 		SnapshotBytes:          durMetrics.SnapshotBytes,
@@ -314,49 +396,34 @@ type generateRequest struct {
 }
 
 func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfDegraded(w) {
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	ct := r.Header.Get("Content-Type")
-	var entry *GraphEntry
 	if strings.HasPrefix(ct, "application/json") {
 		var req generateRequest
 		if err := decodeJSON(r, &req); err != nil {
 			writeError(w, http.StatusBadRequest, "bad generate request: %v", err)
 			return
 		}
-		if req.Family != "" {
-			s.handleFamilyGenerate(w, r, req)
-			return
-		}
-		endGen := obs.FromContext(r.Context()).StartSpan("generate/" + string(simgraph.SBSyn))
-		start := time.Now()
-		e, visited, skipped, err := generateGraph(req, s.cfg.MaxGraphNodes, s.cfg.Parallelism)
-		endGen()
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		// Every single-measure string similarity is a schema-based
-		// syntactic weight, the paper's SB-SYN family; its prefilter
-		// counters feed the same skip-ratio metrics as family mode.
-		elapsed := time.Since(start)
-		s.gen.recordStats(e.Dataset, string(simgraph.SBSyn), elapsed, visited, skipped)
-		s.genDur.With(string(simgraph.SBSyn)).Observe(elapsed)
-		entry = e
-	} else {
-		// Anything else is the graph.WriteEdgeList wire format.
-		g, err := graph.ReadEdgeListMax(r.Body, s.cfg.MaxGraphNodes)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad edge list: %v", err)
-			return
-		}
-		entry = &GraphEntry{
-			Name:     r.URL.Query().Get("name"),
-			Graph:    g,
-			Checksum: g.Checksum(),
-			Source:   "upload",
-		}
+		s.serveGenerate(w, r, req)
+		return
 	}
-	entry, err := s.store.Put(entry)
+	// Anything else is the graph.WriteEdgeList wire format. Uploads are
+	// parse-bound, not compute-bound, so they skip the admission queue
+	// and coalescing.
+	g, err := graph.ReadEdgeListMax(r.Body, s.cfg.MaxGraphNodes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad edge list: %v", err)
+		return
+	}
+	entry, err := s.store.Put(&GraphEntry{
+		Name:     r.URL.Query().Get("name"),
+		Graph:    g,
+		Checksum: g.Checksum(),
+		Source:   "upload",
+	})
 	if err != nil {
 		// The graph did not commit; acknowledging it would promise a
 		// durability the restart cannot honor.
@@ -368,17 +435,122 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, infoOf(entry))
 }
 
-// handleFamilyGenerate is the family mode of POST /v1/graphs: one
+// genReply is a fully rendered generation response — status plus body —
+// the unit the generation singleflight shares: coalesced callers replay
+// the leader's exact bytes, so a coalesced response is byte-identical to
+// having run the (deterministic) generation yourself.
+type genReply struct {
+	status int
+	body   []byte
+}
+
+// renderJSON renders v exactly as writeJSON would, into a shareable
+// reply.
+func renderJSON(status int, v any) *genReply {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	return &genReply{status: status, body: buf.Bytes()}
+}
+
+func (rp *genReply) write(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(rp.status)
+	_, _ = w.Write(rp.body)
+}
+
+// serveGenerate executes the JSON mode of POST /v1/graphs under the
+// resilience layer: a generation deadline, an admission slot in the bulk
+// class, and singleflight coalescing — identical concurrent requests
+// (same name, dataset, seed, scale, and measure or family) share one
+// generation and receive byte-identical replies. The flight's context
+// outlives any single caller, so one client timing out does not abort
+// the generation for the rest; when every caller is gone, it is
+// cancelled.
+func (s *Server) serveGenerate(w http.ResponseWriter, r *http.Request, req generateRequest) {
+	// Normalize the defaulted fields before keying, so requests that
+	// differ only in spelling the default (seed 0 vs 1, scale 0 vs 0.02)
+	// coalesce onto the same flight.
+	req.Seed = normSeed(req.Seed)
+	if req.Scale == 0 {
+		req.Scale = 0.02
+	}
+	if req.Family == "" && req.Measure == "" {
+		req.Measure = "Jaccard"
+	}
+	key := strings.Join([]string{
+		req.Name, req.Dataset, strconv.FormatInt(req.Seed, 10),
+		strconv.FormatFloat(req.Scale, 'g', -1, 64), req.Measure, req.Family,
+		strconv.FormatFloat(req.MinSim, 'g', -1, 64), strings.Join(req.Attrs, "\x1f"),
+	}, "\x1e")
+
+	ctx, cancel := withTimeout(r.Context(), s.cfg.GenerateTimeout)
+	defer cancel()
+	trace := obs.FromContext(r.Context())
+	reply, _, err := s.genFlights.Do(ctx, key, func(fctx context.Context) (*genReply, error) {
+		if err := s.limiter.Acquire(fctx, resilience.Bulk, s.cfg.AdmissionBudget); err != nil {
+			return nil, err
+		}
+		defer s.limiter.Release()
+		if err := s.cfg.Faults.Inject(fctx, "generate"); err != nil {
+			return nil, err
+		}
+		if req.Family != "" {
+			return s.generateFamilyReply(fctx, trace, req)
+		}
+		return s.generateMeasureReply(fctx, trace, req)
+	})
+	if err != nil {
+		s.writeComputeError(w, r, ctx, err)
+		return
+	}
+	reply.write(w)
+}
+
+// generateMeasureReply runs single-measure generation and renders the
+// reply the flight shares. Business errors (unknown measure, scale over
+// the cap) are rendered replies — shared with coalesced callers like any
+// other result — while cancellation surfaces as an error.
+func (s *Server) generateMeasureReply(ctx context.Context, trace *obs.Trace, req generateRequest) (*genReply, error) {
+	endGen := trace.StartSpan("generate/" + string(simgraph.SBSyn))
+	start := time.Now()
+	e, visited, skipped, err := generateGraph(ctx, req, s.cfg.MaxGraphNodes, s.cfg.Parallelism)
+	endGen()
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err // deadline or abandonment, not a bad request
+		}
+		return renderJSON(http.StatusBadRequest, errorReply{Error: err.Error()}), nil
+	}
+	// Every single-measure string similarity is a schema-based
+	// syntactic weight, the paper's SB-SYN family; its prefilter
+	// counters feed the same skip-ratio metrics as family mode.
+	elapsed := time.Since(start)
+	s.gen.recordStats(e.Dataset, string(simgraph.SBSyn), elapsed, visited, skipped)
+	s.genDur.With(string(simgraph.SBSyn)).Observe(elapsed)
+	entry, err := s.store.Put(e)
+	if err != nil {
+		// The graph did not commit; acknowledging it would promise a
+		// durability the restart cannot honor.
+		return renderJSON(http.StatusInternalServerError, errorReply{Error: err.Error()}), nil
+	}
+	s.persistWarmReps()
+	s.graphsCreated.Inc()
+	return renderJSON(http.StatusCreated, infoOf(entry)), nil
+}
+
+// generateFamilyReply is the family mode of POST /v1/graphs: one
 // synthetic task, every similarity graph of one weight family via the
 // corpus generation kernels (internal/simgraph), each stored as a
 // versioned entry with the task's ground truth attached — so the full
 // taxonomy-driven workload of the paper can be served and matched
 // without leaving the service. Generation time is recorded under the
 // family, which is where the bit-parallel kernel win shows on /metrics.
-func (s *Server) handleFamilyGenerate(w http.ResponseWriter, r *http.Request, req generateRequest) {
+func (s *Server) generateFamilyReply(ctx context.Context, trace *obs.Trace, req generateRequest) (*genReply, error) {
 	if req.Measure != "" {
-		writeError(w, http.StatusBadRequest, "measure and family are mutually exclusive")
-		return
+		return renderJSON(http.StatusBadRequest,
+			errorReply{Error: "measure and family are mutually exclusive"}), nil
 	}
 	var family simgraph.Family
 	for _, f := range simgraph.Families() {
@@ -387,27 +559,21 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, r *http.Request, re
 		}
 	}
 	if family == "" {
-		writeError(w, http.StatusBadRequest, "unknown family %q; have %v", req.Family, simgraph.Families())
-		return
+		return renderJSON(http.StatusBadRequest, errorReply{
+			Error: fmt.Sprintf("unknown family %q; have %v", req.Family, simgraph.Families())}), nil
 	}
 	spec, err := datagen.SpecByID(req.Dataset)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return renderJSON(http.StatusBadRequest, errorReply{Error: err.Error()}), nil
 	}
-	seed := normSeed(req.Seed)
-	scale := req.Scale
-	if scale == 0 {
-		scale = 0.02
-	}
+	seed, scale := req.Seed, req.Scale
 	if scale < 0 {
-		writeError(w, http.StatusBadRequest, "negative scale %g", scale)
-		return
+		return renderJSON(http.StatusBadRequest,
+			errorReply{Error: fmt.Sprintf("negative scale %g", scale)}), nil
 	}
 	if n1, n2 := spec.ScaledSizes(scale); s.cfg.MaxGraphNodes > 0 && n1+n2 > s.cfg.MaxGraphNodes {
-		writeError(w, http.StatusBadRequest,
-			"scale %g yields %d entities, above the cap of %d", scale, n1+n2, s.cfg.MaxGraphNodes)
-		return
+		return renderJSON(http.StatusBadRequest, errorReply{Error: fmt.Sprintf(
+			"scale %g yields %d entities, above the cap of %d", scale, n1+n2, s.cfg.MaxGraphNodes)}), nil
 	}
 	attrs := req.Attrs
 	if len(attrs) == 0 {
@@ -418,17 +584,26 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, r *http.Request, re
 		base = spec.ID + "-" + string(family)
 	}
 
-	endTask := obs.FromContext(r.Context()).StartSpan("dataset/" + spec.ID)
+	endTask := trace.StartSpan("dataset/" + spec.ID)
 	task := spec.Generate(seed, scale)
 	endTask()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	graphs, genStats := simgraph.GenerateStats(task, attrs, simgraph.Options{
 		Families:          []simgraph.Family{family},
 		KeepNoMatchGraphs: true,
 		Parallelism:       s.cfg.Parallelism,
 		Caches:            s.reps,
-		Trace:             obs.FromContext(r.Context()),
+		Trace:             trace,
 	})
+	// The family kernels have no mid-grid stop hook; the deadline is
+	// honored between stages, and an abandoned flight stops here rather
+	// than committing graphs nobody asked to keep waiting for.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	fs := genStats.Of(family)
 	elapsed := time.Since(start)
 	s.gen.recordStats(spec.ID, string(family), elapsed, fs.Visited, fs.Skipped)
@@ -450,15 +625,14 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, r *http.Request, re
 			// Earlier graphs of the family committed and stay visible;
 			// this one (and, with a sticky journal failure, the rest)
 			// did not. Report what is actually durable.
-			writeError(w, http.StatusInternalServerError,
-				"stored %d of %d family graphs: %v", len(infos), len(graphs), err)
-			return
+			return renderJSON(http.StatusInternalServerError, errorReply{Error: fmt.Sprintf(
+				"stored %d of %d family graphs: %v", len(infos), len(graphs), err)}), nil
 		}
 		infos = append(infos, infoOf(e))
 	}
 	s.persistWarmReps()
 	s.graphsCreated.Add(int64(len(infos)))
-	writeJSON(w, http.StatusCreated, map[string]any{"family": string(family), "graphs": infos})
+	return renderJSON(http.StatusCreated, map[string]any{"family": string(family), "graphs": infos}), nil
 }
 
 // generateGraph builds a stored graph entry from a generation request:
@@ -467,8 +641,9 @@ func (s *Server) handleFamilyGenerate(w http.ResponseWriter, r *http.Request, re
 // caps the generated collection sizes (<= 0 means no cap). The pairwise
 // similarity loop fans its rows over parallelism workers (par.Workers
 // semantics) with slot-ordered assembly, so the graph is identical at
-// any setting.
-func generateGraph(req generateRequest, maxNodes, parallelism int) (entry *GraphEntry, visited, skipped int64, err error) {
+// any setting; ctx cancellation trips the pool's stop hook between rows
+// and the partial build is discarded.
+func generateGraph(ctx context.Context, req generateRequest, maxNodes, parallelism int) (entry *GraphEntry, visited, skipped int64, err error) {
 	spec, err := datagen.SpecByID(req.Dataset)
 	if err != nil {
 		return nil, 0, 0, err
@@ -544,7 +719,7 @@ func generateGraph(req generateRequest, maxNodes, parallelism int) (entry *Graph
 	workers := par.Workers(parallelism)
 	visitedW := make([]int64, workers)
 	skippedW := make([]int64, workers)
-	par.For(len(texts1), workers, nil, func(w, i int) {
+	par.For(len(texts1), workers, stopFunc(ctx), func(w, i int) {
 		t1 := texts1[i]
 		if t1 == "" {
 			return
@@ -572,6 +747,9 @@ func generateGraph(req generateRequest, maxNodes, parallelism int) (entry *Graph
 	for w := 0; w < workers; w++ {
 		visited += visitedW[w]
 		skipped += skippedW[w]
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, 0, 0, ctx.Err()
 	}
 	b := graph.NewBuilder(len(texts1), len(texts2))
 	for i, row := range rows {
@@ -623,6 +801,9 @@ func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfDegraded(w) {
+		return
+	}
 	name := r.PathValue("name")
 	existed, err := s.store.Delete(name)
 	if err != nil {
@@ -706,15 +887,13 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		algorithms = core.Names()
 	}
 	s.matchRequests.Inc()
+	ctx, cancel := withTimeout(r.Context(), s.cfg.MatchTimeout)
+	defer cancel()
 	endMatch := obs.FromContext(r.Context()).StartSpan("match")
-	outcomes, err := s.matchBatch(r.Context(), e, algorithms, threshold, req.Seed)
+	outcomes, err := s.matchBatch(ctx, e, algorithms, threshold, req.Seed)
 	endMatch()
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
-			status = 499 // client closed request
-		}
-		writeError(w, status, "%v", err)
+		s.writeComputeError(w, r, ctx, err)
 		return
 	}
 	resp := matchResponse{
@@ -845,7 +1024,12 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		Seed:         normSeed(req.Seed),
 	})
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		if errors.Is(err, ErrQueueFull) {
+			s.shedBacklog.Add(1)
+			writeShed(w, resilience.ReasonBacklog, time.Second, "%v", err)
+			return
+		}
+		writeShed(w, "shutting_down", time.Second, "%v", err)
 		return
 	}
 	s.sweepsCreated.Inc()

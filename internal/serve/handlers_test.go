@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -23,6 +24,7 @@ import (
 
 func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
 	t.Helper()
+	baseline := runtime.NumGoroutine()
 	srv, err := serve.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -35,8 +37,35 @@ func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Ser
 		if err := srv.Close(ctx); err != nil {
 			t.Errorf("server close: %v", err)
 		}
+		checkGoroutines(t, baseline)
 	})
 	return srv, ts
+}
+
+// checkGoroutines is the goroutine-leak regression check that runs after
+// every handler test: once the server and its job workers are down, the
+// goroutine count must return to (about) where it started. Anything
+// still running — a leaked flight leader, a parked admission waiter, a
+// worker that missed its cancel — fails the test. The small slack covers
+// runtime helpers and the http client's idle-connection reaper.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Errorf("goroutine leak: %d running, baseline %d\n%s", n, baseline, buf)
 }
 
 // doJSON posts body (marshalled) to url and decodes the response into out.

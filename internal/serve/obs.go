@@ -42,6 +42,21 @@ func (s *Server) initObs() {
 	s.genDur = r.HistogramVec("ccer_generate_seconds",
 		"Latency of one similarity-graph generation, by weight family.", "family")
 	s.sweepDur = r.Histogram("ccer_sweep_seconds", "Latency of one sweep job execution.")
+	s.timeoutsByRoute = r.CounterVec("ccer_request_timeout_total",
+		"Requests that exceeded their deadline (HTTP 504), by route.", "route")
+
+	r.GaugeFunc("ccer_admission_queue_depth", "Requests waiting in the admission queue.",
+		func() float64 { return float64(s.limiter.Depth()) })
+	r.GaugeFunc("ccer_admission_inflight", "Admission slots currently held.",
+		func() float64 { return float64(s.limiter.InUse()) })
+	r.CounterFunc("ccer_admitted_total", "Computations granted an admission slot.",
+		func() int64 { return s.limiter.Admitted() })
+	r.LabeledCounterFunc("ccer_shed_total",
+		"Requests shed by the overload-protection layer, by machine-readable reason.", "reason",
+		func() map[string]int64 { return s.shedCounts() })
+	r.CounterFunc("ccer_coalesce_hits_total",
+		"Requests served by attaching to an identical in-flight computation.",
+		func() int64 { return s.coalesceHits() })
 
 	r.GaugeFunc("ccer_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return r.Uptime().Seconds() })

@@ -96,6 +96,11 @@ func TestPrometheusScrape(t *testing.T) {
 		"ccer_journal_fsync_seconds":        "histogram",
 		"ccer_snapshot_write_seconds":       "histogram",
 		"ccer_http_requests_by_class_total": "counter",
+		"ccer_admission_queue_depth":        "gauge",
+		"ccer_admission_inflight":           "gauge",
+		"ccer_admitted_total":               "counter",
+		"ccer_shed_total":                   "counter",
+		"ccer_coalesce_hits_total":          "counter",
 	}
 	for name, typ := range wantType {
 		fam := first.Families[name]

@@ -1,0 +1,488 @@
+// Chaos/overload harness: a closed-loop load driver with fault-point
+// latency/error injection that proves the resilience layer's promises —
+// admitted requests succeed, shed requests say so machine-readably with
+// a Retry-After, coalesced responses are byte-identical, queue depth and
+// goroutine count stay bounded at any offered load, deadlines turn into
+// 504s, and a degraded store keeps serving reads while refusing writes.
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/durable/crashtest"
+	"github.com/ccer-go/ccer/internal/resilience"
+	"github.com/ccer-go/ccer/internal/serve"
+)
+
+// overloadMetrics is the slice of the JSON /metrics response the
+// overload assertions read.
+type overloadMetrics struct {
+	AdmissionQueueDepth int              `json:"admission_queue_depth"`
+	AdmissionInFlight   int              `json:"admission_inflight"`
+	AdmittedTotal       int64            `json:"admitted_total"`
+	ShedTotal           map[string]int64 `json:"shed_total"`
+	CoalesceHitsTotal   int64            `json:"coalesce_hits_total"`
+	RequestTimeoutTotal map[string]int64 `json:"request_timeout_total"`
+}
+
+func fetchOverloadMetrics(t *testing.T, base string) overloadMetrics {
+	t.Helper()
+	var m overloadMetrics
+	if code := doJSON(t, http.MethodGet, base+"/metrics", nil, &m); code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	return m
+}
+
+// postRaw fires one JSON POST and returns status, headers and the exact
+// body bytes (the unit the byte-identity assertions compare).
+func postRaw(url string, payload any) (int, http.Header, []byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, body, err
+}
+
+// requireShedResponse asserts the 503 contract of satellite (b): a
+// Retry-After header and a machine-readable reason from the known
+// vocabulary.
+func requireShedResponse(t *testing.T, hdr http.Header, body []byte, reasons ...string) {
+	t.Helper()
+	if hdr.Get("Retry-After") == "" {
+		t.Errorf("503 without Retry-After header (body %s)", body)
+	}
+	var er struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Errorf("unparseable 503 body %q: %v", body, err)
+		return
+	}
+	for _, want := range reasons {
+		if er.Reason == want {
+			return
+		}
+	}
+	t.Errorf("503 reason %q not in %v (error %q)", er.Reason, reasons, er.Error)
+}
+
+func percentileMS(durs []time.Duration, q float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(durs)-1))
+	return float64(durs[idx]) / float64(time.Millisecond)
+}
+
+// TestOverloadHarness is the acceptance test of the resilience tentpole.
+// Phase A drives a stampede of identical match requests over three keys:
+// coalescing must collapse them onto shared executions with byte-
+// identical responses. Phase B drives unique-key requests at far more
+// than the admission capacity: every response must be a success or a
+// well-formed shed (never any other 5xx), with queue depth and goroutine
+// count bounded throughout. The shed/coalesce/latency counters land in
+// $OVERLOAD_REPORT when set (the CI artifact).
+func TestOverloadHarness(t *testing.T) {
+	faults := resilience.NewFaults()
+	// Stretch every matching so queues and coalescing windows actually
+	// form at test scale.
+	faults.Set("match", 2*time.Millisecond, nil, -1)
+	srv, ts := newTestServer(t, serve.Config{
+		CacheSize:       -1, // every request computes: the resilience layer does the work
+		AdmissionSlots:  2,
+		AdmissionDepth:  4,
+		AdmissionBudget: 100 * time.Millisecond,
+		Faults:          faults,
+	})
+	_ = srv
+	generateD2(t, ts.URL, "d2")
+
+	matchURL := ts.URL + "/v1/match"
+	type key struct {
+		Alg string
+		Thr float64
+	}
+	keys := []key{{"UMC", 0.5}, {"CNC", 0.5}, {"UMC", 0.35}}
+	payloadOf := func(k key) map[string]any {
+		return map[string]any{"graph": "d2", "algorithms": []string{k.Alg}, "threshold": k.Thr}
+	}
+
+	// Quiet-time reference bytes per key: deterministic matchings mean
+	// every later response — coalesced or not — must equal these exactly.
+	ref := make(map[key][]byte, len(keys))
+	for _, k := range keys {
+		status, _, body, err := postRaw(matchURL, payloadOf(k))
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("reference match %v: status %d err %v", k, status, err)
+		}
+		ref[k] = body
+	}
+
+	const workers = 16
+	baselineGoroutines := runtime.NumGoroutine()
+	var maxDepth, maxGoroutines atomic.Int64
+	sampleDone := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-sampleDone:
+				return
+			default:
+			}
+			m := fetchOverloadMetrics(t, ts.URL)
+			if d := int64(m.AdmissionQueueDepth); d > maxDepth.Load() {
+				maxDepth.Store(d)
+			}
+			if g := int64(runtime.NumGoroutine()); g > maxGoroutines.Load() {
+				maxGoroutines.Store(g)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Phase A: identical keys — the coalescing stampede.
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		served    atomic.Int64
+		shedCount atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 25; r++ {
+				k := keys[(w+r)%len(keys)]
+				t0 := time.Now()
+				status, hdr, body, err := postRaw(matchURL, payloadOf(k))
+				d := time.Since(t0)
+				if err != nil {
+					t.Errorf("phase A request: %v", err)
+					return
+				}
+				mu.Lock()
+				latencies = append(latencies, d)
+				mu.Unlock()
+				switch status {
+				case http.StatusOK:
+					served.Add(1)
+					if !bytes.Equal(body, ref[k]) {
+						t.Errorf("coalesced response for %v differs from the quiet-time reference", k)
+					}
+				case http.StatusServiceUnavailable:
+					shedCount.Add(1)
+					requireShedResponse(t, hdr, body,
+						resilience.ReasonQueueFull, resilience.ReasonQueueTimeout)
+				default:
+					t.Errorf("phase A status %d (body %s)", status, body)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	afterA := fetchOverloadMetrics(t, ts.URL)
+	if afterA.CoalesceHitsTotal == 0 {
+		t.Error("identical-key stampede produced zero coalesce hits")
+	}
+	if served.Load() == 0 {
+		t.Fatal("phase A served nothing")
+	}
+
+	// Phase B: unique keys — nothing coalesces, so offered load lands on
+	// the admission queue directly. Slow the fault point further to make
+	// overload certain, then require sheds to appear.
+	faults.Set("match", 20*time.Millisecond, nil, -1)
+	deadline := time.Now().Add(20 * time.Second)
+	round := 0
+	for {
+		round++
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < 5; r++ {
+					// A unique threshold per request: no two flights share.
+					thr := 0.1 + float64(w)*0.01 + float64(r)*0.001 + float64(round)*0.0001
+					status, hdr, body, err := postRaw(matchURL, map[string]any{
+						"graph": "d2", "algorithms": []string{"UMC"}, "threshold": thr,
+					})
+					if err != nil {
+						t.Errorf("phase B request: %v", err)
+						return
+					}
+					switch status {
+					case http.StatusOK:
+						served.Add(1)
+					case http.StatusServiceUnavailable:
+						shedCount.Add(1)
+						requireShedResponse(t, hdr, body,
+							resilience.ReasonQueueFull, resilience.ReasonQueueTimeout)
+					default:
+						t.Errorf("phase B status %d (body %s)", status, body)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if shedCount.Load() > 0 || time.Now().After(deadline) {
+			break
+		}
+	}
+	close(sampleDone)
+	sampler.Wait()
+
+	if shedCount.Load() == 0 {
+		t.Error("overload phase never shed: admission control is not biting")
+	}
+	// Queue depth must respect the configured bound (4 per priority
+	// class, two classes).
+	if d := maxDepth.Load(); d > 8 {
+		t.Errorf("admission queue depth reached %d, above the configured bound", d)
+	}
+	// Goroutines must scale with workers, not with total requests
+	// (thousands were processed).
+	if g := maxGoroutines.Load(); g > int64(baselineGoroutines)+150 {
+		t.Errorf("goroutines reached %d from a baseline of %d: per-request goroutine growth", g, baselineGoroutines)
+	}
+
+	final := fetchOverloadMetrics(t, ts.URL)
+	var totalSheds int64
+	for _, v := range final.ShedTotal {
+		totalSheds += v
+	}
+	if totalSheds == 0 {
+		t.Error("shed_total is zero after the overload phase")
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	report := map[string]any{
+		"served":              served.Load(),
+		"shed":                shedCount.Load(),
+		"shed_total":          final.ShedTotal,
+		"coalesce_hits_total": final.CoalesceHitsTotal,
+		"admitted_total":      final.AdmittedTotal,
+		"max_queue_depth":     maxDepth.Load(),
+		"max_goroutines":      maxGoroutines.Load(),
+		"p50_ms":              percentileMS(latencies, 0.50),
+		"p95_ms":              percentileMS(latencies, 0.95),
+		"p99_ms":              percentileMS(latencies, 0.99),
+	}
+	t.Logf("overload report: %+v", report)
+	if path := os.Getenv("OVERLOAD_REPORT"); path != "" {
+		raw, _ := json.MarshalIndent(report, "", "  ")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Errorf("write overload report: %v", err)
+		}
+	}
+}
+
+// TestMatchDeadline504: a matching that outruns MatchTimeout answers 504
+// with reason "deadline", the per-route timeout counter advances in both
+// /metrics views, and the abandoned flight is torn down (the goroutine
+// check in newTestServer's cleanup would catch a leak).
+func TestMatchDeadline504(t *testing.T) {
+	faults := resilience.NewFaults()
+	faults.Set("match", 300*time.Millisecond, nil, -1)
+	_, ts := newTestServer(t, serve.Config{
+		MatchTimeout: 25 * time.Millisecond,
+		Faults:       faults,
+	})
+	generateD2(t, ts.URL, "d2")
+
+	status, _, body, err := postRaw(ts.URL+"/v1/match", map[string]any{
+		"graph": "d2", "algorithms": []string{"UMC"}, "threshold": 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("overrunning match: status %d (body %s), want 504", status, body)
+	}
+	var er struct {
+		Error  string `json:"error"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("504 body %q: %v", body, err)
+	}
+	if er.Reason != "deadline" {
+		t.Fatalf("504 reason = %q, want deadline", er.Reason)
+	}
+
+	m := fetchOverloadMetrics(t, ts.URL)
+	if m.RequestTimeoutTotal["POST /v1/match"] < 1 {
+		t.Fatalf("request_timeout_total = %v, want POST /v1/match counted", m.RequestTimeoutTotal)
+	}
+	scrape := scrapeProm(t, ts.URL)
+	fam := scrape.Families["ccer_request_timeout_total"]
+	if fam == nil || len(fam.Samples) == 0 {
+		t.Fatal("ccer_request_timeout_total missing from the Prometheus view after a 504")
+	}
+}
+
+// TestDegradedModeMutationsFastFail: once the durable log latches
+// failed, mutations shed up front (503, reason degraded, Retry-After)
+// without burning compute, while reads and match computations keep
+// serving — the serving half of the crash-safety story.
+func TestDegradedModeMutationsFastFail(t *testing.T) {
+	mem := crashtest.NewMemFS()
+	faulty := crashtest.NewFaultFS(mem)
+	_, ts := newTestServer(t, serve.Config{DataDir: "data", DataFS: faulty, JobWorkers: 1})
+	generateD2(t, ts.URL, "d2")
+
+	// Latch the failure: the put that trips the fsync fault is refused
+	// with 500 and poisons the log.
+	faulty.Inject(crashtest.Fault{Point: "sync:wal"})
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/graphs", map[string]any{
+		"name": "lost", "dataset": "D2", "seed": 7, "scale": 0.02,
+	}, nil); code != http.StatusInternalServerError {
+		t.Fatalf("latching put: status %d, want 500", code)
+	}
+
+	// Mutations now fast-fail with the shed contract.
+	status, hdr, body, err := postRaw(ts.URL+"/v1/graphs", map[string]any{
+		"name": "more", "dataset": "D2", "seed": 8, "scale": 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("degraded generate: status %d, want 503", status)
+	}
+	requireShedResponse(t, hdr, body, resilience.ReasonDegraded)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/graphs/d2", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded delete: status %d, want 503", resp.StatusCode)
+	}
+	requireShedResponse(t, resp.Header, delBody, resilience.ReasonDegraded)
+
+	// Reads and cached/computed matches keep serving.
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/graphs/d2", nil, nil); code != http.StatusOK {
+		t.Fatalf("degraded read: status %d, want 200", code)
+	}
+	var mr matchRespJSON
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/match", map[string]any{
+		"graph": "d2", "algorithms": []string{"UMC"}, "threshold": 0.5,
+	}, &mr); code != http.StatusOK {
+		t.Fatalf("degraded match: status %d, want 200", code)
+	}
+	if len(mr.Results) != 1 || len(mr.Results[0].Pairs) == 0 {
+		t.Fatalf("degraded match results = %+v", mr.Results)
+	}
+
+	m := fetchOverloadMetrics(t, ts.URL)
+	if m.ShedTotal[resilience.ReasonDegraded] < 2 {
+		t.Fatalf("shed_total = %v, want degraded >= 2", m.ShedTotal)
+	}
+}
+
+// TestGenerateCoalescing: concurrent identical generation requests share
+// one execution — one stored version, byte-identical 201 replies for
+// every caller.
+func TestGenerateCoalescing(t *testing.T) {
+	faults := resilience.NewFaults()
+	// Stretch the generation so every concurrent caller lands inside the
+	// flight's window.
+	faults.Set("generate", 400*time.Millisecond, nil, -1)
+	_, ts := newTestServer(t, serve.Config{Faults: faults})
+
+	const n = 6
+	payload := map[string]any{"name": "g", "dataset": "D2", "seed": 5, "scale": 0.02}
+	statuses := make([]int, n)
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, body, err := postRaw(ts.URL+"/v1/graphs", payload)
+			if err != nil {
+				t.Errorf("generate %d: %v", i, err)
+				return
+			}
+			statuses[i], bodies[i] = status, body
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusCreated {
+			t.Fatalf("caller %d: status %d (body %s)", i, statuses[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("caller %d body differs from caller 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	// One execution means one store commit: the graph is at version 1.
+	var info graphInfoJSON
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/graphs/g", nil, &info); code != http.StatusOK {
+		t.Fatalf("get g: status %d", code)
+	}
+	if info.Version != 1 {
+		t.Fatalf("graph version %d after coalesced generation, want 1 (single Put)", info.Version)
+	}
+	m := fetchOverloadMetrics(t, ts.URL)
+	if m.CoalesceHitsTotal < 1 {
+		t.Fatalf("coalesce_hits_total = %d, want >= 1", m.CoalesceHitsTotal)
+	}
+}
+
+// TestInjectedComputeErrorDoesNotPoisonServer: an error-injecting fault
+// fails the request it hits, and nothing else — no cached poison, no
+// wedged flight; the identical retry succeeds.
+func TestInjectedComputeErrorDoesNotPoisonServer(t *testing.T) {
+	faults := resilience.NewFaults()
+	boom := errors.New("injected chaos")
+	faults.Set("match", 0, boom, 1)
+	_, ts := newTestServer(t, serve.Config{Faults: faults})
+	generateD2(t, ts.URL, "d2")
+
+	payload := map[string]any{"graph": "d2", "algorithms": []string{"UMC"}, "threshold": 0.5}
+	status, _, body, err := postRaw(ts.URL+"/v1/match", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status < 400 || status >= 500 && status != http.StatusServiceUnavailable {
+		t.Fatalf("fault-hit match: status %d (body %s), want a clean client-visible error", status, body)
+	}
+
+	var mr matchRespJSON
+	if code := doJSON(t, http.MethodPost, ts.URL+"/v1/match", payload, &mr); code != http.StatusOK {
+		t.Fatalf("retry after exhausted fault: status %d", code)
+	}
+	if len(mr.Results) != 1 || len(mr.Results[0].Pairs) == 0 {
+		t.Fatalf("retry results = %+v", mr.Results)
+	}
+	if faults.Hits("match") != 1 {
+		t.Fatalf("fault hits = %d, want 1", faults.Hits("match"))
+	}
+}

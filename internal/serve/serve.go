@@ -2,9 +2,11 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"github.com/ccer-go/ccer/internal/eval"
 	"github.com/ccer-go/ccer/internal/obs"
 	"github.com/ccer-go/ccer/internal/par"
+	"github.com/ccer-go/ccer/internal/resilience"
 	"github.com/ccer-go/ccer/internal/simgraph"
 )
 
@@ -91,6 +94,39 @@ type Config struct {
 	// measure instrumentation overhead; a disabled server still serves
 	// /metrics, but with zeroed request counters and no Prometheus view.
 	DisableObs bool
+	// MatchTimeout bounds one POST /v1/match request end to end: the
+	// handler derives a context.WithTimeout child and the compute layer
+	// honors it, so an overrunning matching answers 504 (reason
+	// "deadline") instead of holding the connection forever. 0 means
+	// 30s; negative disables the deadline.
+	MatchTimeout time.Duration
+	// GenerateTimeout bounds one POST /v1/graphs generation the same
+	// way. 0 means 2m; negative disables.
+	GenerateTimeout time.Duration
+	// SweepTimeout bounds one async sweep job execution; an overrunning
+	// sweep fails with deadline exceeded rather than pinning a worker
+	// forever. 0 means 10m; negative disables.
+	SweepTimeout time.Duration
+	// AdmissionSlots caps how many heavy computations (match leads,
+	// generations, sweep executions) run at once. Excess requests wait
+	// in a bounded two-priority queue — interactive match traffic is
+	// granted freed slots before bulk generation/sweep work — and are
+	// shed with 503 beyond its bounds. 0 means GOMAXPROCS; negative
+	// disables admission control entirely.
+	AdmissionSlots int
+	// AdmissionDepth is the per-priority-class queue depth beyond which
+	// requests are shed immediately (503, reason "queue_full").
+	// 0 or negative means 128.
+	AdmissionDepth int
+	// AdmissionBudget is the longest a synchronous request waits in the
+	// admission queue before being shed (503, reason "queue_timeout");
+	// async sweep jobs wait on their context alone. 0 or negative means
+	// 2s.
+	AdmissionBudget time.Duration
+	// Faults is the chaos-test fault-point registry consulted around
+	// the heavy computations (points "match", "generate", "sweep").
+	// nil — the production configuration — injects nothing.
+	Faults *resilience.Faults
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +156,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceRing == 0 {
 		c.TraceRing = 64
+	}
+	if c.MatchTimeout == 0 {
+		c.MatchTimeout = 30 * time.Second
+	}
+	if c.GenerateTimeout == 0 {
+		c.GenerateTimeout = 2 * time.Minute
+	}
+	if c.SweepTimeout == 0 {
+		c.SweepTimeout = 10 * time.Minute
+	}
+	if c.AdmissionSlots == 0 {
+		c.AdmissionSlots = runtime.GOMAXPROCS(0)
+	}
+	if c.AdmissionDepth <= 0 {
+		c.AdmissionDepth = 128
+	}
+	if c.AdmissionBudget <= 0 {
+		c.AdmissionBudget = 2 * time.Second
 	}
 	return c
 }
@@ -219,6 +273,26 @@ type Server struct {
 	// repReloaded counts representation-cache entries rewarmed from the
 	// durable spill at boot.
 	repReloaded atomic.Int64
+
+	// The overload-protection layer (internal/resilience): a bounded
+	// two-priority admission queue over the heavy computations, plus
+	// singleflight coalescing of identical in-flight matchings and
+	// generations. limiter is nil when admission is disabled
+	// (AdmissionSlots < 0) — the nil limiter admits everything.
+	limiter      *resilience.Limiter
+	matchFlights resilience.Group[CacheKey, []core.Pair]
+	genFlights   resilience.Group[string, *genReply]
+
+	// timeoutsByRoute counts requests that hit their deadline (504),
+	// by mux route.
+	timeoutsByRoute *obs.CounterVec
+
+	// shedDegraded and shedBacklog count serving-layer sheds the
+	// limiter never sees: mutations refused while the durable log is
+	// latched failed, and sweep submissions refused at backlog
+	// capacity.
+	shedDegraded atomic.Int64
+	shedBacklog  atomic.Int64
 }
 
 // New returns a started server (its job workers are running). The
@@ -237,6 +311,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.RepCacheDatasets > 0 {
 		s.reps = simgraph.NewRepCaches(cfg.RepCacheDatasets)
+	}
+	if cfg.AdmissionSlots > 0 {
+		s.limiter = resilience.NewLimiter(cfg.AdmissionSlots, cfg.AdmissionDepth)
 	}
 	s.initObs()
 	if cfg.DataDir != "" {
@@ -272,6 +349,9 @@ func (s *Server) Handler() http.Handler {
 		s.mux.ServeHTTP(rec, r)
 		if rec.status >= 400 {
 			s.errors.Inc()
+		}
+		if rec.status == http.StatusGatewayTimeout {
+			s.timeoutsByRoute.With(route).Inc()
 		}
 		s.routeReqs.With(route).Inc()
 		s.classReqs.With(statusClass(rec.status)).Inc()
@@ -338,6 +418,31 @@ func stopFunc(ctx context.Context) func() bool {
 	return func() bool { return ctx.Err() != nil }
 }
 
+// withTimeout derives the per-request deadline context; d <= 0 adds no
+// deadline beyond what ctx already carries.
+func withTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// shedCounts merges the limiter's shed counters with the serving-layer
+// reasons it never sees. Every reason is always present (zero before any
+// shed), so the shed_total series exist from the first scrape.
+func (s *Server) shedCounts() map[string]int64 {
+	m := s.limiter.ShedCounts()
+	m[resilience.ReasonDegraded] = s.shedDegraded.Load()
+	m[resilience.ReasonBacklog] = s.shedBacklog.Load()
+	return m
+}
+
+// coalesceHits is the total number of requests served by attaching to an
+// identical in-flight computation instead of running their own.
+func (s *Server) coalesceHits() int64 {
+	return s.matchFlights.Hits() + s.genFlights.Hits()
+}
+
 // matchOutcome is one algorithm's matching within a batch.
 type matchOutcome struct {
 	Algorithm string
@@ -368,35 +473,87 @@ func (s *Server) matchBatch(ctx context.Context, e *GraphEntry, algorithms []str
 		todo = append(todo, i)
 	}
 	if len(todo) > 0 {
+		if ctx == nil {
+			ctx = context.Background()
+		}
 		trace := obs.FromContext(ctx)
+		errs := make([]error, len(todo))
 		// Each todo index runs on exactly one worker and every matcher in
 		// the module keeps its mutable state local to a Match call, so no
-		// cloning is needed (the ccer.MatchConcurrent invariant).
+		// cloning is needed (the ccer.MatchConcurrent invariant). Every
+		// miss goes through the singleflight group: identical concurrent
+		// requests — same (graph version, algorithm, threshold, seed) —
+		// share one execution, and only the flight leader occupies an
+		// admission slot. Matchings are deterministic at a fixed seed,
+		// which is what makes sharing byte-safe.
 		par.For(len(todo), par.Workers(s.cfg.Parallelism), stopFunc(ctx), func(_, k int) {
 			i := todo[k]
-			endSpan := trace.StartSpanUnder("match", "match/"+algorithms[i])
-			t0 := time.Now()
-			pairs := ms[i].Match(e.Graph, threshold)
-			s.matchDur.With(algorithms[i]).Since(t0)
-			endSpan()
-			out[i] = matchOutcome{Algorithm: algorithms[i], Pairs: pairs}
+			name := algorithms[i]
+			key := CacheKey{Graph: e.Name, Version: e.Version, Algorithm: name, Threshold: threshold, Seed: seed}
+			pairs, _, err := s.matchFlights.Do(ctx, key, func(fctx context.Context) ([]core.Pair, error) {
+				// fctx is the flight's context, not this request's: it
+				// stays live while any coalesced caller still wants the
+				// answer, so one caller timing out does not abort the
+				// computation for the rest.
+				if err := s.limiter.Acquire(fctx, resilience.Interactive, s.cfg.AdmissionBudget); err != nil {
+					return nil, err
+				}
+				defer s.limiter.Release()
+				if err := s.cfg.Faults.Inject(fctx, "match"); err != nil {
+					return nil, err
+				}
+				endSpan := trace.StartSpanUnder("match", "match/"+name)
+				t0 := time.Now()
+				pairs := ms[i].Match(e.Graph, threshold)
+				s.matchDur.With(name).Since(t0)
+				endSpan()
+				s.matchingsRun.Inc()
+				s.cache.Put(key, pairs)
+				return pairs, nil
+			})
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			out[i] = matchOutcome{Algorithm: name, Pairs: pairs}
 		})
-		if ctx != nil && ctx.Err() != nil {
-			return nil, ctx.Err()
+		if err := firstComputeErr(errs); err != nil {
+			return nil, err
 		}
-		s.matchingsRun.Add(int64(len(todo)))
-		for _, i := range todo {
-			key := CacheKey{Graph: e.Name, Version: e.Version, Algorithm: algorithms[i], Threshold: threshold, Seed: seed}
-			s.cache.Put(key, out[i].Pairs)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
 	}
 	return out, nil
 }
 
+// firstComputeErr picks the error a partially failed batch reports: a
+// shed wins (its 503 tells the client to back off and retry — the
+// already-computed matchings are cached, so the retry is cheap), then
+// whatever failure came first.
+func firstComputeErr(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var shed *resilience.ShedError
+		if errors.As(err, &shed) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // runSweep executes one queued sweep job on the par pool; ctx cancellation
 // (job cancel or server shutdown) trips the sweep's Stop hook between
-// Match calls.
+// Match calls, and SweepTimeout bounds the execution the same way.
 func (s *Server) runSweep(ctx context.Context, job *SweepJob) ([]eval.SweepResult, error) {
+	ctx, cancel := withTimeout(ctx, s.cfg.SweepTimeout)
+	defer cancel()
 	e, ok := s.store.Get(job.Graph)
 	if !ok {
 		return nil, fmt.Errorf("graph %q no longer in store", job.Graph)
@@ -409,6 +566,16 @@ func (s *Server) runSweep(ctx context.Context, job *SweepJob) ([]eval.SweepResul
 	if err != nil {
 		return nil, err
 	}
+	// Sweeps are bulk-class work and wait patiently (no queue budget —
+	// the backlog is already bounded by JobQueueDepth), yielding freed
+	// slots to interactive match traffic.
+	if err := s.limiter.Acquire(ctx, resilience.Bulk, 0); err != nil {
+		return nil, err
+	}
+	defer s.limiter.Release()
+	if err := s.cfg.Faults.Inject(ctx, "sweep"); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	results := eval.SweepAllOpts(e.Graph, e.GT, ms, eval.SweepOptions{
 		Repeats:     job.Repeats,
@@ -416,5 +583,10 @@ func (s *Server) runSweep(ctx context.Context, job *SweepJob) ([]eval.SweepResul
 		Stop:        stopFunc(ctx),
 	})
 	s.sweepDur.Since(start)
+	if err := ctx.Err(); err != nil {
+		// The Stop hook tripped mid-grid; partial results would be
+		// indistinguishable from a finished sweep, so fail the job.
+		return nil, err
+	}
 	return results, nil
 }

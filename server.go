@@ -8,7 +8,12 @@ package ccer
 import "github.com/ccer-go/ccer/internal/serve"
 
 // ServeConfig tunes an embedded matching service (cache capacity, job
-// workers, parallelism, body limits). The zero value works.
+// workers, parallelism, body limits, per-route deadlines and admission
+// control). The zero value works: requests run under default deadlines
+// behind a bounded two-priority admission queue, and identical
+// in-flight computations are coalesced; set the MatchTimeout /
+// GenerateTimeout / SweepTimeout and AdmissionSlots / AdmissionDepth /
+// AdmissionBudget fields to retune or disable the overload behaviour.
 type ServeConfig = serve.Config
 
 // Server is a resident Clean-Clean ER matching service: named graphs
