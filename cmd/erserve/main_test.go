@@ -3,11 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"sync"
@@ -19,17 +19,11 @@ import (
 	"github.com/ccer-go/ccer/internal/obs/promtest"
 )
 
-// runWithArgs invokes run() with a fresh flag set and the given argv.
+// runWithArgs invokes run() with the given argv. run() builds its own
+// FlagSet, so concurrent instances (router-mode tests start three) are
+// safe.
 func runWithArgs(args ...string) error {
-	oldArgs := os.Args
-	oldFlags := flag.CommandLine
-	defer func() {
-		os.Args = oldArgs
-		flag.CommandLine = oldFlags
-	}()
-	flag.CommandLine = flag.NewFlagSet("erserve", flag.ContinueOnError)
-	os.Args = append([]string{"erserve"}, args...)
-	return run()
+	return run(args)
 }
 
 // freeAddr reserves and releases a loopback port. The tiny window
@@ -45,11 +39,15 @@ func freeAddr(t *testing.T) string {
 	return addr
 }
 
+// waitHealthy blocks until /readyz answers 200. /healthz is not enough
+// any more: the listener opens with the boot handler installed (alive
+// but not ready) before recovery finishes, so only readiness proves the
+// real service handler is in place.
 func waitHealthy(t *testing.T, base string) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(base + "/healthz")
+		resp, err := http.Get(base + "/readyz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
@@ -58,7 +56,7 @@ func waitHealthy(t *testing.T, base string) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	t.Fatal("server never became healthy")
+	t.Fatal("server never became ready")
 }
 
 // TestErserveServesAndShutsDownOnSIGINT drives the full binary surface:
@@ -276,6 +274,125 @@ func TestErserveErrors(t *testing.T) {
 	}
 	if err := runWithArgs("-addr", "256.256.256.256:99999"); err == nil {
 		t.Fatal("unlistenable address accepted")
+	}
+}
+
+// TestBootHandler pins the pre-recovery surface: alive on /healthz,
+// 503 + Retry-After + reason "starting" everywhere else, so health
+// checkers keep a recovering node out of rotation without declaring it
+// dead.
+func TestBootHandler(t *testing.T) {
+	h := bootHandler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("boot /healthz = %d, want 200 (alive)", rec.Code)
+	}
+	for _, path := range []string{"/readyz", "/v1/match", "/v1/graphs"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("boot %s = %d, want 503", path, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Fatalf("boot %s 503 without Retry-After", path)
+		}
+		var body struct {
+			Reason string `json:"reason"`
+			Ready  bool   `json:"ready"`
+		}
+		if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+			t.Fatalf("boot %s body: %v", path, err)
+		}
+		if body.Reason != "starting" || body.Ready {
+			t.Fatalf("boot %s body = %+v, want reason=starting ready=false", path, body)
+		}
+	}
+}
+
+// TestErserveRouterMode drives the full binary surface in cluster
+// formation: two backend erserve processes-worth of run() plus a router
+// run() fronting them, a write and a read through the router, the
+// cluster state endpoint, and a clean SIGINT teardown of all three.
+func TestErserveRouterMode(t *testing.T) {
+	b1, b2, front := freeAddr(t), freeAddr(t), freeAddr(t)
+	done := make(chan error, 3)
+	go func() { done <- runWithArgs("-addr", b1) }()
+	waitHealthy(t, "http://"+b1)
+	go func() { done <- runWithArgs("-addr", b2) }()
+	waitHealthy(t, "http://"+b2)
+	go func() {
+		done <- runWithArgs("-addr", front,
+			"-route", "http://"+b1+",http://"+b2,
+			"-replicas", "2", "-probe-interval", "50ms")
+	}()
+	base := "http://" + front
+	waitHealthy(t, base)
+
+	body, _ := json.Marshal(map[string]any{"name": "d2", "dataset": "D2", "seed": 42, "scale": 0.02})
+	resp, err := http.Post(base+"/v1/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("generate via router: status %d", resp.StatusCode)
+	}
+
+	body, _ = json.Marshal(map[string]any{"graph": "d2", "algorithms": []string{"UMC"}, "threshold": 0.5})
+	resp, err = http.Post(base+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mr struct {
+		Results []struct {
+			Pairs []struct{ U, V int32 } `json:"pairs"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(mr.Results) != 1 || len(mr.Results[0].Pairs) == 0 {
+		t.Fatalf("match via router = %+v", mr)
+	}
+
+	resp, err = http.Get(base + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs struct {
+		Backends []struct {
+			URL     string `json:"url"`
+			Ready   bool   `json:"ready"`
+			Breaker string `json:"breaker"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(cs.Backends) != 2 {
+		t.Fatalf("cluster state lists %d backends, want 2", len(cs.Backends))
+	}
+	for _, b := range cs.Backends {
+		if !b.Ready || b.Breaker != "closed" {
+			t.Fatalf("backend %s not healthy in steady state: %+v", b.URL, cs)
+		}
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("a run() instance failed after SIGINT: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("cluster did not shut down after SIGINT")
+		}
 	}
 }
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# Three-backend replicated erserve cluster behind a router, with a
+# kill-a-backend demonstration. Run from the repository root:
+#
+#   sh examples/cluster/run.sh
+#
+# Ports: backends on 18081-18083, router on 18080. Everything is torn
+# down on exit.
+set -eu
+
+ROUTER=http://127.0.0.1:18080
+B1=http://127.0.0.1:18081
+B2=http://127.0.0.1:18082
+B3=http://127.0.0.1:18083
+
+BIN=$(mktemp -d)
+PIDS=""
+cleanup() {
+	# shellcheck disable=SC2086
+	[ -n "$PIDS" ] && kill $PIDS 2>/dev/null || true
+	wait 2>/dev/null || true
+	rm -rf "$BIN"
+}
+trap cleanup EXIT INT TERM
+
+# Build once and exec the binary directly: kill -9 must hit the server
+# process itself, not a `go run` wrapper that would orphan it.
+echo "==> building erserve"
+go build -o "$BIN/erserve" ./cmd/erserve
+
+wait_ready() {
+	i=0
+	until curl -fsS "$1/readyz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "$1 never became ready" >&2; exit 1; }
+		sleep 0.1
+	done
+}
+
+echo "==> starting three backends"
+"$BIN/erserve" -addr 127.0.0.1:18081 2>/dev/null & PIDS="$PIDS $!"
+"$BIN/erserve" -addr 127.0.0.1:18082 2>/dev/null & PIDS="$PIDS $!"
+"$BIN/erserve" -addr 127.0.0.1:18083 2>/dev/null & PIDS="$PIDS $!"
+wait_ready $B1; wait_ready $B2; wait_ready $B3
+
+echo "==> starting the router (replicas=2)"
+"$BIN/erserve" -addr 127.0.0.1:18080 \
+	-route "$B1,$B2,$B3" -replicas 2 -probe-interval 100ms 2>/dev/null &
+PIDS="$PIDS $!"
+wait_ready $ROUTER
+
+echo "==> generating a graph through the router (fans to 2 replicas)"
+curl -fsS $ROUTER/v1/graphs -H 'Content-Type: application/json' \
+	-d '{"name":"demo","dataset":"D2","seed":42,"scale":0.02}'
+echo
+
+echo "==> matching through the router"
+curl -fsS $ROUTER/v1/match \
+	-d '{"graph":"demo","algorithms":["UMC"],"threshold":0.5}' | head -c 300
+echo; echo
+
+echo "==> cluster state (all healthy)"
+curl -fsS $ROUTER/v1/cluster
+echo
+
+echo "==> killing one backend mid-service (kill -9)"
+# shellcheck disable=SC2086
+set -- $PIDS
+kill -9 "$1" 2>/dev/null || true
+
+echo "==> matching again: the surviving replica answers"
+curl -fsS $ROUTER/v1/match \
+	-d '{"graph":"demo","algorithms":["UMC"],"threshold":0.5}' | head -c 300
+echo; echo
+
+echo "==> cluster state after the kill (watch the breaker open)"
+sleep 1
+curl -fsS $ROUTER/v1/cluster
+echo
+echo "==> done (cluster tears down on exit)"

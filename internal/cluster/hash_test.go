@@ -1,0 +1,75 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ccer-go/ccer/internal/cluster"
+)
+
+func TestReplicasDeterministicAndClamped(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	got := cluster.Replicas("graph-1", backends, 2)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	again := cluster.Replicas("graph-1", backends, 2)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("non-deterministic placement: %v vs %v", got, again)
+		}
+	}
+	if got[0] == got[1] {
+		t.Fatalf("duplicate replica: %v", got)
+	}
+	// Reordering the backend list must not move placements.
+	reordered := cluster.Replicas("graph-1", []string{"http://c", "http://a", "http://b"}, 2)
+	for i := range got {
+		if got[i] != reordered[i] {
+			t.Fatalf("placement depends on list order: %v vs %v", got, reordered)
+		}
+	}
+	if n := len(cluster.Replicas("g", backends, 99)); n != 3 {
+		t.Fatalf("over-replication not clamped: %d", n)
+	}
+	if n := len(cluster.Replicas("g", backends, 0)); n != 1 {
+		t.Fatalf("r=0 should clamp to 1, got %d", n)
+	}
+	if cluster.Replicas("g", nil, 2) != nil {
+		t.Fatal("no backends should place nowhere")
+	}
+}
+
+// TestReplicasMinimalDisruption pins the rendezvous property the
+// cluster depends on: removing one backend remaps only the names that
+// backend hosted — every other name keeps its exact replica set.
+func TestReplicasMinimalDisruption(t *testing.T) {
+	full := []string{"http://a", "http://b", "http://c", "http://d"}
+	without := []string{"http://a", "http://b", "http://d"} // c removed
+	moved := 0
+	perOwner := map[string]int{}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("graph-%d", i)
+		before := cluster.Replicas(name, full, 2)
+		perOwner[before[0]]++
+		hostedOnC := before[0] == "http://c" || before[1] == "http://c"
+		after := cluster.Replicas(name, without, 2)
+		same := before[0] == after[0] && before[1] == after[1]
+		if hostedOnC {
+			moved++
+			continue
+		}
+		if !same {
+			t.Fatalf("%s not hosted on removed backend but moved: %v -> %v", name, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no name was ever placed on http://c: degenerate hash")
+	}
+	// Ownership should spread across all four backends.
+	for _, b := range full {
+		if perOwner[b] == 0 {
+			t.Fatalf("backend %s owns nothing across 200 names: %v", b, perOwner)
+		}
+	}
+}

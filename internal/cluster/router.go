@@ -1,0 +1,798 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/obs"
+)
+
+// RouterConfig configures a cluster router.
+type RouterConfig struct {
+	// Backends are the erserve base URLs fronted by this router.
+	Backends []string
+	// Replicas is how many backends host each graph (rendezvous
+	// placement); 0 means 2, clamped to len(Backends).
+	Replicas int
+	// ProbeInterval is the /readyz probing period; 0 means 250ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe; 0 means 1s. A hung backend (e.g.
+	// SIGSTOP) fails probes by timeout, which is what opens its breaker
+	// — data-plane requests to it are cancelled by hedge winners and
+	// deliberately carry no breaker penalty.
+	ProbeTimeout time.Duration
+	// BreakerThreshold is the consecutive failures that open a
+	// backend's circuit; 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before the
+	// half-open trial; 0 means 1s.
+	BreakerCooldown time.Duration
+	// HedgeAfter is how long a match read waits before a second
+	// request is hedged to another replica. 0 means adaptive: the
+	// router's observed p95 read latency (with a 25ms floor), falling
+	// back to 100ms until enough reads have been observed.
+	HedgeAfter time.Duration
+	// DisableObs disables the metrics registry.
+	DisableObs bool
+}
+
+func (c *RouterConfig) withDefaults() RouterConfig {
+	out := *c
+	if out.Replicas <= 0 {
+		out.Replicas = 2
+	}
+	if out.Replicas > len(out.Backends) {
+		out.Replicas = len(out.Backends)
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = 250 * time.Millisecond
+	}
+	if out.ProbeTimeout <= 0 {
+		out.ProbeTimeout = time.Second
+	}
+	if out.BreakerThreshold <= 0 {
+		out.BreakerThreshold = 3
+	}
+	if out.BreakerCooldown <= 0 {
+		out.BreakerCooldown = time.Second
+	}
+	return out
+}
+
+// Router fronts a set of erserve nodes as one replicated service.
+// Writes fan to every replica of the graph's placement key, reads are
+// served by any healthy replica with hedging for slow ones, and
+// per-backend health (active /readyz probes + passive request
+// outcomes) feeds circuit breakers so a dead backend stops receiving
+// traffic within a probe interval and rejoins via a half-open trial
+// when it recovers.
+type Router struct {
+	cfg      RouterConfig
+	bases    []string
+	backends map[string]*backend
+	mux      *http.ServeMux
+	obs      *obs.Registry
+
+	requests  *obs.Counter
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
+	failovers *obs.Counter
+	fanMisses *obs.Counter
+	readDur   *obs.Histogram
+
+	probeCancel context.CancelFunc
+	probeWG     sync.WaitGroup
+}
+
+// NewRouter returns a started router (its prober is running).
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends")
+	}
+	rt := &Router{
+		cfg:      cfg,
+		bases:    append([]string(nil), cfg.Backends...),
+		backends: make(map[string]*backend, len(cfg.Backends)),
+		mux:      http.NewServeMux(),
+	}
+	for _, base := range rt.bases {
+		if rt.backends[base] != nil {
+			return nil, fmt.Errorf("cluster: duplicate backend %s", base)
+		}
+		rt.backends[base] = newBackend(base, cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	rt.initObs()
+	rt.routes()
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.probeCancel = cancel
+	rt.probeWG.Add(1)
+	go rt.probeLoop(ctx)
+	return rt, nil
+}
+
+// Close stops the prober.
+func (rt *Router) Close() {
+	rt.probeCancel()
+	rt.probeWG.Wait()
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.requests.Inc()
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+func (rt *Router) initObs() {
+	if rt.cfg.DisableObs {
+		return
+	}
+	r := obs.NewRegistry()
+	rt.obs = r
+	rt.requests = r.Counter("ccer_router_requests_total", "Requests received by the cluster router.")
+	rt.hedges = r.Counter("ccer_router_hedges_total", "Hedged duplicate reads fired after the hedge delay.")
+	rt.hedgeWins = r.Counter("ccer_router_hedge_wins_total", "Reads won by a hedged or failed-over attempt.")
+	rt.failovers = r.Counter("ccer_router_failovers_total", "Attempts moved to the next replica after a failure.")
+	rt.fanMisses = r.Counter("ccer_router_write_fan_misses_total",
+		"Write fan-out attempts that failed on one replica while another succeeded (replica divergence until the node is rebuilt).")
+	rt.readDur = r.Histogram("ccer_router_read_seconds", "Routed read latency (feeds the adaptive hedge delay).")
+	r.GaugeFunc("ccer_router_backends", "Configured backends.",
+		func() float64 { return float64(len(rt.bases)) })
+	r.LabeledGaugeFunc("ccer_router_backend_healthy",
+		"Per-backend routability: 1 when ready and the circuit allows traffic.", "backend",
+		func() map[string]int64 {
+			out := make(map[string]int64, len(rt.bases))
+			for _, base := range rt.bases {
+				v := int64(0)
+				if rt.backends[base].Healthy() {
+					v = 1
+				}
+				out[base] = v
+			}
+			return out
+		})
+	r.LabeledCounterFunc("ccer_router_breaker_opens_total",
+		"Circuit-breaker open transitions per backend.", "backend",
+		func() map[string]int64 {
+			out := make(map[string]int64, len(rt.bases))
+			for _, base := range rt.bases {
+				opens, _, _ := rt.backends[base].breaker.Counts()
+				out[base] = opens
+			}
+			return out
+		})
+	r.LabeledCounterFunc("ccer_router_probe_failures_total",
+		"Failed /readyz probes per backend.", "backend",
+		func() map[string]int64 {
+			out := make(map[string]int64, len(rt.bases))
+			for _, base := range rt.bases {
+				out[base] = rt.backends[base].probeFailures.Load()
+			}
+			return out
+		})
+}
+
+func (rt *Router) routes() {
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	rt.mux.HandleFunc("POST /v1/graphs", rt.handleWrite)
+	rt.mux.HandleFunc("GET /v1/graphs", rt.handleGraphList)
+	rt.mux.HandleFunc("GET /v1/graphs/{name...}", rt.handleGraphRead)
+	rt.mux.HandleFunc("DELETE /v1/graphs/{name...}", rt.handleDelete)
+	rt.mux.HandleFunc("POST /v1/match", rt.handleMatch)
+	rt.mux.HandleFunc("POST /v1/sweeps", rt.handleSweepCreate)
+	rt.mux.HandleFunc("GET /v1/sweeps", rt.handleSweepList)
+	rt.mux.HandleFunc("GET /v1/sweeps/{id}", rt.handleSweepFan)
+	rt.mux.HandleFunc("DELETE /v1/sweeps/{id}", rt.handleSweepFan)
+}
+
+// probeLoop drives the active health checks: every interval, all
+// backends are probed concurrently. One goroutine plus a bounded burst
+// per round — the prober's footprint is O(backends), independent of
+// request load.
+func (rt *Router) probeLoop(ctx context.Context) {
+	defer rt.probeWG.Done()
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	probeAll := func() {
+		var wg sync.WaitGroup
+		for _, base := range rt.bases {
+			b := rt.backends[base]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.probe(ctx, rt.cfg.ProbeTimeout)
+			}()
+		}
+		wg.Wait()
+	}
+	probeAll()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			probeAll()
+		}
+	}
+}
+
+// placementKey maps a graph name to its placement unit: the segment
+// before the first "/". Family-mode generation stores a whole weight
+// family under "<base>/<function>", and hashing the base keeps every
+// graph of the family — and the family write itself, keyed by its
+// request name — on the same replica set.
+func placementKey(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// replicasFor returns the backends hosting name, preference-ordered for
+// routing: the rendezvous replica set with healthy backends first
+// (stable within each class). Unhealthy replicas stay in the list as a
+// last resort — breakers can be wrong, and trying a suspect backend
+// beats refusing a read outright.
+func (rt *Router) replicasFor(name string) []*backend {
+	bases := Replicas(placementKey(name), rt.bases, rt.cfg.Replicas)
+	out := make([]*backend, 0, len(bases))
+	for _, base := range bases {
+		if b := rt.backends[base]; b.Healthy() {
+			out = append(out, b)
+		}
+	}
+	for _, base := range bases {
+		if b := rt.backends[base]; !b.Healthy() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// healthyCount reports how many backends are currently routable.
+func (rt *Router) healthyCount() int {
+	n := 0
+	for _, base := range rt.bases {
+		if rt.backends[base].Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+func routerJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func routerError(w http.ResponseWriter, status int, reason, format string, args ...any) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	routerJSON(w, status, map[string]string{
+		"error":  fmt.Sprintf(format, args...),
+		"reason": reason,
+	})
+}
+
+// proxy relays a backend reply verbatim: status, the content headers
+// that matter (Content-Type, Retry-After) and the exact body bytes —
+// byte-identical to asking the backend directly.
+func proxy(w http.ResponseWriter, reply *Reply) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := reply.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(reply.Status)
+	_, _ = w.Write(reply.Body)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	routerJSON(w, http.StatusOK, map[string]any{"status": "ok", "backends": len(rt.bases)})
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	healthy := rt.healthyCount()
+	status := http.StatusOK
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	routerJSON(w, status, map[string]any{
+		"ready":            healthy > 0,
+		"healthy_backends": healthy,
+		"backends":         len(rt.bases),
+	})
+}
+
+// clusterState is the GET /v1/cluster debug document.
+type clusterState struct {
+	Backends        []BackendState `json:"backends"`
+	Replicas        int            `json:"replicas"`
+	HealthyBackends int            `json:"healthy_backends"`
+	HedgeAfterMS    float64        `json:"hedge_after_ms"`
+}
+
+func (rt *Router) clusterState() clusterState {
+	st := clusterState{
+		Replicas:        rt.cfg.Replicas,
+		HealthyBackends: rt.healthyCount(),
+		HedgeAfterMS:    float64(rt.hedgeDelay()) / float64(time.Millisecond),
+	}
+	for _, base := range rt.bases {
+		st.Backends = append(st.Backends, rt.backends[base].state())
+	}
+	return st
+}
+
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	routerJSON(w, http.StatusOK, rt.clusterState())
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		if rt.obs == nil {
+			routerError(w, http.StatusNotFound, "", "metrics registry disabled")
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		_ = rt.obs.WritePrometheus(w)
+		return
+	}
+	routerJSON(w, http.StatusOK, map[string]any{
+		"requests_total":         rt.requests.Load(),
+		"hedges_total":           rt.hedges.Load(),
+		"hedge_wins_total":       rt.hedgeWins.Load(),
+		"failovers_total":        rt.failovers.Load(),
+		"write_fan_misses_total": rt.fanMisses.Load(),
+		"cluster":                rt.clusterState(),
+	})
+}
+
+// hedgeDelay is the wait before a read is duplicated to another
+// replica: configured, or the observed p95 read latency (floored at
+// 25ms so a fast quiet cluster does not hedge every request), or 100ms
+// until enough reads have been seen to estimate a p95.
+func (rt *Router) hedgeDelay() time.Duration {
+	if rt.cfg.HedgeAfter > 0 {
+		return rt.cfg.HedgeAfter
+	}
+	const floor, cold = 25 * time.Millisecond, 100 * time.Millisecond
+	if rt.readDur == nil {
+		return cold
+	}
+	snap := rt.readDur.Snapshot()
+	if snap.Count < 20 {
+		return cold
+	}
+	p95 := time.Duration(snap.Quantile(0.95))
+	if p95 < floor {
+		return floor
+	}
+	return p95
+}
+
+// attemptOutcome is one backend's answer within a fan or hedge.
+type attemptOutcome struct {
+	b     *backend
+	reply *Reply
+	err   error
+}
+
+// fire runs one attempt against b and feeds the outcome into both the
+// breaker and ch. The error fed to the breaker distinguishes transport
+// failures and raw (non-shed) 5xx — both the backend's fault — from
+// sheds and client errors, which are the backend doing its job.
+func fire(ctx context.Context, ch chan<- attemptOutcome, b *backend, method, path, contentType string, body []byte) {
+	reply, err := b.client.do(ctx, method, path, contentType, body, false)
+	if err == nil {
+		b.observe(statusOf(reply))
+	} else {
+		b.observe(err)
+	}
+	ch <- attemptOutcome{b: b, reply: reply, err: err}
+}
+
+// readAccepted reports whether a reply settles a routed read: anything
+// the backend answered deliberately except a 404 or a shed — those are
+// retried on the next replica, because a freshly rejoined node may
+// simply not hold the graph (404) or be momentarily full (503) while
+// its peer can answer.
+func readAccepted(reply *Reply) bool {
+	if reply.Status == http.StatusNotFound || reply.Status == http.StatusServiceUnavailable {
+		return false
+	}
+	return reply.Status < 500
+}
+
+// routeRead serves one read with failover and hedging: the preferred
+// replica is asked first; a failure fails over immediately, and a slow
+// response hedges a duplicate to the next replica after the hedge
+// delay. The first accepted reply wins and every other in-flight
+// attempt is cancelled (the backends count those as 499 client
+// disconnects, not errors). Replies that fail soft (404 from a stale
+// replica, a shed) are kept as fallback answers if no replica does
+// better.
+func (rt *Router) routeRead(w http.ResponseWriter, r *http.Request, order []*backend, path, contentType string, body []byte) {
+	if len(order) == 0 {
+		routerError(w, http.StatusServiceUnavailable, "no_backend", "no backend available")
+		return
+	}
+	start := time.Now()
+	hctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	ch := make(chan attemptOutcome, len(order))
+	launched := 1
+	go fire(hctx, ch, order[0], r.Method, path, contentType, body)
+	hedge := time.NewTimer(rt.hedgeDelay())
+	defer hedge.Stop()
+
+	var fallback *Reply
+	settled := 0
+	for {
+		select {
+		case out := <-ch:
+			settled++
+			if out.err == nil && readAccepted(out.reply) {
+				cancel() // losers die as 499s on their backends
+				rt.readDur.Observe(time.Since(start))
+				if out.b != order[0] {
+					rt.hedgeWins.Inc()
+				}
+				proxy(w, out.reply)
+				return
+			}
+			// Soft failures keep the best reply for the all-failed case:
+			// a shed beats a 404 beats nothing.
+			if out.err == nil {
+				if fallback == nil || out.reply.Status == http.StatusServiceUnavailable {
+					fallback = out.reply
+				}
+			}
+			if launched < len(order) {
+				rt.failovers.Inc()
+				go fire(hctx, ch, order[launched], r.Method, path, contentType, body)
+				launched++
+			} else if settled == launched {
+				if fallback != nil {
+					proxy(w, fallback)
+					return
+				}
+				routerError(w, http.StatusServiceUnavailable, "no_backend",
+					"all %d replicas failed", len(order))
+				return
+			}
+		case <-hedge.C:
+			if launched < len(order) {
+				rt.hedges.Inc()
+				go fire(hctx, ch, order[launched], r.Method, path, contentType, body)
+				launched++
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// maxBodyBytes caps buffered request bodies; the router buffers writes
+// to fan them out, matching the backends' own default cap.
+const maxBodyBytes = 64 << 20
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		routerError(w, http.StatusBadRequest, "", "read body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+// handleWrite fans POST /v1/graphs to every replica of the graph's
+// placement key. Cluster mode requires an explicit graph name: the
+// name IS the placement key, and backend-assigned auto names would
+// diverge across replicas. The owner's reply is preferred; with the
+// owner down, any succeeding replica's reply is returned (per-name
+// versioning makes them agree on everything but the creation
+// timestamp). A replica that misses the write while dead serves stale
+// state until it is rebuilt — the router counts those misses.
+func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	contentType := r.Header.Get("Content-Type")
+	name := r.URL.Query().Get("name")
+	if strings.HasPrefix(contentType, "application/json") {
+		var req struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			routerError(w, http.StatusBadRequest, "", "bad request body: %v", err)
+			return
+		}
+		name = req.Name
+	}
+	if name == "" {
+		routerError(w, http.StatusBadRequest, "",
+			"cluster mode requires an explicit graph name (auto-assigned names would diverge across replicas)")
+		return
+	}
+	path := "/v1/graphs"
+	if !strings.HasPrefix(contentType, "application/json") && name != "" {
+		path += "?name=" + name
+	}
+	rt.fanWrite(w, r, name, http.MethodPost, path, contentType, body)
+}
+
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rt.fanWrite(w, r, name, http.MethodDelete, "/v1/graphs/"+name, "", nil)
+}
+
+// fanWrite sends the mutation to every replica of name concurrently
+// and replies with the most-preferred success. All replicas failing
+// surfaces the most useful failure (a shed with its Retry-After when
+// any backend sent one). Partial failures — some replicas applied the
+// write, some did not — succeed (the data is durable and served) and
+// are counted as fan misses.
+func (rt *Router) fanWrite(w http.ResponseWriter, r *http.Request, name, method, path, contentType string, body []byte) {
+	bases := Replicas(placementKey(name), rt.bases, rt.cfg.Replicas)
+	// Skip replicas whose circuit is open (not routable right now):
+	// fanning into a known-dead backend would stall the write on its
+	// timeout. If everything is open, try the full set anyway.
+	attempt := make([]*backend, 0, len(bases))
+	for _, base := range bases {
+		if b := rt.backends[base]; b.Healthy() {
+			attempt = append(attempt, b)
+		}
+	}
+	if len(attempt) == 0 {
+		for _, base := range bases {
+			attempt = append(attempt, rt.backends[base])
+		}
+	}
+	ch := make(chan attemptOutcome, len(attempt))
+	for _, b := range attempt {
+		go fire(r.Context(), ch, b, method, path, contentType, body)
+	}
+	outcomes := make(map[*backend]attemptOutcome, len(attempt))
+	for range attempt {
+		out := <-ch
+		outcomes[out.b] = out
+	}
+	// Preference order: the rendezvous ranking, so the owner's reply
+	// wins when the owner succeeded.
+	var best *Reply
+	var fallback *Reply
+	succeeded := 0
+	for _, base := range bases {
+		out, ok := outcomes[rt.backends[base]]
+		if !ok || out.err != nil {
+			continue
+		}
+		if out.reply.Status < 300 {
+			succeeded++
+			if best == nil {
+				best = out.reply
+			}
+		} else if fallback == nil || out.reply.Status == http.StatusServiceUnavailable {
+			fallback = out.reply
+		}
+	}
+	if best != nil {
+		if succeeded < len(attempt) {
+			rt.fanMisses.Add(int64(len(attempt) - succeeded))
+		}
+		proxy(w, best)
+		return
+	}
+	if fallback != nil {
+		proxy(w, fallback)
+		return
+	}
+	routerError(w, http.StatusServiceUnavailable, "no_backend",
+		"write to %q failed on all %d replicas", name, len(attempt))
+}
+
+func (rt *Router) handleGraphRead(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	path := "/v1/graphs/" + name
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
+	rt.routeRead(w, r, rt.replicasFor(name), path, "", nil)
+}
+
+func (rt *Router) handleMatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Graph string `json:"graph"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Graph == "" {
+		routerError(w, http.StatusBadRequest, "", "bad match request: missing graph")
+		return
+	}
+	rt.routeRead(w, r, rt.replicasFor(req.Graph), "/v1/match", "application/json", body)
+}
+
+// handleGraphList merges the backend listings: replicas report the
+// same graph at the same version (per-name versioning), so entries
+// dedupe by name keeping the highest version seen (a freshly rejoined
+// replica may briefly report a stale one).
+func (rt *Router) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	type listed struct {
+		version int64
+		raw     json.RawMessage
+	}
+	merged := map[string]listed{}
+	reached := 0
+	for _, base := range rt.bases {
+		b := rt.backends[base]
+		if !b.Healthy() {
+			continue
+		}
+		reply, err := b.client.do(r.Context(), http.MethodGet, "/v1/graphs", "", nil, false)
+		b.observe(err)
+		if err != nil || reply.Status != http.StatusOK {
+			continue
+		}
+		reached++
+		var page struct {
+			Graphs []json.RawMessage `json:"graphs"`
+		}
+		if json.Unmarshal(reply.Body, &page) != nil {
+			continue
+		}
+		for _, raw := range page.Graphs {
+			var id struct {
+				Name    string `json:"name"`
+				Version int64  `json:"version"`
+			}
+			if json.Unmarshal(raw, &id) != nil || id.Name == "" {
+				continue
+			}
+			if have, ok := merged[id.Name]; !ok || id.Version > have.version {
+				merged[id.Name] = listed{version: id.Version, raw: raw}
+			}
+		}
+	}
+	if reached == 0 {
+		routerError(w, http.StatusServiceUnavailable, "no_backend", "no backend reachable")
+		return
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	graphs := make([]json.RawMessage, len(names))
+	for i, name := range names {
+		graphs[i] = merged[name].raw
+	}
+	routerJSON(w, http.StatusOK, map[string]any{"graphs": graphs})
+}
+
+func (rt *Router) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Graph string `json:"graph"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Graph == "" {
+		routerError(w, http.StatusBadRequest, "", "bad sweep request: missing graph")
+		return
+	}
+	// A sweep runs on one node (jobs are not replicated); route to the
+	// graph's preferred replica, failing over only when the attempt
+	// provably did not start a job — a refused connection, a shed, or
+	// the replica not holding the graph.
+	order := rt.replicasFor(req.Graph)
+	var fallback *Reply
+	for i, b := range order {
+		if i > 0 {
+			rt.failovers.Inc()
+		}
+		reply, err := b.client.do(r.Context(), http.MethodPost, "/v1/sweeps", "application/json", body, false)
+		if err != nil {
+			b.observe(err)
+			if connRefused(err) {
+				continue // provably no job started; the next replica is safe
+			}
+			routerError(w, http.StatusBadGateway, "backend_failed", "sweep create: %v", err)
+			return
+		}
+		b.observe(statusOf(reply))
+		if reply.Status == http.StatusNotFound || reply.Status == http.StatusServiceUnavailable {
+			fallback = reply
+			continue
+		}
+		proxy(w, reply)
+		return
+	}
+	if fallback != nil {
+		proxy(w, fallback)
+		return
+	}
+	routerError(w, http.StatusServiceUnavailable, "no_backend", "no replica accepted the sweep")
+}
+
+// handleSweepList merges sweep listings across every reachable backend.
+func (rt *Router) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	var sweeps []json.RawMessage
+	reached := 0
+	for _, base := range rt.bases {
+		b := rt.backends[base]
+		if !b.Healthy() {
+			continue
+		}
+		reply, err := b.client.do(r.Context(), http.MethodGet, "/v1/sweeps", "", nil, false)
+		b.observe(err)
+		if err != nil || reply.Status != http.StatusOK {
+			continue
+		}
+		reached++
+		var page struct {
+			Sweeps []json.RawMessage `json:"sweeps"`
+		}
+		if json.Unmarshal(reply.Body, &page) == nil {
+			sweeps = append(sweeps, page.Sweeps...)
+		}
+	}
+	if reached == 0 {
+		routerError(w, http.StatusServiceUnavailable, "no_backend", "no backend reachable")
+		return
+	}
+	if sweeps == nil {
+		sweeps = []json.RawMessage{}
+	}
+	routerJSON(w, http.StatusOK, map[string]any{"sweeps": sweeps})
+}
+
+// handleSweepFan locates a sweep by id: ids are node-local, so ask
+// every backend in turn and relay the first non-404.
+func (rt *Router) handleSweepFan(w http.ResponseWriter, r *http.Request) {
+	path := "/v1/sweeps/" + r.PathValue("id")
+	var fallback *Reply
+	for _, base := range rt.bases {
+		b := rt.backends[base]
+		reply, err := b.client.do(r.Context(), r.Method, path, "", nil, false)
+		if err != nil {
+			b.observe(err)
+			continue
+		}
+		b.observe(statusOf(reply))
+		if reply.Status == http.StatusNotFound {
+			fallback = reply
+			continue
+		}
+		proxy(w, reply)
+		return
+	}
+	if fallback != nil {
+		proxy(w, fallback)
+		return
+	}
+	routerError(w, http.StatusServiceUnavailable, "no_backend", "no backend reachable")
+}

@@ -191,6 +191,16 @@ func (r *Registry) LabeledCounterFunc(name, help, label string, fn func() map[st
 	r.register(&family{name: name, help: help, kind: kindCounter, label: label, labeledFn: fn})
 }
 
+// LabeledGaugeFunc registers a labeled gauge family whose samples
+// (label value -> level) are read from fn at exposition time — e.g. a
+// cluster router's per-backend health flags.
+func (r *Registry) LabeledGaugeFunc(name, help, label string, fn func() map[string]int64) {
+	if r == nil {
+		return
+	}
+	r.register(&family{name: name, help: help, kind: kindGauge, label: label, labeledFn: fn})
+}
+
 // CounterVec registers (or returns the existing) owned labeled counter
 // family.
 func (r *Registry) CounterVec(name, help, label string) *CounterVec {

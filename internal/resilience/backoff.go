@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff produces retry delays under decorrelated-jitter exponential
+// backoff (the AWS architecture blog's variant): each delay is drawn
+// uniformly from [Base, 3*previous], capped at Cap. Compared to plain
+// exponential backoff with full jitter it decorrelates competing
+// retriers faster — two clients shedding off the same overloaded server
+// stop colliding after the first draw — while still growing toward the
+// cap on persistent failure.
+//
+// The zero value works (Base 50ms, Cap 5s). A nil *Backoff follows the
+// package's nil-receiver contract: Next returns 0 and Sleep returns
+// immediately, so "no backoff" needs no branches at call sites.
+//
+// A Backoff is safe for concurrent use, though the usual shape is one
+// per retry loop; Reset returns a shared one to its initial state.
+type Backoff struct {
+	// Base is the first (and minimum) delay. 0 means 50ms.
+	Base time.Duration
+	// Cap bounds every delay. 0 means 5s.
+	Cap time.Duration
+	// Seed fixes the jitter stream for deterministic tests; 0 draws a
+	// random seed on first use.
+	Seed int64
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	prev time.Duration
+}
+
+func (b *Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 50 * time.Millisecond
+}
+
+func (b *Backoff) cap() time.Duration {
+	if b.Cap > 0 {
+		return b.Cap
+	}
+	return 5 * time.Second
+}
+
+// Next returns the next delay of the decorrelated-jitter sequence. The
+// first call returns Base exactly (a deterministic floor the tests and
+// the retry budget math can rely on); later calls jitter upward from it.
+func (b *Backoff) Next() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	base, cap := b.base(), b.cap()
+	if base > cap {
+		base = cap
+	}
+	if b.prev == 0 {
+		b.prev = base
+		return base
+	}
+	if b.rng == nil {
+		seed := b.Seed
+		if seed == 0 {
+			seed = rand.Int63()
+		}
+		b.rng = rand.New(rand.NewSource(seed))
+	}
+	span := 3*b.prev - base
+	d := base
+	if span > 0 {
+		d += time.Duration(b.rng.Int63n(int64(span) + 1))
+	}
+	if d > cap {
+		d = cap
+	}
+	b.prev = d
+	return d
+}
+
+// Sleep blocks for Next(), returning early with ctx.Err() if the
+// context dies first — a retry loop's deadline budget cuts the wait
+// short instead of overshooting it. A nil receiver returns nil
+// immediately.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	return SleepCtx(ctx, b.Next())
+}
+
+// Reset restarts the sequence: the next Next() returns Base again.
+func (b *Backoff) Reset() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.prev = 0
+	b.mu.Unlock()
+}
+
+// SleepCtx is a context-aware time.Sleep: it waits d or until ctx is
+// done, whichever comes first, returning ctx.Err() in the latter case.
+// d <= 0 returns nil without consulting the context, so a zero backoff
+// never turns an already-cancelled context into a spurious failure.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

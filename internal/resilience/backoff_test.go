@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffNilIsNoOp(t *testing.T) {
+	var b *Backoff
+	if d := b.Next(); d != 0 {
+		t.Fatalf("nil backoff Next = %v, want 0", d)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A nil backoff sleeps zero, so even a dead context is not consulted.
+	if err := b.Sleep(ctx); err != nil {
+		t.Fatalf("nil backoff Sleep = %v, want nil", err)
+	}
+	b.Reset() // must not panic
+}
+
+func TestBackoffFirstDelayIsBase(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Seed: 1}
+	if d := b.Next(); d != 10*time.Millisecond {
+		t.Fatalf("first delay = %v, want Base", d)
+	}
+	b.Reset()
+	if d := b.Next(); d != 10*time.Millisecond {
+		t.Fatalf("first delay after Reset = %v, want Base", d)
+	}
+}
+
+func TestBackoffDecorrelatedJitterBounds(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Cap: 200 * time.Millisecond, Seed: 42}
+	prev := b.Next()
+	sawCap := false
+	for i := 0; i < 200; i++ {
+		d := b.Next()
+		if d < 10*time.Millisecond {
+			t.Fatalf("delay %v below base", d)
+		}
+		if d > 200*time.Millisecond {
+			t.Fatalf("delay %v above cap", d)
+		}
+		if d > 3*prev {
+			t.Fatalf("delay %v more than 3x previous %v", d, prev)
+		}
+		if d == 200*time.Millisecond {
+			sawCap = true
+		}
+		prev = d
+	}
+	if !sawCap {
+		t.Fatal("200 draws never reached the cap; growth is broken")
+	}
+}
+
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	draw := func() []time.Duration {
+		b := &Backoff{Base: time.Millisecond, Cap: time.Second, Seed: 7}
+		out := make([]time.Duration, 20)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a, c := draw(), draw()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("draw %d: %v != %v under the same seed", i, a[i], c[i])
+		}
+	}
+}
+
+func TestBackoffCapClampsBase(t *testing.T) {
+	b := &Backoff{Base: time.Second, Cap: 10 * time.Millisecond, Seed: 1}
+	for i := 0; i < 10; i++ {
+		if d := b.Next(); d > 10*time.Millisecond {
+			t.Fatalf("delay %v above cap with Base > Cap", d)
+		}
+	}
+}
+
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Second, Cap: time.Minute}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Sleep(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep under cancelled ctx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep ignored the cancelled context")
+	}
+}
+
+func TestSleepCtxZeroIgnoresDeadContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SleepCtx(ctx, 0); err != nil {
+		t.Fatalf("SleepCtx(dead, 0) = %v, want nil", err)
+	}
+	if err := SleepCtx(ctx, time.Second); err != context.Canceled {
+		t.Fatalf("SleepCtx(dead, 1s) = %v, want context.Canceled", err)
+	}
+}
+
+// TestBackoffRaceHammer shares one Backoff across goroutines under the
+// race detector: every draw must stay within [0, cap] and the struct
+// must not corrupt.
+func TestBackoffRaceHammer(t *testing.T) {
+	b := &Backoff{Base: time.Microsecond, Cap: time.Millisecond}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if d := b.Next(); d < 0 || d > time.Millisecond {
+					t.Errorf("concurrent draw out of range: %v", d)
+					return
+				}
+				if i%100 == 0 {
+					b.Reset()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

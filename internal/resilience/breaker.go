@@ -1,0 +1,213 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes every request (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails every request fast; after Cooldown the next
+	// Allow transitions to half-open.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome
+	// decides between closing (success) and re-opening (failure).
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures
+// in a row open the circuit, every request is then refused without
+// touching the backend, and after Cooldown a single half-open probe is
+// let through — success closes the circuit, failure re-opens it (and
+// restarts the cooldown). The cluster router keeps one per backend, fed
+// by both the active /readyz prober and passive per-request outcomes,
+// so a crashed backend stops eating requests within a handful of
+// failures and a recovered one rejoins on the first good probe.
+//
+// A nil *Breaker allows everything and records nothing, following the
+// package's nil-receiver contract.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the
+	// circuit. 0 means 5.
+	Threshold int
+	// Cooldown is how long the circuit stays open before the next
+	// Allow becomes the half-open probe. 0 means 1s.
+	Cooldown time.Duration
+
+	// now is the clock; tests override it. nil means time.Now.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // the half-open probe slot is taken
+
+	opens     int64 // lifetime closed/half-open -> open transitions
+	halfOpens int64 // lifetime open -> half-open transitions
+	closes    int64 // lifetime half-open -> closed transitions
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return time.Second
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a request may proceed, consuming the half-open
+// probe slot when the cooldown has elapsed: the first Allow after the
+// cooldown returns true and arms the probe; further Allows return false
+// until Success or Failure settles it. Callers that send a request on
+// true MUST report its outcome, or an open circuit's probe slot leaks
+// until the next cooldown.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.halfOpens++
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Ready reports whether a request would currently be allowed, without
+// consuming the half-open probe slot — the health view the /v1/cluster
+// debug endpoint and replica selection read.
+func (b *Breaker) Ready() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return b.clock().Sub(b.openedAt) >= b.cooldown()
+	default:
+		return !b.probing
+	}
+}
+
+// Success records a successful request: it resets the consecutive-
+// failure count and, from half-open, closes the circuit. A success
+// arriving while the circuit is open (a straggler from before it
+// tripped) changes nothing — recovery is the half-open probe's to
+// prove.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.closes++
+		b.failures = 0
+		b.probing = false
+	case BreakerOpen:
+	}
+}
+
+// Failure records a failed request: the Threshold'th consecutive
+// failure opens the circuit, and a failed half-open probe re-opens it
+// (restarting the cooldown).
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.state = BreakerOpen
+			b.openedAt = b.clock()
+			b.opens++
+			b.failures = 0
+		}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.clock()
+		b.opens++
+		b.probing = false
+	case BreakerOpen:
+		// Stragglers while open change nothing; the cooldown stands.
+	}
+}
+
+// State returns the breaker's current position, advancing an elapsed
+// open cooldown to the half-open view (so a scrape between the cooldown
+// elapsing and the probe firing reports the truth).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.clock().Sub(b.openedAt) >= b.cooldown() {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Counts returns the lifetime transition counters: opens (to open),
+// halfOpens (to half-open), closes (half-open back to closed).
+func (b *Breaker) Counts() (opens, halfOpens, closes int64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.halfOpens, b.closes
+}

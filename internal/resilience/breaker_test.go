@@ -1,0 +1,196 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker through its cooldown without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return &Breaker{Threshold: threshold, Cooldown: cooldown, now: clk.now}, clk
+}
+
+func TestBreakerNilAllowsEverything(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() || !b.Ready() {
+		t.Fatal("nil breaker refused a request")
+	}
+	b.Success()
+	b.Failure()
+	if s := b.State(); s != BreakerClosed {
+		t.Fatalf("nil breaker state = %v, want closed", s)
+	}
+	if o, h, c := b.Counts(); o != 0 || h != 0 || c != 0 {
+		t.Fatal("nil breaker has counts")
+	}
+}
+
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("refused after %d failures, threshold 3", i+1)
+		}
+	}
+	// A success in between resets the run.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("opened on a non-consecutive run")
+	}
+	b.Failure() // third consecutive
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() || b.Ready() {
+		t.Fatal("open breaker allowed a request before cooldown")
+	}
+	if opens, _, _ := b.Counts(); opens != 1 {
+		t.Fatalf("opens = %d, want 1", opens)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not open on first failure")
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed before the cooldown elapsed")
+	}
+	clk.advance(2 * time.Millisecond)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but the probe was refused")
+	}
+	// Exactly one probe: the slot is taken until the outcome lands.
+	if b.Allow() {
+		t.Fatal("second probe allowed while the first is in flight")
+	}
+	if b.Ready() {
+		t.Fatal("Ready true while the probe slot is taken")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after good probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+	if _, halfOpens, closes := b.Counts(); halfOpens != 1 || closes != 1 {
+		t.Fatalf("halfOpens=%d closes=%d, want 1/1", halfOpens, closes)
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	// The cooldown restarted at the failed probe.
+	clk.advance(500 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("allowed half a cooldown after a failed probe")
+	}
+	clk.advance(501 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe refused after the restarted cooldown")
+	}
+	if opens, halfOpens, _ := b.Counts(); opens != 2 || halfOpens != 2 {
+		t.Fatalf("opens=%d halfOpens=%d, want 2/2", opens, halfOpens)
+	}
+}
+
+func TestBreakerStragglersWhileOpenChangeNothing(t *testing.T) {
+	b, clk := newTestBreaker(2, time.Second)
+	b.Failure()
+	b.Failure()
+	// Requests sent before the circuit tripped report in late.
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("straggler moved an open breaker to %v", b.State())
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("stragglers consumed the probe slot")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := &Breaker{}
+	for i := 0; i < 4; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("default threshold below 5")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("default threshold above 5")
+	}
+}
+
+// TestBreakerRaceHammer drives Allow/Success/Failure/State from many
+// goroutines under the race detector, with a real (tiny) cooldown so
+// every transition is exercised. The invariant checked at the end is
+// bookkeeping sanity: closes never exceed half-opens, which never
+// exceed opens.
+func TestBreakerRaceHammer(t *testing.T) {
+	b := &Breaker{Threshold: 3, Cooldown: time.Microsecond}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if b.Allow() {
+					if (i+g)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				_ = b.State()
+				_ = b.Ready()
+			}
+		}(g)
+	}
+	wg.Wait()
+	opens, halfOpens, closes := b.Counts()
+	if closes > halfOpens || halfOpens > opens {
+		t.Fatalf("transition counts inconsistent: opens=%d halfOpens=%d closes=%d",
+			opens, halfOpens, closes)
+	}
+}

@@ -59,7 +59,7 @@ func (s *Server) openDurable() error {
 			Created:  rg.Record.Created,
 		})
 	}
-	s.store.Load(entries, rec.NextVersion)
+	s.store.Load(entries)
 	if s.reps != nil {
 		for _, rp := range rec.Reps {
 			// The spilled inputs are content-addressed: a key mismatch

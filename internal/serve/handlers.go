@@ -29,6 +29,7 @@ import (
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	if s.cfg.EnablePprof {
@@ -148,6 +149,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// handleReadyz is the readiness probe, distinct from /healthz liveness:
+// it answers 503 whenever the process should not receive new traffic —
+// during graceful drain (BeginDrain flipped, connections finishing) and
+// while the durable log is latched failed — but the process itself is
+// alive and /healthz semantics are unchanged. Routers and load
+// balancers poll this endpoint to take a backend out of rotation
+// without killing it. Boot-time readiness (journal replay) is handled
+// one layer up: cmd/erserve listens before constructing the Server and
+// answers 503 from a stub until recovery completes, because this
+// handler cannot exist before the Server does.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+			"ready":  false,
+		})
+		return
+	}
+	if err := s.log.Err(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "degraded",
+			"ready":  false,
+			"error":  err.Error(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ready",
+		"ready":  true,
+	})
+}
+
 // handleTraces serves the tracer's bounded ring of recent request
 // traces, most recent first, each with its per-stage span timings.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
@@ -227,6 +260,10 @@ type metricsResponse struct {
 	ShedTotal           map[string]int64 `json:"shed_total"`
 	CoalesceHitsTotal   int64            `json:"coalesce_hits_total"`
 	RequestTimeoutTotal map[string]int64 `json:"request_timeout_total,omitempty"`
+	// Requests answered 499 because the client went away mid-request.
+	// Kept out of the 5xx error class so a cluster router's cancelled
+	// hedges and abandoned retries do not read as backend failures.
+	ClientDisconnectsTotal int64 `json:"client_disconnects_total"`
 }
 
 // wantsPrometheus decides the /metrics representation: an explicit
@@ -292,6 +329,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ShedTotal:              s.shedCounts(),
 		CoalesceHitsTotal:      s.coalesceHits(),
 		RequestTimeoutTotal:    s.timeoutsByRoute.Snapshot(),
+		ClientDisconnectsTotal: s.disconnects.Load(),
 		JournalRecordsTotal:    durMetrics.JournalRecordsTotal,
 		RecoveryNS:             durMetrics.RecoveryNS,
 		SnapshotBytes:          durMetrics.SnapshotBytes,

@@ -44,6 +44,8 @@ func (s *Server) initObs() {
 	s.sweepDur = r.Histogram("ccer_sweep_seconds", "Latency of one sweep job execution.")
 	s.timeoutsByRoute = r.CounterVec("ccer_request_timeout_total",
 		"Requests that exceeded their deadline (HTTP 504), by route.", "route")
+	s.disconnects = r.Counter("ccer_client_disconnects_total",
+		"Requests answered 499: the client disconnected mid-request. Not a server error class.")
 
 	r.GaugeFunc("ccer_admission_queue_depth", "Requests waiting in the admission queue.",
 		func() float64 { return float64(s.limiter.Depth()) })

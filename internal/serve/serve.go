@@ -293,6 +293,18 @@ type Server struct {
 	// capacity.
 	shedDegraded atomic.Int64
 	shedBacklog  atomic.Int64
+
+	// draining flips on BeginDrain: /readyz answers 503 from then on so
+	// routers and load balancers stop sending traffic, while in-flight
+	// and keep-alive requests keep being served until the HTTP server's
+	// graceful shutdown completes. (/healthz stays liveness-only.)
+	draining atomic.Bool
+
+	// disconnects counts requests answered 499 — the client hung up
+	// mid-request. Kept separate from the 4xx/5xx classes so a router
+	// cancelling its hedged duplicate (which lands here) never pollutes
+	// this backend's error rates or trips upstream circuit breakers.
+	disconnects *obs.Counter
 }
 
 // New returns a started server (its job workers are running). The
@@ -350,6 +362,9 @@ func (s *Server) Handler() http.Handler {
 		if rec.status >= 400 {
 			s.errors.Inc()
 		}
+		if rec.status == 499 {
+			s.disconnects.Inc()
+		}
 		if rec.status == http.StatusGatewayTimeout {
 			s.timeoutsByRoute.With(route).Inc()
 		}
@@ -372,6 +387,21 @@ func statusClass(code int) string {
 	default:
 		return "2xx"
 	}
+}
+
+// BeginDrain marks the server not-ready: GET /readyz answers 503 with
+// reason "draining" from now on, so health-checking routers and load
+// balancers take the node out of rotation while the HTTP server's
+// graceful shutdown lets in-flight requests finish. Call it when the
+// shutdown signal arrives, before http.Server.Shutdown (see
+// cmd/erserve). Liveness (/healthz) is unaffected.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+}
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool {
+	return s.draining.Load()
 }
 
 // Close drains the service: no new jobs are accepted, queued and running

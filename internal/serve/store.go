@@ -24,10 +24,17 @@ import (
 type GraphEntry struct {
 	// Name is the store key.
 	Name string
-	// Version increases monotonically across the whole store, so
-	// (Name, Version) identifies one immutable graph even after a name
-	// is overwritten. Result-cache keys embed it, which invalidates
-	// cached matchings the moment a name points at new content.
+	// Version increases monotonically per name (1 for the first Put,
+	// bumped on every overwrite; the counter survives Delete within a
+	// process lifetime), so (Name, Version) identifies one immutable
+	// graph even after a name is overwritten. Result-cache keys embed
+	// it, which invalidates cached matchings the moment a name points
+	// at new content. Per-name — rather than store-global — assignment
+	// is what makes replicas deterministic: every node that applies the
+	// same sequence of writes to a name reports the same version,
+	// regardless of which other names it happens to host, so a
+	// cluster router can serve byte-identical match responses from any
+	// replica (see internal/cluster).
 	Version int64
 	// Checksum fingerprints the graph content via the edge-list codec
 	// (graph.Bipartite.Checksum).
@@ -65,16 +72,20 @@ type Persister interface {
 // optionally backed by a Persister that makes every mutation durable
 // before it becomes visible.
 type Store struct {
-	mu          sync.RWMutex
-	entries     map[string]*GraphEntry
-	nextVersion int64
-	nextAuto    int64
-	persist     Persister
+	mu      sync.RWMutex
+	entries map[string]*GraphEntry
+	// versions holds the highest version ever assigned per name. It is
+	// not pruned on Delete, so a deleted-and-recreated name keeps
+	// counting upward and a sweep pinned to the dead version still
+	// detects the replacement.
+	versions map[string]int64
+	nextAuto int64
+	persist  Persister
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{entries: make(map[string]*GraphEntry)}
+	return &Store{entries: make(map[string]*GraphEntry), versions: make(map[string]int64)}
 }
 
 // SetPersister attaches the durability hook. Call before serving
@@ -86,10 +97,15 @@ func (s *Store) SetPersister(p Persister) {
 }
 
 // Load preloads recovered entries without consulting the persister
-// (they are, by definition, already durable) and fast-forwards the
-// version counter so new mutations stay monotonic across restarts. The
-// auto-name counter resumes past any recovered "g<n>" name.
-func (s *Store) Load(entries []*GraphEntry, nextVersion int64) {
+// (they are, by definition, already durable) and fast-forwards each
+// name's version counter so new mutations stay monotonic across
+// restarts. The auto-name counter resumes past any recovered "g<n>"
+// name. Counters of names deleted before the restart are not recovered
+// (their entries are gone); those names restart at version 1, which is
+// harmless because every version consumer — the result cache, sweep
+// version pins — is in-memory state that did not survive the restart
+// either.
+func (s *Store) Load(entries []*GraphEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, e := range entries {
@@ -98,22 +114,20 @@ func (s *Store) Load(entries []*GraphEntry, nextVersion int64) {
 		if _, err := fmt.Sscanf(e.Name, "g%d", &n); err == nil && n > s.nextAuto {
 			s.nextAuto = n
 		}
-		if e.Version > s.nextVersion {
-			s.nextVersion = e.Version
+		if e.Version > s.versions[e.Name] {
+			s.versions[e.Name] = e.Version
 		}
-	}
-	if nextVersion > s.nextVersion {
-		s.nextVersion = nextVersion
 	}
 }
 
-// Put inserts the entry under e.Name, assigning the next version.
-// An empty name is given an auto-generated "g1", "g2", ... name that is
-// not already taken. Re-using a name replaces the previous entry; the
-// fresh version keeps result-cache keys from resurrecting stale pairs.
-// It returns the stored entry (with Name, Version and Created filled).
-// With a persister attached the entry is made durable first; on error
-// nothing becomes visible (the burnt version number is the only trace).
+// Put inserts the entry under e.Name, assigning the name's next
+// version. An empty name is given an auto-generated "g1", "g2", ...
+// name that is not already taken. Re-using a name replaces the previous
+// entry; the fresh version keeps result-cache keys from resurrecting
+// stale pairs. It returns the stored entry (with Name, Version and
+// Created filled). With a persister attached the entry is made durable
+// first; on error nothing becomes visible (the burnt version number is
+// the only trace).
 func (s *Store) Put(e *GraphEntry) (*GraphEntry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -127,8 +141,8 @@ func (s *Store) Put(e *GraphEntry) (*GraphEntry, error) {
 			}
 		}
 	}
-	s.nextVersion++
-	e.Version = s.nextVersion
+	e.Version = s.versions[e.Name] + 1
+	s.versions[e.Name] = e.Version
 	e.Created = time.Now()
 	if s.persist != nil {
 		if err := s.persist.PersistPut(e); err != nil {

@@ -110,20 +110,47 @@ func TestStoreListSorted(t *testing.T) {
 }
 
 // TestStoreLoadResumesCounters checks that recovered entries fast-forward
-// both the version counter and the auto-name counter, so post-recovery
-// mutations never collide with committed state.
+// both the per-name version counters and the auto-name counter, so
+// post-recovery mutations never collide with committed state.
 func TestStoreLoadResumesCounters(t *testing.T) {
 	s := NewStore()
 	s.Load([]*GraphEntry{
 		{Name: "g7", Version: 3, Graph: testGraph(t, 0.5)},
 		{Name: "named", Version: 9, Graph: testGraph(t, 0.6)},
-	}, 12)
+	})
 	e := mustPut(t, s, &GraphEntry{Graph: testGraph(t, 0.7)})
 	if e.Name != "g8" {
 		t.Fatalf("auto name after load = %q, want g8", e.Name)
 	}
-	if e.Version != 13 {
-		t.Fatalf("version after load = %d, want 13", e.Version)
+	if e.Version != 1 {
+		t.Fatalf("fresh name version after load = %d, want 1 (versions are per name)", e.Version)
+	}
+	e = mustPut(t, s, &GraphEntry{Name: "named", Graph: testGraph(t, 0.8)})
+	if e.Version != 10 {
+		t.Fatalf("overwrite of recovered name = version %d, want 10", e.Version)
+	}
+}
+
+// TestStorePerNameVersionsAreReplicaDeterministic pins the property the
+// cluster router depends on: a store's version for a name is a function
+// of that name's own write sequence alone, so two replicas that applied
+// the same writes to a name agree on its version even when they host
+// different subsets of other names. The counter also survives Delete,
+// so a recreated name never reuses a version within a process lifetime.
+func TestStorePerNameVersionsAreReplicaDeterministic(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	// Replica a hosts x and y; replica b hosts only y.
+	mustPut(t, a, &GraphEntry{Name: "x", Graph: testGraph(t, 0.5)})
+	ea := mustPut(t, a, &GraphEntry{Name: "y", Graph: testGraph(t, 0.6)})
+	eb := mustPut(t, b, &GraphEntry{Name: "y", Graph: testGraph(t, 0.6)})
+	if ea.Version != eb.Version {
+		t.Fatalf("replicas disagree on y's version: %d vs %d", ea.Version, eb.Version)
+	}
+	// Delete + recreate keeps counting upward.
+	mustDelete(t, a, "y")
+	e := mustPut(t, a, &GraphEntry{Name: "y", Graph: testGraph(t, 0.7)})
+	if e.Version != 2 {
+		t.Fatalf("recreated name version = %d, want 2 (no reuse)", e.Version)
 	}
 }
 
