@@ -17,7 +17,8 @@
 //
 //	erserve -route URL1,URL2,... [-replicas N] [-probe-interval D]
 //	        [-probe-timeout D] [-breaker-threshold N] [-breaker-cooldown D]
-//	        [-hedge-after D] [-addr :8080]
+//	        [-hedge-after D] [-repair-interval D] [-repair-concurrency N]
+//	        [-addr :8080]
 //
 // The service is overload-resilient by default: per-route deadlines
 // (504 + reason "deadline" past them), a bounded two-priority admission
@@ -40,7 +41,13 @@
 // writes to the replica set, reading from any healthy replica (hedging
 // a duplicate after -hedge-after, or the observed p95 when unset), and
 // health-checking every backend's /readyz into per-backend circuit
-// breakers. GET /v1/cluster serves the live per-backend state.
+// breakers. An anti-entropy repair loop (paced by -repair-interval,
+// kicked immediately by write fan misses and backend rejoins) converges
+// diverged replicas by streaming the newest copy's edge list, and the
+// backend set is live: POST/DELETE /v1/cluster/backends adds or removes
+// a node, migrating only the graphs whose rendezvous replica set
+// changed. GET /v1/cluster serves the live per-backend state plus the
+// repair counters and per-graph divergence.
 //
 // Endpoints:
 //
@@ -60,8 +67,11 @@
 //	                        latched journal failure
 //	GET    /metrics         flat JSON counters; Prometheus text with
 //	                        ?format=prometheus or Accept: text/plain
-//	GET    /v1/cluster      (router mode) per-backend health and
-//	                        breaker state
+//	GET    /v1/cluster      (router mode) per-backend health, breaker
+//	                        state, repair counters and divergence
+//	POST   /v1/cluster/backends   (router mode) add a backend {"url":...}
+//	DELETE /v1/cluster/backends   (router mode) remove a backend ?url=...
+//	POST   /v1/cluster/repair     (router mode) kick an immediate scan
 //
 // Every request carries an X-Request-Id and a span trace; requests
 // slower than -trace-slow-ms are logged as structured JSON lines with
@@ -187,6 +197,8 @@ func run(argv []string) error {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "(router mode) consecutive failures that open a backend's circuit (0 = 3)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "(router mode) open-circuit wait before the half-open trial (0 = 1s)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "(router mode) delay before a read is hedged to another replica (0 = adaptive p95)")
+	repairInterval := fs.Duration("repair-interval", 0, "(router mode) anti-entropy scan period (0 = 2s, negative disables)")
+	repairConcurrency := fs.Int("repair-concurrency", 0, "(router mode) concurrent per-graph repair streams (0 = 4)")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
@@ -205,13 +217,15 @@ func run(argv []string) error {
 
 	if *route != "" {
 		rt, err := cluster.NewRouter(cluster.RouterConfig{
-			Backends:         strings.Split(*route, ","),
-			Replicas:         *replicas,
-			ProbeInterval:    *probeInterval,
-			ProbeTimeout:     *probeTimeout,
-			BreakerThreshold: *breakerThreshold,
-			BreakerCooldown:  *breakerCooldown,
-			HedgeAfter:       *hedgeAfter,
+			Backends:          strings.Split(*route, ","),
+			Replicas:          *replicas,
+			ProbeInterval:     *probeInterval,
+			ProbeTimeout:      *probeTimeout,
+			BreakerThreshold:  *breakerThreshold,
+			BreakerCooldown:   *breakerCooldown,
+			HedgeAfter:        *hedgeAfter,
+			RepairInterval:    *repairInterval,
+			RepairConcurrency: *repairConcurrency,
 		})
 		if err != nil {
 			return err

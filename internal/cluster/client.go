@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"syscall"
@@ -300,6 +301,84 @@ type MatchResponse struct {
 	Threshold float64       `json:"threshold"`
 	Seed      int64         `json:"seed"`
 	Results   []MatchResult `json:"results"`
+}
+
+// SyncEntry is one name in a node's cheap sync listing: the
+// replica-comparison key (version + hex checksum) for a live graph, or
+// just the deletion version for a tombstone.
+type SyncEntry struct {
+	Name     string `json:"name"`
+	Version  int64  `json:"version"`
+	Checksum string `json:"checksum,omitempty"`
+}
+
+// SyncListing is the body of GET /v1/graphs?fields=sync: every live
+// graph's (version, checksum) plus the node's tombstones — everything an
+// anti-entropy scan needs to compare replicas without downloading a
+// single edge list.
+type SyncListing struct {
+	Graphs     []SyncEntry `json:"graphs"`
+	Tombstones []SyncEntry `json:"tombstones"`
+}
+
+// ListSync fetches the node's cheap sync listing.
+func (c *Client) ListSync(ctx context.Context) (*SyncListing, error) {
+	reply, err := c.do(ctx, http.MethodGet, "/v1/graphs?fields=sync", "", nil, true)
+	if err != nil {
+		return nil, err
+	}
+	var out SyncListing
+	if err := decode(reply, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// EdgeList downloads a graph in the edge-list wire format — the bytes a
+// repair stream forwards verbatim to a stale replica.
+func (c *Client) EdgeList(ctx context.Context, name string) ([]byte, error) {
+	reply, err := c.do(ctx, http.MethodGet, "/v1/graphs/"+name+"?format=edgelist", "", nil, true)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Status != http.StatusOK {
+		return nil, apiError(reply)
+	}
+	return reply.Body, nil
+}
+
+// SyncPutEdgeList uploads an edge list as name at exactly version (the
+// source replica's), via the conditional sync mode of POST /v1/graphs.
+// The server applies it only if it is genuinely newer, so the call is
+// idempotent and safe to retry; applied reports whether state changed.
+func (c *Client) SyncPutEdgeList(ctx context.Context, name string, version int64, edgeList []byte) (applied bool, err error) {
+	path := "/v1/graphs?name=" + url.QueryEscape(name) + "&sync_version=" + strconv.FormatInt(version, 10)
+	reply, err := c.do(ctx, http.MethodPost, path, "text/plain", edgeList, true)
+	if err != nil {
+		return false, err
+	}
+	if reply.Status == http.StatusCreated {
+		return true, nil
+	}
+	return false, decode(reply, nil)
+}
+
+// SyncDelete propagates a tombstone: delete name on the node if its copy
+// is at or below version. Conditional like SyncPutEdgeList — "already
+// gone" is success, not a 404.
+func (c *Client) SyncDelete(ctx context.Context, name string, version int64) (applied bool, err error) {
+	path := "/v1/graphs/" + name + "?sync_version=" + strconv.FormatInt(version, 10)
+	reply, err := c.do(ctx, http.MethodDelete, path, "", nil, true)
+	if err != nil {
+		return false, err
+	}
+	var out struct {
+		Applied bool `json:"applied"`
+	}
+	if err := decode(reply, &out); err != nil {
+		return false, err
+	}
+	return out.Applied, nil
 }
 
 // Ready probes GET /readyz once (no retries — a readiness probe wants

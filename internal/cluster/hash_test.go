@@ -3,6 +3,7 @@ package cluster_test
 import (
 	"fmt"
 	"testing"
+	"testing/quick"
 
 	"github.com/ccer-go/ccer/internal/cluster"
 )
@@ -71,5 +72,73 @@ func TestReplicasMinimalDisruption(t *testing.T) {
 		if perOwner[b] == 0 {
 			t.Fatalf("backend %s owns nothing across 200 names: %v", b, perOwner)
 		}
+	}
+}
+
+// TestReplicasMinimalMovementUnderChurn is the elasticity contract as a
+// testing/quick property: under a random add or remove of one backend,
+// rendezvous placement moves only the names whose replica set actually
+// changed, and changes each set by at most one member. This is what
+// bounds an elasticity event's repair traffic to the displaced names
+// instead of a full reshuffle.
+func TestReplicasMinimalMovementUnderChurn(t *testing.T) {
+	asSet := func(bases []string) map[string]bool {
+		set := make(map[string]bool, len(bases))
+		for _, b := range bases {
+			set[b] = true
+		}
+		return set
+	}
+	property := func(worldSeed uint64, countByte, pickByte uint8, removeOp bool) bool {
+		nBackends := 3 + int(countByte%5) // 3..7 so a remove keeps >= 2
+		backends := make([]string, nBackends)
+		for i := range backends {
+			backends[i] = fmt.Sprintf("http://node-%d-%d", worldSeed, i)
+		}
+		var after []string
+		changed := "" // the single backend added or removed
+		if removeOp {
+			changed = backends[int(pickByte)%nBackends]
+			for _, b := range backends {
+				if b != changed {
+					after = append(after, b)
+				}
+			}
+		} else {
+			changed = fmt.Sprintf("http://joined-%d", worldSeed)
+			after = append(append([]string{}, backends...), changed)
+		}
+		for i := 0; i < 24; i++ {
+			name := fmt.Sprintf("g-%d-%d", worldSeed, i)
+			before := asSet(cluster.Replicas(name, backends, 2))
+			now := asSet(cluster.Replicas(name, after, 2))
+			gained, lost := 0, 0
+			for b := range now {
+				if !before[b] {
+					gained++
+					if !removeOp && b != changed {
+						return false // a name moved to a backend that was there all along
+					}
+				}
+			}
+			for b := range before {
+				if !now[b] {
+					lost++
+					if removeOp && b != changed {
+						return false // a surviving replica was displaced
+					}
+				}
+			}
+			if gained > 1 || lost > 1 {
+				return false // one membership change moved more than one replica
+			}
+			if gained != lost {
+				return false // replica sets stay at full strength (>= 3 backends remain)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
 	}
 }

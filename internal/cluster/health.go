@@ -26,6 +26,9 @@ type backend struct {
 	// probes and probeFailures count active health checks.
 	probes        atomic.Int64
 	probeFailures atomic.Int64
+	// stopProbe cancels the backend's dedicated prober goroutine; set by
+	// Router.startProber, invoked on RemoveBackend.
+	stopProbe context.CancelFunc
 }
 
 func newBackend(base string, threshold int, cooldown time.Duration) *backend {
@@ -67,8 +70,10 @@ func (b *backend) observe(err error) {
 // verdict drives both the ready flag and the breaker — which is what
 // lets a recovered backend rejoin without router restarts: once the
 // breaker's cooldown elapses it goes half-open, the next probe is the
-// trial request, and a 200 closes the circuit.
-func (b *backend) probe(ctx context.Context, timeout time.Duration) {
+// trial request, and a 200 closes the circuit. It returns the backend's
+// routability after the probe, so the prober can spot the
+// unhealthy→healthy rejoin edge and trigger an immediate repair scan.
+func (b *backend) probe(ctx context.Context, timeout time.Duration) bool {
 	// A non-closed breaker makes this probe its trial request: Allow
 	// consumes the half-open slot once the cooldown elapses, so the
 	// probe's outcome is what closes or re-opens the circuit. (Success
@@ -77,7 +82,7 @@ func (b *backend) probe(ctx context.Context, timeout time.Duration) {
 	// rejoin.) While the circuit is still cooling, or another trial is
 	// already in flight, there is nothing to learn — skip the round.
 	if b.breaker.State() != resilience.BreakerClosed && !b.breaker.Allow() {
-		return
+		return b.Healthy()
 	}
 	b.probes.Add(1)
 	pctx, cancel := context.WithTimeout(ctx, timeout)
@@ -86,7 +91,7 @@ func (b *backend) probe(ctx context.Context, timeout time.Duration) {
 	if err == nil {
 		b.ready.Store(true)
 		b.breaker.Success()
-		return
+		return b.Healthy()
 	}
 	b.probeFailures.Add(1)
 	b.ready.Store(false)
@@ -94,6 +99,7 @@ func (b *backend) probe(ctx context.Context, timeout time.Duration) {
 	if !errors.Is(err, context.Canceled) {
 		b.breaker.Failure()
 	}
+	return false
 }
 
 // BackendState is the debug view of one backend, served on

@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/ccer-go/ccer/internal/resilience"
+)
+
+// This file is the anti-entropy subsystem: the repair loop that keeps
+// every replica set checksum-identical without restarts.
+//
+// A replica diverges when a write fans out while it is down (counted as
+// ccer_router_write_fan_misses_total), when it restarts and loses its
+// in-memory tombstones, or when elasticity moves a name onto a backend
+// that never held it. The repair loop closes all three gaps with one
+// mechanism: every scan pulls each reachable backend's cheap sync
+// listing (per-name version + checksum, plus tombstones — no edge
+// lists), elects per name the newest copy anywhere in the cluster, and
+// converges that name's CURRENT placement replicas onto it — streaming
+// the winner's edge list via the conditional sync upload, or
+// propagating the winner's tombstone via the conditional sync delete.
+// Both target-side operations apply only if genuinely newer, so a scan
+// racing live writes can drop a stream but never clobber fresh data,
+// and re-running a scan is free.
+//
+// Scans run on a jittered period (resilience.Pace) and immediately on
+// the three events that create or reveal divergence: a write fan miss,
+// a backend's unhealthy→healthy rejoin, and an elasticity change
+// (AddBackend/RemoveBackend). Election spans ALL reachable backends,
+// not just the placement set, which is what makes elasticity "just
+// repair": after a membership change the old holder — possibly no
+// longer a replica — is still the newest source, and only the names
+// whose replica set actually changed have a stale member to converge.
+//
+// Known limits, by design: the edge-list codec carries the graph but
+// not generation ground truth, so a repaired copy of a generated graph
+// serves matches byte-identically (same checksum, same version) but
+// without GT-derived metrics; and a restarted backend forgets its
+// tombstones, so a delete fanned while the sole tombstone holder is
+// down can resurrect — bounded by repair-on-rejoin running as soon as
+// the restarted node answers probes.
+
+// kickRepair requests an immediate anti-entropy scan. Non-blocking: a
+// scan already pending absorbs any number of kicks.
+func (rt *Router) kickRepair() {
+	if rt.cfg.RepairInterval <= 0 {
+		return
+	}
+	select {
+	case rt.repairKick <- struct{}{}:
+	default:
+	}
+}
+
+// repairLoop paces the scans: a jittered interval draw, cut short by
+// kicks. One scan at a time — a kick during a scan runs the next scan
+// immediately after, never concurrently.
+func (rt *Router) repairLoop(ctx context.Context) {
+	defer rt.bgWG.Done()
+	pace := resilience.NewPace(rt.cfg.RepairInterval, 0)
+	for {
+		timer := time.NewTimer(pace.Next())
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+		case <-rt.repairKick:
+			timer.Stop()
+		}
+		rt.repairScan(ctx)
+	}
+}
+
+// syncCopy is one backend's view of one name: a live (version,
+// checksum) or a tombstone at version.
+type syncCopy struct {
+	version   int64
+	checksum  string
+	tombstone bool
+}
+
+// repairTask converges one graph: stream the winner (or its tombstone)
+// to every stale placement replica.
+type repairTask struct {
+	name    string
+	winner  syncCopy
+	source  *backend   // newest holder; nil when the winner is a tombstone
+	targets []*backend // reachable placement replicas not matching the winner
+}
+
+// repairScan runs one full anti-entropy pass. It returns the number of
+// graphs that still have a reachable stale replica afterwards (repair
+// failures; 0 means the reachable cluster is converged).
+func (rt *Router) repairScan(ctx context.Context) int {
+	rt.repairScans.Inc()
+	bases, bs := rt.snapshot()
+
+	// Pull every reachable backend's sync listing concurrently. An
+	// unhealthy or unresponsive backend simply has no vote and is not a
+	// repair target this scan; its rejoin kick will cover it.
+	views := make([]map[string]syncCopy, len(bs))
+	var wg sync.WaitGroup
+	for i, b := range bs {
+		if !b.Healthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			lctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			defer cancel()
+			listing, err := b.client.ListSync(lctx)
+			b.observe(err)
+			if err != nil {
+				return
+			}
+			view := make(map[string]syncCopy, len(listing.Graphs)+len(listing.Tombstones))
+			for _, g := range listing.Graphs {
+				view[g.Name] = syncCopy{version: g.Version, checksum: g.Checksum}
+			}
+			for _, t := range listing.Tombstones {
+				// A node never reports both; tombstones only exist for
+				// names without a live entry.
+				view[t.Name] = syncCopy{version: t.Version, tombstone: true}
+			}
+			views[i] = view
+		}(i, b)
+	}
+	wg.Wait()
+
+	// Elect per name the newest copy anywhere, then diff each name's
+	// placement replicas against it. Ties between a tombstone and a live
+	// entry at the same version go to the tombstone (the delete
+	// happened after the write that version number acknowledges).
+	type election struct {
+		winner syncCopy
+		source *backend
+	}
+	elected := map[string]election{}
+	for i, view := range views {
+		for name, c := range view {
+			cur, seen := elected[name]
+			if !seen || c.version > cur.winner.version ||
+				(c.version == cur.winner.version && c.tombstone && !cur.winner.tombstone) {
+				elected[name] = election{winner: c, source: bs[i]}
+			}
+		}
+	}
+
+	var tasks []repairTask
+	diverged := map[string]int{}
+	for name, e := range elected {
+		placement := Replicas(placementKey(name), bases, rt.cfg.Replicas)
+		var targets []*backend
+		for _, base := range placement {
+			idx := -1
+			for i, have := range bases {
+				if have == base {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 || views[idx] == nil {
+				continue // unreachable this scan: not a trusted view, not a target
+			}
+			have, ok := views[idx][name]
+			if e.winner.tombstone {
+				// Converged means "no live entry". A missing name or an
+				// existing tombstone (any version) needs nothing.
+				if ok && !have.tombstone {
+					targets = append(targets, bs[idx])
+				}
+				continue
+			}
+			if !ok || have.tombstone || have.version != e.winner.version || have.checksum != e.winner.checksum {
+				targets = append(targets, bs[idx])
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		diverged[name] = len(targets)
+		tasks = append(tasks, repairTask{name: name, winner: e.winner, source: e.source, targets: targets})
+	}
+
+	// Publish the pre-repair divergence so GET /v1/cluster and the
+	// divergence gauge reflect what this scan found...
+	rt.setDiverged(diverged)
+
+	// ...then burn it down: repair tasks under the concurrency bound,
+	// clearing each name's divergence entry as its replicas converge.
+	sem := make(chan struct{}, rt.cfg.RepairConcurrency)
+	var taskWG sync.WaitGroup
+	var remainMu sync.Mutex
+	remaining := 0
+	for _, task := range tasks {
+		taskWG.Add(1)
+		sem <- struct{}{}
+		go func(task repairTask) {
+			defer taskWG.Done()
+			defer func() { <-sem }()
+			if rt.repairOne(ctx, task) {
+				rt.clearDiverged(task.name)
+			} else {
+				remainMu.Lock()
+				remaining++
+				remainMu.Unlock()
+			}
+		}(task)
+	}
+	taskWG.Wait()
+	return remaining
+}
+
+// repairOne converges one graph's stale replicas, reporting whether
+// every target reached the winner's state.
+func (rt *Router) repairOne(ctx context.Context, task repairTask) bool {
+	rctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if task.winner.tombstone {
+		ok := true
+		for _, target := range task.targets {
+			applied, err := target.client.SyncDelete(rctx, task.name, task.winner.version)
+			target.observe(err)
+			if err != nil {
+				rt.repairFailures.Inc()
+				ok = false
+				continue
+			}
+			if applied {
+				rt.repairGraphs.Inc()
+			}
+		}
+		return ok
+	}
+	// Stream path: one download from the newest holder, fanned to every
+	// stale replica. The sync upload is version-pinned and conditional,
+	// so a concurrent live write simply wins and the stream no-ops.
+	data, err := task.source.client.EdgeList(rctx, task.name)
+	task.source.observe(err)
+	if err != nil {
+		rt.repairFailures.Inc()
+		return false
+	}
+	ok := true
+	for _, target := range task.targets {
+		applied, err := target.client.SyncPutEdgeList(rctx, task.name, task.winner.version, data)
+		target.observe(err)
+		if err != nil {
+			rt.repairFailures.Inc()
+			ok = false
+			continue
+		}
+		rt.repairBytes.Add(int64(len(data)))
+		if applied {
+			rt.repairGraphs.Inc()
+		}
+	}
+	return ok
+}
+
+func (rt *Router) setDiverged(m map[string]int) {
+	rt.divergedMu.Lock()
+	rt.diverged = m
+	rt.divergedMu.Unlock()
+}
+
+func (rt *Router) clearDiverged(name string) {
+	rt.divergedMu.Lock()
+	delete(rt.diverged, name)
+	rt.divergedMu.Unlock()
+}

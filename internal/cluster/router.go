@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"github.com/ccer-go/ccer/internal/obs"
+	"github.com/ccer-go/ccer/internal/resilience"
 )
 
 // RouterConfig configures a cluster router.
@@ -39,6 +40,14 @@ type RouterConfig struct {
 	// router's observed p95 read latency (with a 25ms floor), falling
 	// back to 100ms until enough reads have been observed.
 	HedgeAfter time.Duration
+	// RepairInterval paces the anti-entropy repair loop (jittered to
+	// [interval/2, 3*interval/2] per scan); 0 means 2s, negative
+	// disables repair entirely. Fan misses, backend rejoins and
+	// elasticity changes also kick an immediate scan.
+	RepairInterval time.Duration
+	// RepairConcurrency bounds concurrent per-graph repair streams
+	// within one scan; 0 means 4.
+	RepairConcurrency int
 	// DisableObs disables the metrics registry.
 	DisableObs bool
 }
@@ -48,9 +57,10 @@ func (c *RouterConfig) withDefaults() RouterConfig {
 	if out.Replicas <= 0 {
 		out.Replicas = 2
 	}
-	if out.Replicas > len(out.Backends) {
-		out.Replicas = len(out.Backends)
-	}
+	// Replicas is deliberately NOT clamped to len(Backends) here: the
+	// backend set is live (AddBackend/RemoveBackend), so the clamp
+	// happens per placement in Replicas(), against the set of the
+	// moment.
 	if out.ProbeInterval <= 0 {
 		out.ProbeInterval = 250 * time.Millisecond
 	}
@@ -63,6 +73,12 @@ func (c *RouterConfig) withDefaults() RouterConfig {
 	if out.BreakerCooldown <= 0 {
 		out.BreakerCooldown = time.Second
 	}
+	if out.RepairInterval == 0 {
+		out.RepairInterval = 2 * time.Second
+	}
+	if out.RepairConcurrency <= 0 {
+		out.RepairConcurrency = 4
+	}
 	return out
 }
 
@@ -74,7 +90,11 @@ func (c *RouterConfig) withDefaults() RouterConfig {
 // traffic within a probe interval and rejoins via a half-open trial
 // when it recovers.
 type Router struct {
-	cfg      RouterConfig
+	cfg RouterConfig
+	// mu guards the live backend set. bases is copy-on-write: readers
+	// snapshot the slice header under RLock and iterate lock-free, so
+	// AddBackend/RemoveBackend never stall the data plane.
+	mu       sync.RWMutex
 	bases    []string
 	backends map[string]*backend
 	mux      *http.ServeMux
@@ -87,21 +107,34 @@ type Router struct {
 	fanMisses *obs.Counter
 	readDur   *obs.Histogram
 
-	probeCancel context.CancelFunc
-	probeWG     sync.WaitGroup
+	// Anti-entropy state (repair.go).
+	repairScans    *obs.Counter
+	repairGraphs   *obs.Counter
+	repairBytes    *obs.Counter
+	repairFailures *obs.Counter
+	repairKick     chan struct{}
+	divergedMu     sync.Mutex
+	diverged       map[string]int // graph -> stale replicas, last scan
+
+	bgCtx    context.Context
+	bgCancel context.CancelFunc
+	bgWG     sync.WaitGroup
 }
 
-// NewRouter returns a started router (its prober is running).
+// NewRouter returns a started router (its probers, and the repair loop
+// unless disabled, are running).
 func NewRouter(cfg RouterConfig) (*Router, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("cluster: no backends")
 	}
 	rt := &Router{
-		cfg:      cfg,
-		bases:    append([]string(nil), cfg.Backends...),
-		backends: make(map[string]*backend, len(cfg.Backends)),
-		mux:      http.NewServeMux(),
+		cfg:        cfg,
+		bases:      append([]string(nil), cfg.Backends...),
+		backends:   make(map[string]*backend, len(cfg.Backends)),
+		mux:        http.NewServeMux(),
+		repairKick: make(chan struct{}, 1),
+		diverged:   map[string]int{},
 	}
 	for _, base := range rt.bases {
 		if rt.backends[base] != nil {
@@ -111,17 +144,120 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	rt.initObs()
 	rt.routes()
-	ctx, cancel := context.WithCancel(context.Background())
-	rt.probeCancel = cancel
-	rt.probeWG.Add(1)
-	go rt.probeLoop(ctx)
+	rt.bgCtx, rt.bgCancel = context.WithCancel(context.Background())
+	for _, base := range rt.bases {
+		rt.startProber(rt.backends[base])
+	}
+	if cfg.RepairInterval > 0 {
+		rt.bgWG.Add(1)
+		go rt.repairLoop(rt.bgCtx)
+	}
 	return rt, nil
 }
 
-// Close stops the prober.
+// Close stops the probers and the repair loop.
 func (rt *Router) Close() {
-	rt.probeCancel()
-	rt.probeWG.Wait()
+	rt.bgCancel()
+	rt.bgWG.Wait()
+}
+
+// snapshot returns the backend set of the moment: the copy-on-write
+// bases slice and the matching *backend list, in the same order.
+func (rt *Router) snapshot() ([]string, []*backend) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	bases := rt.bases
+	bs := make([]*backend, len(bases))
+	for i, base := range bases {
+		bs[i] = rt.backends[base]
+	}
+	return bases, bs
+}
+
+// AddBackend grows the live backend set: the new node starts being
+// probed immediately, rendezvous placement recomputes implicitly
+// (placement is a pure function of the set), and a repair scan is
+// kicked to migrate the names whose replica set now includes the
+// newcomer — HRW guarantees those are the only ones that move.
+func (rt *Router) AddBackend(base string) error {
+	if base == "" {
+		return fmt.Errorf("cluster: empty backend URL")
+	}
+	rt.mu.Lock()
+	if rt.backends[base] != nil {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: backend %s already present", base)
+	}
+	b := newBackend(base, rt.cfg.BreakerThreshold, rt.cfg.BreakerCooldown)
+	next := make([]string, len(rt.bases)+1)
+	copy(next, rt.bases)
+	next[len(rt.bases)] = base
+	rt.bases = next
+	rt.backends[base] = b
+	rt.mu.Unlock()
+	rt.startProber(b)
+	rt.kickRepair()
+	return nil
+}
+
+// RemoveBackend shrinks the live backend set. The node's prober stops,
+// placement recomputes implicitly, and a repair scan is kicked so the
+// names that counted the leaver as a replica re-replicate onto their
+// new set from the surviving copies. Removing the last backend is
+// refused — a router fronting nothing can only error.
+func (rt *Router) RemoveBackend(base string) error {
+	rt.mu.Lock()
+	b := rt.backends[base]
+	if b == nil {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: no backend %s", base)
+	}
+	if len(rt.bases) == 1 {
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: refusing to remove the last backend %s", base)
+	}
+	next := make([]string, 0, len(rt.bases)-1)
+	for _, have := range rt.bases {
+		if have != base {
+			next = append(next, have)
+		}
+	}
+	rt.bases = next
+	delete(rt.backends, base)
+	rt.mu.Unlock()
+	if b.stopProbe != nil {
+		b.stopProbe()
+	}
+	rt.kickRepair()
+	return nil
+}
+
+// startProber spawns the backend's dedicated probe goroutine. Each
+// backend paces its own probes with decorrelated jitter seeded from its
+// URL, so N backends never fire in lockstep (a synchronized probe burst
+// every interval is a self-inflicted thundering herd at exactly the
+// moment a struggling cluster least needs one). The unhealthy→healthy
+// edge kicks an immediate repair scan: a rejoining backend missed every
+// write fanned while it was down.
+func (rt *Router) startProber(b *backend) {
+	ctx, cancel := context.WithCancel(rt.bgCtx)
+	b.stopProbe = cancel
+	rt.bgWG.Add(1)
+	go func() {
+		defer rt.bgWG.Done()
+		pace := resilience.NewPace(rt.cfg.ProbeInterval, int64(fnv64a(b.base)))
+		healthy := b.probe(ctx, rt.cfg.ProbeTimeout)
+		for {
+			if resilience.SleepCtx(ctx, pace.Next()) != nil {
+				return
+			}
+			now := b.probe(ctx, rt.cfg.ProbeTimeout)
+			if now && !healthy {
+				rt.kickRepair()
+			}
+			healthy = now
+		}
+	}()
 }
 
 // Handler returns the router's HTTP handler.
@@ -145,15 +281,45 @@ func (rt *Router) initObs() {
 	rt.fanMisses = r.Counter("ccer_router_write_fan_misses_total",
 		"Write fan-out attempts that failed on one replica while another succeeded (replica divergence until the node is rebuilt).")
 	rt.readDur = r.Histogram("ccer_router_read_seconds", "Routed read latency (feeds the adaptive hedge delay).")
-	r.GaugeFunc("ccer_router_backends", "Configured backends.",
-		func() float64 { return float64(len(rt.bases)) })
+	rt.repairScans = r.Counter("ccer_router_repair_scans_total",
+		"Anti-entropy scans run (periodic, fan-miss-kicked, rejoin-kicked, or elasticity-kicked).")
+	rt.repairGraphs = r.Counter("ccer_router_repair_graphs_repaired_total",
+		"Stale replica copies converged by streaming a peer's edge list or propagating a tombstone.")
+	rt.repairBytes = r.Counter("ccer_router_repair_bytes_total",
+		"Edge-list bytes streamed to stale replicas by the repair loop.")
+	rt.repairFailures = r.Counter("ccer_router_repair_failures_total",
+		"Repair attempts that failed (retried on the next scan).")
+	r.GaugeFunc("ccer_router_backends", "Live backends.",
+		func() float64 {
+			bases, _ := rt.snapshot()
+			return float64(len(bases))
+		})
+	r.GaugeFunc("ccer_router_repair_diverged_graphs",
+		"Graphs with at least one reachable stale replica, per the last repair scan (0 = converged).",
+		func() float64 {
+			rt.divergedMu.Lock()
+			defer rt.divergedMu.Unlock()
+			return float64(len(rt.diverged))
+		})
+	r.LabeledGaugeFunc("ccer_router_repair_divergence",
+		"Reachable stale replicas per graph, per the last repair scan.", "graph",
+		func() map[string]int64 {
+			rt.divergedMu.Lock()
+			defer rt.divergedMu.Unlock()
+			out := make(map[string]int64, len(rt.diverged))
+			for name, n := range rt.diverged {
+				out[name] = int64(n)
+			}
+			return out
+		})
 	r.LabeledGaugeFunc("ccer_router_backend_healthy",
 		"Per-backend routability: 1 when ready and the circuit allows traffic.", "backend",
 		func() map[string]int64 {
-			out := make(map[string]int64, len(rt.bases))
-			for _, base := range rt.bases {
+			bases, bs := rt.snapshot()
+			out := make(map[string]int64, len(bases))
+			for i, base := range bases {
 				v := int64(0)
-				if rt.backends[base].Healthy() {
+				if bs[i].Healthy() {
 					v = 1
 				}
 				out[base] = v
@@ -163,9 +329,10 @@ func (rt *Router) initObs() {
 	r.LabeledCounterFunc("ccer_router_breaker_opens_total",
 		"Circuit-breaker open transitions per backend.", "backend",
 		func() map[string]int64 {
-			out := make(map[string]int64, len(rt.bases))
-			for _, base := range rt.bases {
-				opens, _, _ := rt.backends[base].breaker.Counts()
+			bases, bs := rt.snapshot()
+			out := make(map[string]int64, len(bases))
+			for i, base := range bases {
+				opens, _, _ := bs[i].breaker.Counts()
 				out[base] = opens
 			}
 			return out
@@ -173,9 +340,10 @@ func (rt *Router) initObs() {
 	r.LabeledCounterFunc("ccer_router_probe_failures_total",
 		"Failed /readyz probes per backend.", "backend",
 		func() map[string]int64 {
-			out := make(map[string]int64, len(rt.bases))
-			for _, base := range rt.bases {
-				out[base] = rt.backends[base].probeFailures.Load()
+			bases, bs := rt.snapshot()
+			out := make(map[string]int64, len(bases))
+			for i, base := range bases {
+				out[base] = bs[i].probeFailures.Load()
 			}
 			return out
 		})
@@ -186,6 +354,9 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("GET /v1/cluster", rt.handleCluster)
+	rt.mux.HandleFunc("POST /v1/cluster/backends", rt.handleBackendAdd)
+	rt.mux.HandleFunc("DELETE /v1/cluster/backends", rt.handleBackendRemove)
+	rt.mux.HandleFunc("POST /v1/cluster/repair", rt.handleRepairKick)
 	rt.mux.HandleFunc("POST /v1/graphs", rt.handleWrite)
 	rt.mux.HandleFunc("GET /v1/graphs", rt.handleGraphList)
 	rt.mux.HandleFunc("GET /v1/graphs/{name...}", rt.handleGraphRead)
@@ -195,37 +366,6 @@ func (rt *Router) routes() {
 	rt.mux.HandleFunc("GET /v1/sweeps", rt.handleSweepList)
 	rt.mux.HandleFunc("GET /v1/sweeps/{id}", rt.handleSweepFan)
 	rt.mux.HandleFunc("DELETE /v1/sweeps/{id}", rt.handleSweepFan)
-}
-
-// probeLoop drives the active health checks: every interval, all
-// backends are probed concurrently. One goroutine plus a bounded burst
-// per round — the prober's footprint is O(backends), independent of
-// request load.
-func (rt *Router) probeLoop(ctx context.Context) {
-	defer rt.probeWG.Done()
-	ticker := time.NewTicker(rt.cfg.ProbeInterval)
-	defer ticker.Stop()
-	probeAll := func() {
-		var wg sync.WaitGroup
-		for _, base := range rt.bases {
-			b := rt.backends[base]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				b.probe(ctx, rt.cfg.ProbeTimeout)
-			}()
-		}
-		wg.Wait()
-	}
-	probeAll()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-ticker.C:
-			probeAll()
-		}
-	}
 }
 
 // placementKey maps a graph name to its placement unit: the segment
@@ -242,30 +382,41 @@ func placementKey(name string) string {
 
 // replicasFor returns the backends hosting name, preference-ordered for
 // routing: the rendezvous replica set with healthy backends first
-// (stable within each class). Unhealthy replicas stay in the list as a
-// last resort — breakers can be wrong, and trying a suspect backend
-// beats refusing a read outright.
-func (rt *Router) replicasFor(name string) []*backend {
+// (stable within each class), plus whether ANY replica of the placement
+// set is routable. Unhealthy replicas stay in the list as a last resort
+// — breakers can be wrong, and trying a suspect backend beats refusing
+// a read outright — but an all-unhealthy set means their answers (a 404
+// from a stale rejoiner, a refused connection) cannot be trusted as the
+// cluster's verdict, and the caller reports 503 no_replica instead.
+func (rt *Router) replicasFor(name string) (order []*backend, anyHealthy bool) {
+	rt.mu.RLock()
 	bases := Replicas(placementKey(name), rt.bases, rt.cfg.Replicas)
-	out := make([]*backend, 0, len(bases))
-	for _, base := range bases {
-		if b := rt.backends[base]; b.Healthy() {
-			out = append(out, b)
+	set := make([]*backend, len(bases))
+	for i, base := range bases {
+		set[i] = rt.backends[base]
+	}
+	rt.mu.RUnlock()
+	order = make([]*backend, 0, len(set))
+	for _, b := range set {
+		if b.Healthy() {
+			order = append(order, b)
 		}
 	}
-	for _, base := range bases {
-		if b := rt.backends[base]; !b.Healthy() {
-			out = append(out, b)
+	anyHealthy = len(order) > 0
+	for _, b := range set {
+		if !b.Healthy() {
+			order = append(order, b)
 		}
 	}
-	return out
+	return order, anyHealthy
 }
 
 // healthyCount reports how many backends are currently routable.
 func (rt *Router) healthyCount() int {
+	_, bs := rt.snapshot()
 	n := 0
-	for _, base := range rt.bases {
-		if rt.backends[base].Healthy() {
+	for _, b := range bs {
+		if b.Healthy() {
 			n++
 		}
 	}
@@ -304,10 +455,12 @@ func proxy(w http.ResponseWriter, reply *Reply) {
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	routerJSON(w, http.StatusOK, map[string]any{"status": "ok", "backends": len(rt.bases)})
+	bases, _ := rt.snapshot()
+	routerJSON(w, http.StatusOK, map[string]any{"status": "ok", "backends": len(bases)})
 }
 
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	bases, _ := rt.snapshot()
 	healthy := rt.healthyCount()
 	status := http.StatusOK
 	if healthy == 0 {
@@ -317,8 +470,21 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	routerJSON(w, status, map[string]any{
 		"ready":            healthy > 0,
 		"healthy_backends": healthy,
-		"backends":         len(rt.bases),
+		"backends":         len(bases),
 	})
+}
+
+// repairView is the anti-entropy block of GET /v1/cluster: the repair
+// counters plus the per-graph divergence of the last scan — empty means
+// every reachable replica set is checksum-identical.
+type repairView struct {
+	Enabled        bool           `json:"enabled"`
+	IntervalMS     float64        `json:"interval_ms"`
+	Scans          int64          `json:"scans_total"`
+	GraphsRepaired int64          `json:"graphs_repaired_total"`
+	Bytes          int64          `json:"bytes_total"`
+	Failures       int64          `json:"failures_total"`
+	Diverged       map[string]int `json:"diverged"`
 }
 
 // clusterState is the GET /v1/cluster debug document.
@@ -327,6 +493,7 @@ type clusterState struct {
 	Replicas        int            `json:"replicas"`
 	HealthyBackends int            `json:"healthy_backends"`
 	HedgeAfterMS    float64        `json:"hedge_after_ms"`
+	Repair          repairView     `json:"repair"`
 }
 
 func (rt *Router) clusterState() clusterState {
@@ -334,15 +501,81 @@ func (rt *Router) clusterState() clusterState {
 		Replicas:        rt.cfg.Replicas,
 		HealthyBackends: rt.healthyCount(),
 		HedgeAfterMS:    float64(rt.hedgeDelay()) / float64(time.Millisecond),
+		Repair: repairView{
+			Enabled:        rt.cfg.RepairInterval > 0,
+			IntervalMS:     float64(rt.cfg.RepairInterval) / float64(time.Millisecond),
+			Scans:          rt.repairScans.Load(),
+			GraphsRepaired: rt.repairGraphs.Load(),
+			Bytes:          rt.repairBytes.Load(),
+			Failures:       rt.repairFailures.Load(),
+			Diverged:       rt.divergedSnapshot(),
+		},
 	}
-	for _, base := range rt.bases {
-		st.Backends = append(st.Backends, rt.backends[base].state())
+	_, bs := rt.snapshot()
+	for _, b := range bs {
+		st.Backends = append(st.Backends, b.state())
 	}
 	return st
 }
 
+func (rt *Router) divergedSnapshot() map[string]int {
+	rt.divergedMu.Lock()
+	defer rt.divergedMu.Unlock()
+	out := make(map[string]int, len(rt.diverged))
+	for name, n := range rt.diverged {
+		out[name] = n
+	}
+	return out
+}
+
 func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
 	routerJSON(w, http.StatusOK, rt.clusterState())
+}
+
+// handleBackendAdd is POST /v1/cluster/backends {"url": "..."}: live
+// elasticity's grow operation. The reply is the fresh cluster state;
+// migration of the names whose replica set changed happens via the
+// repair scan the add kicked.
+func (rt *Router) handleBackendAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		routerError(w, http.StatusBadRequest, "", "bad backend add request: need {\"url\": ...}")
+		return
+	}
+	if err := rt.AddBackend(req.URL); err != nil {
+		routerError(w, http.StatusConflict, "", "%v", err)
+		return
+	}
+	routerJSON(w, http.StatusOK, rt.clusterState())
+}
+
+// handleBackendRemove is DELETE /v1/cluster/backends?url=...: live
+// elasticity's shrink operation.
+func (rt *Router) handleBackendRemove(w http.ResponseWriter, r *http.Request) {
+	base := r.URL.Query().Get("url")
+	if base == "" {
+		routerError(w, http.StatusBadRequest, "", "bad backend remove request: need ?url=")
+		return
+	}
+	if err := rt.RemoveBackend(base); err != nil {
+		routerError(w, http.StatusConflict, "", "%v", err)
+		return
+	}
+	routerJSON(w, http.StatusOK, rt.clusterState())
+}
+
+// handleRepairKick is POST /v1/cluster/repair: ask for an immediate
+// anti-entropy scan (it runs asynchronously; poll GET /v1/cluster for
+// the outcome).
+func (rt *Router) handleRepairKick(w http.ResponseWriter, r *http.Request) {
+	if rt.cfg.RepairInterval <= 0 {
+		routerError(w, http.StatusConflict, "", "repair is disabled (RepairInterval < 0)")
+		return
+	}
+	rt.kickRepair()
+	routerJSON(w, http.StatusAccepted, map[string]any{"kicked": true})
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -430,7 +663,15 @@ func readAccepted(reply *Reply) bool {
 // disconnects, not errors). Replies that fail soft (404 from a stale
 // replica, a shed) are kept as fallback answers if no replica does
 // better.
-func (rt *Router) routeRead(w http.ResponseWriter, r *http.Request, order []*backend, path, contentType string, body []byte) {
+//
+// anyHealthy is the placement set's routability at routing time. When
+// the whole set is unhealthy, the attempts still fire (a breaker can be
+// wrong), but their failures — and crucially their 404s, which with
+// every replica down or freshly rejoined say nothing about whether the
+// graph exists — are not trusted as a verdict: the client gets a 503
+// with Retry-After and reason no_replica instead of a misleading 404 or
+// a raw connection error.
+func (rt *Router) routeRead(w http.ResponseWriter, r *http.Request, order []*backend, anyHealthy bool, path, contentType string, body []byte) {
 	if len(order) == 0 {
 		routerError(w, http.StatusServiceUnavailable, "no_backend", "no backend available")
 		return
@@ -471,6 +712,11 @@ func (rt *Router) routeRead(w http.ResponseWriter, r *http.Request, order []*bac
 				go fire(hctx, ch, order[launched], r.Method, path, contentType, body)
 				launched++
 			} else if settled == launched {
+				if !anyHealthy {
+					routerError(w, http.StatusServiceUnavailable, "no_replica",
+						"every replica of this graph's placement set is unhealthy")
+					return
+				}
 				if fallback != nil {
 					proxy(w, fallback)
 					return
@@ -553,20 +799,27 @@ func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
 // write, some did not — succeed (the data is durable and served) and
 // are counted as fan misses.
 func (rt *Router) fanWrite(w http.ResponseWriter, r *http.Request, name, method, path, contentType string, body []byte) {
+	rt.mu.RLock()
 	bases := Replicas(placementKey(name), rt.bases, rt.cfg.Replicas)
+	set := make([]*backend, len(bases))
+	for i, base := range bases {
+		set[i] = rt.backends[base]
+	}
+	rt.mu.RUnlock()
 	// Skip replicas whose circuit is open (not routable right now):
 	// fanning into a known-dead backend would stall the write on its
-	// timeout. If everything is open, try the full set anyway.
-	attempt := make([]*backend, 0, len(bases))
-	for _, base := range bases {
-		if b := rt.backends[base]; b.Healthy() {
+	// timeout. If everything is open, try the full set anyway — but an
+	// all-unhealthy fan that fails is reported as no_replica, not as a
+	// generic backend error.
+	attempt := make([]*backend, 0, len(set))
+	for _, b := range set {
+		if b.Healthy() {
 			attempt = append(attempt, b)
 		}
 	}
-	if len(attempt) == 0 {
-		for _, base := range bases {
-			attempt = append(attempt, rt.backends[base])
-		}
+	anyHealthy := len(attempt) > 0
+	if !anyHealthy {
+		attempt = set
 	}
 	ch := make(chan attemptOutcome, len(attempt))
 	for _, b := range attempt {
@@ -582,8 +835,8 @@ func (rt *Router) fanWrite(w http.ResponseWriter, r *http.Request, name, method,
 	var best *Reply
 	var fallback *Reply
 	succeeded := 0
-	for _, base := range bases {
-		out, ok := outcomes[rt.backends[base]]
+	for _, b := range set {
+		out, ok := outcomes[b]
 		if !ok || out.err != nil {
 			continue
 		}
@@ -598,13 +851,23 @@ func (rt *Router) fanWrite(w http.ResponseWriter, r *http.Request, name, method,
 	}
 	if best != nil {
 		if succeeded < len(attempt) {
+			// Replica divergence: some replica missed an acknowledged
+			// write. Count it AND schedule its cure — an immediate
+			// anti-entropy scan picks the miss up as soon as the stale
+			// replica answers listings again.
 			rt.fanMisses.Add(int64(len(attempt) - succeeded))
+			rt.kickRepair()
 		}
 		proxy(w, best)
 		return
 	}
 	if fallback != nil {
 		proxy(w, fallback)
+		return
+	}
+	if !anyHealthy {
+		routerError(w, http.StatusServiceUnavailable, "no_replica",
+			"every replica of %q's placement set is unhealthy", name)
 		return
 	}
 	routerError(w, http.StatusServiceUnavailable, "no_backend",
@@ -617,7 +880,8 @@ func (rt *Router) handleGraphRead(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.RawQuery; q != "" {
 		path += "?" + q
 	}
-	rt.routeRead(w, r, rt.replicasFor(name), path, "", nil)
+	order, anyHealthy := rt.replicasFor(name)
+	rt.routeRead(w, r, order, anyHealthy, path, "", nil)
 }
 
 func (rt *Router) handleMatch(w http.ResponseWriter, r *http.Request) {
@@ -632,7 +896,8 @@ func (rt *Router) handleMatch(w http.ResponseWriter, r *http.Request) {
 		routerError(w, http.StatusBadRequest, "", "bad match request: missing graph")
 		return
 	}
-	rt.routeRead(w, r, rt.replicasFor(req.Graph), "/v1/match", "application/json", body)
+	order, anyHealthy := rt.replicasFor(req.Graph)
+	rt.routeRead(w, r, order, anyHealthy, "/v1/match", "application/json", body)
 }
 
 // handleGraphList merges the backend listings: replicas report the
@@ -646,8 +911,8 @@ func (rt *Router) handleGraphList(w http.ResponseWriter, r *http.Request) {
 	}
 	merged := map[string]listed{}
 	reached := 0
-	for _, base := range rt.bases {
-		b := rt.backends[base]
+	_, bs := rt.snapshot()
+	for _, b := range bs {
 		if !b.Healthy() {
 			continue
 		}
@@ -708,7 +973,7 @@ func (rt *Router) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 	// graph's preferred replica, failing over only when the attempt
 	// provably did not start a job — a refused connection, a shed, or
 	// the replica not holding the graph.
-	order := rt.replicasFor(req.Graph)
+	order, _ := rt.replicasFor(req.Graph)
 	var fallback *Reply
 	for i, b := range order {
 		if i > 0 {
@@ -742,8 +1007,8 @@ func (rt *Router) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleSweepList(w http.ResponseWriter, r *http.Request) {
 	var sweeps []json.RawMessage
 	reached := 0
-	for _, base := range rt.bases {
-		b := rt.backends[base]
+	_, bs := rt.snapshot()
+	for _, b := range bs {
 		if !b.Healthy() {
 			continue
 		}
@@ -775,8 +1040,8 @@ func (rt *Router) handleSweepList(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleSweepFan(w http.ResponseWriter, r *http.Request) {
 	path := "/v1/sweeps/" + r.PathValue("id")
 	var fallback *Reply
-	for _, base := range rt.bases {
-		b := rt.backends[base]
+	_, bs := rt.snapshot()
+	for _, b := range bs {
 		reply, err := b.client.do(r.Context(), r.Method, path, "", nil, false)
 		if err != nil {
 			b.observe(err)

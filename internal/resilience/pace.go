@@ -1,0 +1,45 @@
+package resilience
+
+import "time"
+
+// Pace produces jittered steady-state delays around a target period,
+// built on Backoff's decorrelated-jitter draw. Where Backoff answers
+// "how long until the next retry" (growing toward its cap on persistent
+// failure), Pace answers "how long until the next round of periodic
+// work" — health probes, anti-entropy scans — without every worker
+// firing in lockstep: each delay is uniform on [period/2, 3*period/2]
+// with mean exactly the period, and two Paces with different seeds
+// decorrelate immediately.
+//
+// The construction reuses Backoff directly, with Base = period/2:
+// each Pace.Next resets the sequence and takes its SECOND step — a
+// uniform draw on [Base, 3*Base] — so successive delays are i.i.d.
+// uniform on [period/2, 3*period/2] rather than growing toward a cap
+// (Backoff's late-clamp leaves a point mass at the cap, which would
+// drag the mean above the period). Reset preserves the seeded rng, so
+// a seed still fixes the whole stream. A nil *Pace follows the
+// package's nil-receiver contract (Next returns 0).
+type Pace struct {
+	bo *Backoff
+}
+
+// NewPace returns a pacer around period. seed fixes the jitter stream
+// (two pacers with distinct seeds drift apart from the first draw);
+// 0 draws a random seed. period <= 0 panics — a pacer with no period
+// is a programming error, not a configuration.
+func NewPace(period time.Duration, seed int64) *Pace {
+	if period <= 0 {
+		panic("resilience: NewPace with period <= 0")
+	}
+	return &Pace{bo: &Backoff{Base: period / 2, Cap: period + period/2, Seed: seed}}
+}
+
+// Next returns the next jittered delay, uniform on [period/2, 3*period/2].
+func (p *Pace) Next() time.Duration {
+	if p == nil {
+		return 0
+	}
+	p.bo.Reset()
+	p.bo.Next() // deterministic Base floor, discarded
+	return p.bo.Next()
+}

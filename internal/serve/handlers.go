@@ -456,6 +456,10 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad edge list: %v", err)
 		return
 	}
+	if sv := r.URL.Query().Get("sync_version"); sv != "" {
+		s.serveSyncUpload(w, r, g, sv)
+		return
+	}
 	entry, err := s.store.Put(&GraphEntry{
 		Name:     r.URL.Query().Get("name"),
 		Graph:    g,
@@ -469,6 +473,46 @@ func (s *Server) handleGraphCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.persistWarmReps()
+	s.graphsCreated.Inc()
+	writeJSON(w, http.StatusCreated, infoOf(entry))
+}
+
+// serveSyncUpload is the replica-sync mode of the edge-list upload
+// (?name=X&sync_version=V): the anti-entropy ingest path. The graph is
+// stored at exactly version V via Store.SyncPut — conditional, so a
+// duplicate or stale sync is a 200 no-op ("applied": false) instead of a
+// conflicting write, which makes repair streams idempotent and safe to
+// retry. 201 with the stored info means the sync applied.
+func (s *Server) serveSyncUpload(w http.ResponseWriter, r *http.Request, g *graph.Bipartite, sv string) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "sync_version requires an explicit name")
+		return
+	}
+	version, err := strconv.ParseInt(sv, 10, 64)
+	if err != nil || version < 1 {
+		writeError(w, http.StatusBadRequest, "bad sync_version %q", sv)
+		return
+	}
+	entry, applied, err := s.store.SyncPut(&GraphEntry{
+		Name:     name,
+		Graph:    g,
+		Checksum: g.Checksum(),
+		Source:   "repair",
+	}, version)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !applied {
+		resp := map[string]any{"applied": false, "name": name}
+		if entry != nil {
+			resp["version"] = entry.Version
+			resp["checksum"] = fmt.Sprintf("%016x", entry.Checksum)
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	s.graphsCreated.Inc()
 	writeJSON(w, http.StatusCreated, infoOf(entry))
 }
@@ -812,7 +856,32 @@ func generateGraph(ctx context.Context, req generateRequest, maxNodes, paralleli
 	}, visited, skipped, nil
 }
 
+// syncInfo is the cheap per-name sync view of ?fields=sync: just the
+// replica-comparison key (version + checksum), no graph stats — computing
+// infoOf's density/edge counts for every entry on every anti-entropy scan
+// would make the scan's cost scale with graph size instead of graph count.
+type syncInfo struct {
+	Name     string `json:"name"`
+	Version  int64  `json:"version"`
+	Checksum string `json:"checksum,omitempty"`
+}
+
 func (s *Server) handleGraphList(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("fields") == "sync" {
+		entries := s.store.List()
+		graphs := make([]syncInfo, len(entries))
+		for i, e := range entries {
+			graphs[i] = syncInfo{Name: e.Name, Version: e.Version, Checksum: fmt.Sprintf("%016x", e.Checksum)}
+		}
+		dead := s.store.Tombstones()
+		tombs := make([]syncInfo, 0, len(dead))
+		for name, v := range dead {
+			tombs = append(tombs, syncInfo{Name: name, Version: v})
+		}
+		sort.Slice(tombs, func(i, j int) bool { return tombs[i].Name < tombs[j].Name })
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": graphs, "tombstones": tombs})
+		return
+	}
 	entries := s.store.List()
 	infos := make([]graphInfo, len(entries))
 	for i, e := range entries {
@@ -843,6 +912,26 @@ func (s *Server) handleGraphDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
+	if sv := r.URL.Query().Get("sync_version"); sv != "" {
+		// Replica-sync delete: propagate a peer's tombstone at its
+		// version. Conditional like the sync upload — never 404s, since
+		// "already gone" is sync success, not an error.
+		version, perr := strconv.ParseInt(sv, 10, 64)
+		if perr != nil || version < 1 {
+			writeError(w, http.StatusBadRequest, "bad sync_version %q", sv)
+			return
+		}
+		changed, serr := s.store.SyncDelete(name, version)
+		if serr != nil {
+			writeError(w, http.StatusInternalServerError, "%v", serr)
+			return
+		}
+		if changed {
+			s.cache.InvalidateGraph(name)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"applied": changed, "name": name})
+		return
+	}
 	existed, err := s.store.Delete(name)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)

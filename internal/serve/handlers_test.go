@@ -828,3 +828,100 @@ func TestGenerateMeasurePrefiltersLossless(t *testing.T) {
 		t.Fatalf("single-measure generation recorded no visited pairs: %+v", metrics)
 	}
 }
+
+// syncListingJSON mirrors the ?fields=sync response: the cheap per-name
+// replica-comparison view an anti-entropy scan pulls.
+type syncListingJSON struct {
+	Graphs []struct {
+		Name     string `json:"name"`
+		Version  int64  `json:"version"`
+		Checksum string `json:"checksum"`
+	} `json:"graphs"`
+	Tombstones []struct {
+		Name    string `json:"name"`
+		Version int64  `json:"version"`
+	} `json:"tombstones"`
+}
+
+// TestGraphSyncProtocol drives the full HTTP surface the cluster repair
+// loop speaks: the ?fields=sync listing (versions, checksums,
+// tombstones), the version-pinned conditional sync upload, and the
+// conditional sync delete.
+func TestGraphSyncProtocol(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{})
+	info := generateD2(t, ts.URL, "d2")
+	wire := new(bytes.Buffer)
+	if err := fetchGraph(t, ts.URL, "d2").WriteEdgeList(wire); err != nil {
+		t.Fatal(err)
+	}
+
+	var listing syncListingJSON
+	doJSON(t, http.MethodGet, ts.URL+"/v1/graphs?fields=sync", nil, &listing)
+	if len(listing.Graphs) != 1 || len(listing.Tombstones) != 0 {
+		t.Fatalf("sync listing = %+v", listing)
+	}
+	if g := listing.Graphs[0]; g.Name != "d2" || g.Version != info.Version || g.Checksum != info.Checksum {
+		t.Fatalf("sync listing entry = %+v, want %s@%d %s", g, "d2", info.Version, info.Checksum)
+	}
+
+	// Sync upload pinned at a higher version applies and reports 201
+	// with the pinned version, so a repaired replica lists identically
+	// to its source.
+	resp, err := http.Post(ts.URL+"/v1/graphs?name=copy&sync_version=9", "text/plain", bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created graphInfoJSON
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.Version != 9 || created.Checksum != info.Checksum || created.Source != "repair" {
+		t.Fatalf("sync upload: status %d info %+v", resp.StatusCode, created)
+	}
+
+	// Replaying the same stream is a 200 no-op, not a conflict: repair
+	// retries are idempotent.
+	resp, err = http.Post(ts.URL+"/v1/graphs?name=copy&sync_version=9", "text/plain", bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noop struct {
+		Applied bool  `json:"applied"`
+		Version int64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&noop); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || noop.Applied || noop.Version != 9 {
+		t.Fatalf("duplicate sync upload: status %d body %+v", resp.StatusCode, noop)
+	}
+
+	// A sync upload without an explicit name is meaningless.
+	resp, err = http.Post(ts.URL+"/v1/graphs?sync_version=3", "text/plain", bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("nameless sync upload: status %d, want 400", resp.StatusCode)
+	}
+
+	// Sync delete at the entry's version applies (delete wins the tie),
+	// records a tombstone in the listing, and never 404s on replay.
+	var del struct {
+		Applied bool `json:"applied"`
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/copy?sync_version=9", nil, &del); code != http.StatusOK || !del.Applied {
+		t.Fatalf("sync delete: code %d applied %v", code, del.Applied)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/v1/graphs/copy?sync_version=9", nil, &del); code != http.StatusOK || del.Applied {
+		t.Fatalf("replayed sync delete: code %d applied %v, want 200 no-op", code, del.Applied)
+	}
+	doJSON(t, http.MethodGet, ts.URL+"/v1/graphs?fields=sync", nil, &listing)
+	if len(listing.Tombstones) != 1 || listing.Tombstones[0].Name != "copy" || listing.Tombstones[0].Version != 9 {
+		t.Fatalf("tombstones after sync delete = %+v, want copy@9", listing.Tombstones)
+	}
+}

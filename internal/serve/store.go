@@ -79,13 +79,24 @@ type Store struct {
 	// counting upward and a sweep pinned to the dead version still
 	// detects the replacement.
 	versions map[string]int64
+	// deleted records names removed by Delete, at the version the dead
+	// entry held, until the name is recreated. Distinct from "versions
+	// without an entry": a Put whose persistence failed burns a version
+	// with no entry and no delete ever happened — treating that as a
+	// tombstone would let an anti-entropy scan delete a peer's acked
+	// copy.
+	deleted  map[string]int64
 	nextAuto int64
 	persist  Persister
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{entries: make(map[string]*GraphEntry), versions: make(map[string]int64)}
+	return &Store{
+		entries:  make(map[string]*GraphEntry),
+		versions: make(map[string]int64),
+		deleted:  make(map[string]int64),
+	}
 }
 
 // SetPersister attaches the durability hook. Call before serving
@@ -150,7 +161,66 @@ func (s *Store) Put(e *GraphEntry) (*GraphEntry, error) {
 		}
 	}
 	s.entries[e.Name] = e
+	delete(s.deleted, e.Name)
 	return e, nil
+}
+
+// SyncPut applies a replica-sync write: store e as exactly version — the
+// anti-entropy ingest path (internal/cluster repair streams a peer's
+// edge list with the peer's version pinned, so a repaired replica
+// reports the same (version, checksum) as its source instead of a
+// locally-bumped counter that would diverge again on the next write).
+//
+// The write is conditional, which makes it idempotent and safe against
+// racing live traffic:
+//
+//   - current version > version: a newer write landed here since the
+//     repair planner looked — the sync is stale and is dropped, so a
+//     slow repair stream can never clobber fresher data;
+//   - current version == version with an identical live checksum (or a
+//     tombstone — the name was deleted AT that version, and the delete
+//     wins the tie): a duplicate or lost race, dropped;
+//   - otherwise the entry becomes visible as exactly version and the
+//     name's counter fast-forwards, so subsequent regular Puts continue
+//     monotonically past it.
+//
+// It returns the visible entry (nil when nothing applied and nothing is
+// stored) and whether the write applied.
+func (s *Store) SyncPut(e *GraphEntry, version int64) (*GraphEntry, bool, error) {
+	if version < 1 {
+		return nil, false, fmt.Errorf("serve: sync version %d < 1", version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, exists := s.entries[e.Name]
+	curVersion := s.versions[e.Name]
+	if curVersion > version {
+		return cur, false, nil
+	}
+	if curVersion == version {
+		if exists && cur.Checksum == e.Checksum {
+			return cur, false, nil
+		}
+		if !exists {
+			if _, dead := s.deleted[e.Name]; dead {
+				return nil, false, nil // deleted at this version; the delete wins the tie
+			}
+			// No entry and no tombstone at this version: a local Put
+			// burnt the counter when persistence failed. The peer holds
+			// the acked copy — apply it.
+		}
+	}
+	e.Version = version
+	e.Created = time.Now()
+	if s.persist != nil {
+		if err := s.persist.PersistPut(e); err != nil {
+			return cur, false, fmt.Errorf("serve: persist sync of %q: %w", e.Name, err)
+		}
+	}
+	s.versions[e.Name] = version
+	s.entries[e.Name] = e
+	delete(s.deleted, e.Name)
+	return e, true, nil
 }
 
 // Get returns the entry under name.
@@ -167,7 +237,8 @@ func (s *Store) Get(name string) (*GraphEntry, bool) {
 func (s *Store) Delete(name string) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.entries[name]; !ok {
+	cur, ok := s.entries[name]
+	if !ok {
 		return false, nil
 	}
 	if s.persist != nil {
@@ -176,6 +247,43 @@ func (s *Store) Delete(name string) (bool, error) {
 		}
 	}
 	delete(s.entries, name)
+	// Tombstone at the dead entry's version — not at versions[name],
+	// which may sit higher from a burnt (persist-failed) Put that a peer
+	// committed; tombstoning there would let repair delete the peer's
+	// acked copy.
+	s.deleted[name] = cur.Version
+	return true, nil
+}
+
+// SyncDelete applies a replica-sync delete: a peer's listing carries a
+// tombstone for name at version, so the name was deleted there after the
+// write this replica holds. It is conditional like SyncPut — dropped
+// when a newer local write exists (current version counter > version),
+// a no-op when nothing would change, and on apply it removes the entry
+// (if any), fast-forwards the counter, and records the tombstone so this
+// replica's own listing propagates the delete onward. Delete wins
+// version ties, mirroring SyncPut. Reports whether state changed.
+func (s *Store) SyncDelete(name string, version int64) (bool, error) {
+	if version < 1 {
+		return false, fmt.Errorf("serve: sync version %d < 1", version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.versions[name] > version {
+		return false, nil
+	}
+	_, exists := s.entries[name]
+	if !exists && s.deleted[name] == version && s.versions[name] == version {
+		return false, nil // duplicate
+	}
+	if exists && s.persist != nil {
+		if err := s.persist.PersistDelete(name); err != nil {
+			return false, fmt.Errorf("serve: persist sync delete of %q: %w", name, err)
+		}
+	}
+	delete(s.entries, name)
+	s.versions[name] = version
+	s.deleted[name] = version
 	return true, nil
 }
 
@@ -188,6 +296,24 @@ func (s *Store) List() []*GraphEntry {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Tombstones returns the names removed by Delete (and not since
+// recreated), mapped to the version the dead entry held — the signal an
+// anti-entropy scan needs to tell "replica A missed the create" (no
+// tombstone anywhere) from "replica B missed the delete" (tombstone at
+// or above B's entry version). Tombstones are in-memory only: a restart
+// forgets them (deleted entries leave no trace for Load to recover),
+// which bounds their cost and is why the cluster repair loop runs
+// immediately on rejoin rather than waiting for the periodic scan.
+func (s *Store) Tombstones() map[string]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int64, len(s.deleted))
+	for name, v := range s.deleted {
+		out[name] = v
+	}
 	return out
 }
 

@@ -180,3 +180,147 @@ func TestStorePersistFailureAbortsMutation(t *testing.T) {
 		t.Fatal("failed Delete removed the entry")
 	}
 }
+
+// syncEntry builds a sync-path entry with the checksum its graph would
+// carry, as the repair client does from a streamed edge list.
+func syncEntry(t *testing.T, name string, weights ...float64) *GraphEntry {
+	t.Helper()
+	g := testGraph(t, weights...)
+	return &GraphEntry{Name: name, Graph: g, Checksum: g.Checksum(), Source: "repair"}
+}
+
+func TestStoreSyncPutPinsVersion(t *testing.T) {
+	s := NewStore()
+	e, applied, err := s.SyncPut(syncEntry(t, "x", 0.5), 7)
+	if err != nil || !applied {
+		t.Fatalf("SyncPut = (%v, %v, %v)", e, applied, err)
+	}
+	if e.Version != 7 {
+		t.Fatalf("sync entry version = %d, want pinned 7", e.Version)
+	}
+	// The counter fast-forwarded: the next regular Put continues past it.
+	next := mustPut(t, s, &GraphEntry{Name: "x", Graph: testGraph(t, 0.6)})
+	if next.Version != 8 {
+		t.Fatalf("Put after sync version = %d, want 8", next.Version)
+	}
+}
+
+func TestStoreSyncPutDropsStaleAndDuplicate(t *testing.T) {
+	s := NewStore()
+	g1, g2 := testGraph(t, 0.9), testGraph(t, 0.8)
+	mustPut(t, s, &GraphEntry{Name: "x", Graph: g1, Checksum: g1.Checksum()})
+	live := mustPut(t, s, &GraphEntry{Name: "x", Graph: g2, Checksum: g2.Checksum()}) // version 2
+
+	// Stale: a sync at version 1 loses to the local version-2 write.
+	if got, applied, err := s.SyncPut(syncEntry(t, "x", 0.1), 1); err != nil || applied || got != live {
+		t.Fatalf("stale SyncPut = (%v, %v, %v), want current entry kept", got, applied, err)
+	}
+	// Duplicate: same version, same checksum is a no-op.
+	dup := &GraphEntry{Name: "x", Graph: live.Graph, Checksum: live.Graph.Checksum()}
+	if _, applied, err := s.SyncPut(dup, 2); err != nil || applied {
+		t.Fatalf("duplicate SyncPut applied=%v err=%v, want no-op", applied, err)
+	}
+	if got, _ := s.Get("x"); got != live {
+		t.Fatal("no-op sync replaced the live entry")
+	}
+	if _, _, err := s.SyncPut(syncEntry(t, "x", 0.2), 0); err == nil {
+		t.Fatal("SyncPut accepted version 0")
+	}
+}
+
+// TestStoreSyncPutTombstoneTieLoses: when a name was deleted at version
+// v, a peer's sync write of the version-v entry must not resurrect it —
+// the delete happened after the write that v acknowledges.
+func TestStoreSyncPutTombstoneTieLoses(t *testing.T) {
+	s := NewStore()
+	mustPut(t, s, &GraphEntry{Name: "x", Graph: testGraph(t, 0.9)}) // version 1
+	mustDelete(t, s, "x")
+	if e, applied, err := s.SyncPut(syncEntry(t, "x", 0.9), 1); err != nil || applied || e != nil {
+		t.Fatalf("SyncPut at tombstone version = (%v, %v, %v), want dropped", e, applied, err)
+	}
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("tombstoned entry resurrected by tie-version sync")
+	}
+	// A strictly newer sync write wins over the tombstone...
+	if _, applied, err := s.SyncPut(syncEntry(t, "x", 0.3), 2); err != nil || !applied {
+		t.Fatalf("newer SyncPut over tombstone applied=%v err=%v", applied, err)
+	}
+	// ...and clears it from the listing.
+	if ts := s.Tombstones(); len(ts) != 0 {
+		t.Fatalf("tombstones after resurrecting write = %v, want none", ts)
+	}
+}
+
+// TestStoreSyncPutBurntVersionApplies: a persist-failed local Put burns
+// a version number without storing an entry. That burnt version must
+// NOT masquerade as a tombstone — the peer that acked the same fanned
+// write holds the durable copy, and repair must be able to install it.
+func TestStoreSyncPutBurntVersionApplies(t *testing.T) {
+	s := NewStore()
+	s.SetPersister(failingPersister{err: errTestPersist})
+	if _, err := s.Put(&GraphEntry{Name: "x", Graph: testGraph(t, 0.9)}); err == nil {
+		t.Fatal("Put with failing persister succeeded")
+	}
+	s.SetPersister(nil)
+	if ts := s.Tombstones(); len(ts) != 0 {
+		t.Fatalf("burnt version shows as tombstone: %v", ts)
+	}
+	e, applied, err := s.SyncPut(syncEntry(t, "x", 0.9), 1)
+	if err != nil || !applied || e == nil || e.Version != 1 {
+		t.Fatalf("SyncPut onto burnt version = (%v, %v, %v), want applied at 1", e, applied, err)
+	}
+}
+
+func TestStoreSyncDeleteConditional(t *testing.T) {
+	s := NewStore()
+	mustPut(t, s, &GraphEntry{Name: "x", Graph: testGraph(t, 0.9)})
+	mustPut(t, s, &GraphEntry{Name: "x", Graph: testGraph(t, 0.8)}) // version 2
+
+	// Stale: a tombstone at version 1 loses to the local version-2 write.
+	if changed, err := s.SyncDelete("x", 1); err != nil || changed {
+		t.Fatalf("stale SyncDelete = (%v, %v), want dropped", changed, err)
+	}
+	if _, ok := s.Get("x"); !ok {
+		t.Fatal("stale SyncDelete removed a newer entry")
+	}
+	// At the entry's own version the delete wins the tie.
+	if changed, err := s.SyncDelete("x", 2); err != nil || !changed {
+		t.Fatalf("SyncDelete at entry version = (%v, %v), want applied", changed, err)
+	}
+	if _, ok := s.Get("x"); ok {
+		t.Fatal("SyncDelete left the entry")
+	}
+	if ts := s.Tombstones(); ts["x"] != 2 {
+		t.Fatalf("tombstones after SyncDelete = %v, want x@2", ts)
+	}
+	// Re-applying the same tombstone is a no-op: idempotent retries.
+	if changed, err := s.SyncDelete("x", 2); err != nil || changed {
+		t.Fatalf("duplicate SyncDelete = (%v, %v), want no-op", changed, err)
+	}
+	// A tombstone for a name never seen here still records, so this
+	// replica's listing propagates the delete onward.
+	if changed, err := s.SyncDelete("ghost", 3); err != nil || !changed {
+		t.Fatalf("SyncDelete of unseen name = (%v, %v), want recorded", changed, err)
+	}
+	if ts := s.Tombstones(); ts["ghost"] != 3 {
+		t.Fatalf("tombstones = %v, want ghost@3", ts)
+	}
+}
+
+// TestStoreTombstonesOnlyRealDeletes: the sync listing's tombstone set
+// reflects Delete calls, not version numbers burnt by failed Puts, and
+// a recreate clears the name's tombstone.
+func TestStoreTombstonesOnlyRealDeletes(t *testing.T) {
+	s := NewStore()
+	mustPut(t, s, &GraphEntry{Name: "a", Graph: testGraph(t, 0.9)})
+	mustPut(t, s, &GraphEntry{Name: "b", Graph: testGraph(t, 0.8)})
+	mustDelete(t, s, "a")
+	mustDelete(t, s, "b")
+	if ts := s.Tombstones(); len(ts) != 2 || ts["a"] != 1 || ts["b"] != 1 {
+		t.Fatalf("tombstones = %v, want a@1 b@1", ts)
+	}
+	mustPut(t, s, &GraphEntry{Name: "a", Graph: testGraph(t, 0.7)})
+	if ts := s.Tombstones(); len(ts) != 1 || ts["b"] != 1 {
+		t.Fatalf("tombstones after recreate = %v, want only b@1", ts)
+	}
+}
